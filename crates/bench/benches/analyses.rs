@@ -1,0 +1,138 @@
+//! Criterion benchmarks: one per reproduced table/figure, timing the
+//! analysis that regenerates it (dataset simulation happens once, outside
+//! the timed section).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jcdn_core::characterize::{
+    CacheabilityHeatmap, RequestTypeBreakdown, ResponseTypeBreakdown, TokenCategoryProvider,
+    TrafficSourceBreakdown,
+};
+use jcdn_core::dataset::{simulate, Dataset};
+use jcdn_core::periodicity::{run_study as run_periodicity, PeriodicityStudyConfig};
+use jcdn_core::prediction::{run_study as run_prediction, PredictionStudyConfig};
+use jcdn_signal::periodicity::PeriodicityConfig;
+use jcdn_trace::summary::DatasetSummary;
+use jcdn_trace::SimDuration;
+use jcdn_workload::trend::TrendModel;
+use jcdn_workload::WorkloadConfig;
+
+fn small_dataset() -> Dataset {
+    simulate(&WorkloadConfig::tiny(99))
+}
+
+fn periodic_dataset() -> Dataset {
+    let mut config = WorkloadConfig::tiny(99);
+    config.duration = SimDuration::from_secs(3600);
+    config.clients = 300;
+    config.target_events = 30_000;
+    simulate(&config)
+}
+
+fn fig1_content_ratio(c: &mut Criterion) {
+    c.bench_function("fig1_content_ratio", |b| {
+        b.iter(|| {
+            let series = TrendModel::default().generate();
+            std::hint::black_box(series.last().unwrap().ratio())
+        })
+    });
+}
+
+fn table2_datasets(c: &mut Criterion) {
+    let data = small_dataset();
+    c.bench_function("table2_dataset_summary", |b| {
+        b.iter(|| std::hint::black_box(DatasetSummary::compute("bench", &data.trace)))
+    });
+}
+
+fn fig3_device_mix(c: &mut Criterion) {
+    let data = small_dataset();
+    c.bench_function("fig3_device_mix", |b| {
+        b.iter(|| std::hint::black_box(TrafficSourceBreakdown::compute(&data.trace)))
+    });
+}
+
+fn sec4_request_response(c: &mut Criterion) {
+    let data = small_dataset();
+    c.bench_function("sec4_request_types", |b| {
+        b.iter(|| std::hint::black_box(RequestTypeBreakdown::compute(&data.trace)))
+    });
+    c.bench_function("sec4_response_types", |b| {
+        b.iter(|| std::hint::black_box(ResponseTypeBreakdown::compute(&data.trace)))
+    });
+}
+
+fn fig4_heatmap(c: &mut Criterion) {
+    let data = small_dataset();
+    c.bench_function("fig4_cacheability_heatmap", |b| {
+        b.iter(|| {
+            std::hint::black_box(CacheabilityHeatmap::compute(
+                &data.trace,
+                &TokenCategoryProvider,
+                10,
+            ))
+        })
+    });
+}
+
+fn fig5_fig6_periodicity(c: &mut Criterion) {
+    let data = periodic_dataset();
+    let config = PeriodicityStudyConfig {
+        detector: PeriodicityConfig {
+            permutations: 20,
+            parallel: true,
+            max_bins: 1 << 12,
+            ..PeriodicityConfig::default()
+        },
+        ..PeriodicityStudyConfig::default()
+    };
+    let mut group = c.benchmark_group("fig5_fig6_periodicity");
+    group.sample_size(10);
+    group.bench_function("study_x20", |b| {
+        b.iter(|| std::hint::black_box(run_periodicity(&data.trace, &config)))
+    });
+    group.finish();
+}
+
+fn table3_ngram(c: &mut Criterion) {
+    let data = small_dataset();
+    let mut group = c.benchmark_group("table3_ngram");
+    group.sample_size(10);
+    group.bench_function("train_and_eval", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_prediction(
+                &data.trace,
+                &PredictionStudyConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn ext_prefetch(c: &mut Criterion) {
+    use jcdn_cdnsim::{run, SimConfig};
+    use jcdn_prefetch::NgramPrefetcher;
+    let data = small_dataset();
+    let mut group = c.benchmark_group("ext_prefetch");
+    group.sample_size(10);
+    group.bench_function("ngram_policy_simulation", |b| {
+        b.iter(|| {
+            let mut policy = NgramPrefetcher::train_from_trace(&data.trace, 1, 5);
+            policy.bind_universe(&data.workload.objects);
+            std::hint::black_box(run(&data.workload, &SimConfig::default(), &mut policy).stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    analyses,
+    fig1_content_ratio,
+    table2_datasets,
+    fig3_device_mix,
+    sec4_request_response,
+    fig4_heatmap,
+    fig5_fig6_periodicity,
+    table3_ngram,
+    ext_prefetch,
+);
+criterion_main!(analyses);

@@ -1,0 +1,928 @@
+//! The per-table/figure reproduction experiments.
+//!
+//! Every function returns an [`ExperimentResult`]: the rendered text that
+//! the `repro` binary prints, plus named *shape checks* — the qualitative
+//! properties that must hold for the reproduction to count (who wins, by
+//! roughly what factor, where the spikes fall). Absolute numbers differ
+//! from the paper (our substrate is a simulator; see DESIGN.md §2).
+
+use jcdn_cdnsim::{SimConfig, SimDuration};
+use jcdn_core::characterize::{
+    json_html_ratio, CacheabilityHeatmap, RequestTypeBreakdown, ResponseTypeBreakdown,
+    TokenCategoryProvider, TrafficSourceBreakdown,
+};
+use jcdn_core::periodicity::{run_study, PeriodicityReport, PeriodicityStudyConfig};
+use jcdn_core::prediction::{run_study as run_prediction, PredictionStudyConfig};
+use jcdn_core::report::{paper_vs_measured, pct, TextTable};
+use jcdn_prefetch::anomaly::SequenceAnomalyDetector;
+use jcdn_prefetch::eval::compare_policies;
+use jcdn_prefetch::{DeprioritizePolicy, ManifestPrefetcher, NgramPrefetcher};
+use jcdn_signal::periodicity::PeriodicityConfig;
+use jcdn_ua::DeviceType;
+use jcdn_workload::trend::TrendModel;
+use jcdn_workload::IndustryCategory;
+
+use crate::Context;
+
+/// A rendered experiment plus its shape checks.
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `fig5`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The rendered table/figure text.
+    pub rendered: String,
+    /// Named pass/fail shape checks.
+    pub checks: Vec<(String, bool)>,
+}
+
+impl ExperimentResult {
+    /// True when every shape check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// E1 / Figure 1: the JSON:HTML request ratio, 2016 → 2019.
+pub fn fig1() -> ExperimentResult {
+    let series = TrendModel::default().generate();
+    let mut rendered = String::from("month      ratio\n");
+    for point in series.iter().step_by(3) {
+        let bar = "#".repeat((point.ratio() * 8.0).round() as usize);
+        rendered.push_str(&format!(
+            "{}  {:>5.2}x {}\n",
+            point.label(),
+            point.ratio(),
+            bar
+        ));
+    }
+    let first = series.first().expect("non-empty").ratio();
+    let last = series.last().expect("non-empty").ratio();
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "final JSON:HTML ratio",
+        ">4x",
+        &format!("{last:.2}x"),
+    ));
+    ExperimentResult {
+        id: "fig1",
+        title: "Figure 1 — ratio of JSON to HTML requests on the CDN",
+        rendered,
+        checks: vec![
+            (
+                "starts near parity (0.7..1.1)".into(),
+                (0.7..1.1).contains(&first),
+            ),
+            ("ends above 4x".into(), last > 4.0),
+            (
+                "growth is monotone by quarters".into(),
+                series.windows(9).all(|w| w[8].ratio() > w[0].ratio() * 0.9),
+            ),
+        ],
+    }
+}
+
+/// E2 / Table 2: the dataset summaries.
+pub fn table2(ctx: &Context) -> ExperimentResult {
+    let short = ctx.short_term.summary();
+    let long = ctx.long_term.summary();
+    let mut table = TextTable::new(&["Dataset", "# of Logs", "Duration", "# of Domains"]);
+    for s in [&short, &long] {
+        table.row(&[
+            s.name.clone(),
+            s.logs.to_string(),
+            s.duration.to_string(),
+            s.domains.to_string(),
+        ]);
+    }
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "\n(volume scaled {:.2}x relative to the paper's 25M/10M logs; see EXPERIMENTS.md)\n",
+        ctx.scale
+    ));
+    ExperimentResult {
+        id: "table2",
+        title: "Table 2 — summary of the datasets",
+        rendered,
+        checks: vec![
+            (
+                "short-term spans ~10 min".into(),
+                (550..=650).contains(&short.duration.as_secs()),
+            ),
+            (
+                "long-term spans ~24 h".into(),
+                (82_000..=90_000).contains(&long.duration.as_secs()),
+            ),
+            (
+                "short-term covers more domains".into(),
+                short.domains > long.domains,
+            ),
+            (
+                "long-term has ~170 domains".into(),
+                (120..=175).contains(&long.domains),
+            ),
+        ],
+    }
+}
+
+/// E3 / Figure 3: categorization by device type.
+pub fn fig3(ctx: &Context) -> ExperimentResult {
+    let b = TrafficSourceBreakdown::compute(&ctx.short_term.trace);
+    let mut table = TextTable::new(&[
+        "Device",
+        "Requests (paper)",
+        "Requests",
+        "UA strings (paper)",
+        "UA strings",
+    ]);
+    let paper_requests = [
+        ("Mobile", "55%"),
+        ("Desktop", "9%"),
+        ("Embedded", "12%"),
+        ("Unknown", "24%"),
+    ];
+    let paper_uas = [
+        ("Mobile", "73%"),
+        ("Desktop", "3%"),
+        ("Embedded", "17%"),
+        ("Unknown", "7%"),
+    ];
+    for (device, (_, pr)) in DeviceType::ALL.iter().zip(paper_requests.iter()) {
+        let pu = paper_uas
+            .iter()
+            .find(|(d, _)| *d == device.to_string())
+            .map(|(_, v)| *v)
+            .unwrap_or("-");
+        table.row(&[
+            device.to_string(),
+            pr.to_string(),
+            pct(b.request_share(*device)),
+            pu.to_string(),
+            pct(b.ua_share(*device)),
+        ]);
+    }
+    let mut rendered = table.render();
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "non-browser traffic",
+        "88%",
+        &pct(b.non_browser_share()),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "mobile browser share of all requests",
+        "2.5%",
+        &pct(b.mobile_browser_requests as f64 / b.total.max(1) as f64),
+    ));
+    let mobile = b.request_share(DeviceType::Mobile);
+    let embedded = b.request_share(DeviceType::Embedded);
+    let unknown = b.request_share(DeviceType::Unknown);
+    ExperimentResult {
+        id: "fig3",
+        title: "Figure 3 — categorization by device type",
+        rendered,
+        checks: vec![
+            ("mobile majority (>= 45%)".into(), mobile >= 0.45),
+            (
+                "embedded ~12% (7..20%)".into(),
+                (0.07..0.20).contains(&embedded),
+            ),
+            (
+                "unknown ~24% (15..33%)".into(),
+                (0.15..0.33).contains(&unknown),
+            ),
+            ("non-browser >= 80%".into(), b.non_browser_share() >= 0.80),
+            (
+                "no browsers on embedded devices".into(),
+                b.embedded_browser_requests == 0,
+            ),
+        ],
+    }
+}
+
+/// E4 / §4 request types.
+pub fn sec4_requests(ctx: &Context) -> ExperimentResult {
+    let b = RequestTypeBreakdown::compute(&ctx.short_term.trace);
+    let mut rendered = String::new();
+    rendered.push_str(&paper_vs_measured(
+        "GET share of JSON requests",
+        "84%",
+        &pct(b.download_share()),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "POST share of the remainder",
+        "96%",
+        &pct(b.upload_share_of_rest()),
+    ));
+    ExperimentResult {
+        id: "sec4_requests",
+        title: "§4 — request types (uploads vs downloads)",
+        rendered,
+        checks: vec![
+            (
+                "GET dominates (78..90%)".into(),
+                (0.78..0.90).contains(&b.download_share()),
+            ),
+            (
+                "POST dominates the rest (>= 90%)".into(),
+                b.upload_share_of_rest() >= 0.90,
+            ),
+        ],
+    }
+}
+
+/// E5 / §4 response types: cacheability and sizes.
+pub fn sec4_responses(ctx: &Context) -> ExperimentResult {
+    let mut b = ResponseTypeBreakdown::compute(&ctx.short_term.trace);
+    let uncacheable = b.uncacheable_share();
+    let median_gap = b.json_smaller_than_html_at(0.5).unwrap_or(0.0);
+    let p75_gap = b.json_smaller_than_html_at(0.75).unwrap_or(0.0);
+
+    // Size trend over the multi-year window (the trace covers 10 minutes;
+    // the trend model supplies the 2016→2019 axis).
+    let series = TrendModel::default().generate();
+    let size_drop = 1.0
+        - series.last().expect("non-empty").json_mean_size
+            / series.first().expect("non-empty").json_mean_size;
+
+    let mut rendered = String::new();
+    rendered.push_str(&paper_vs_measured(
+        "uncacheable JSON traffic",
+        "55%",
+        &pct(uncacheable),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "JSON smaller than HTML at median",
+        "24%",
+        &pct(median_gap),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "JSON smaller than HTML at p75",
+        "87%",
+        &pct(p75_gap),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "mean JSON size decrease since 2016",
+        "28%",
+        &pct(size_drop),
+    ));
+    if let Some(ratio) = json_html_ratio(&ctx.short_term.trace) {
+        rendered.push('\n');
+        rendered.push_str(&format!(
+            "(JSON:HTML ratio inside this JSON-centric capture: {ratio:.1}x)"
+        ));
+    }
+    ExperimentResult {
+        id: "sec4_responses",
+        title: "§4 — response types (cacheability, sizes)",
+        rendered,
+        checks: vec![
+            (
+                "majority uncacheable (45..70%)".into(),
+                (0.45..0.70).contains(&uncacheable),
+            ),
+            (
+                "JSON smaller at median (10..45%)".into(),
+                (0.10..0.45).contains(&median_gap),
+            ),
+            ("JSON much smaller at p75 (> 60%)".into(), p75_gap > 0.60),
+            ("p75 gap exceeds median gap".into(), p75_gap > median_gap),
+            (
+                "size decrease ~28% (20..36%)".into(),
+                (0.20..0.36).contains(&size_drop),
+            ),
+        ],
+    }
+}
+
+/// E6 / Figure 4: domain cacheability by industry category.
+pub fn fig4(ctx: &Context) -> ExperimentResult {
+    let h = CacheabilityHeatmap::compute(&ctx.short_term.trace, &TokenCategoryProvider, 10);
+    let mut table = TextTable::new(&["Industry", "0-10%", "10-50%", "50-90%", "90-100%", "mean"]);
+    for category in IndustryCategory::ALL {
+        let Some(row) = h.rows.get(&category) else {
+            continue;
+        };
+        let total: u64 = row.iter().sum();
+        let group = |range: std::ops::Range<usize>| -> String {
+            let count: u64 = row[range].iter().sum();
+            pct(count as f64 / total.max(1) as f64)
+        };
+        table.row(&[
+            category.label().to_string(),
+            group(0..1),
+            group(1..5),
+            group(5..9),
+            group(9..10),
+            h.row_mean(category).map(pct).unwrap_or_default(),
+        ]);
+    }
+    let mut rendered = table.render();
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "domains never cacheable",
+        "~50%",
+        &pct(h.never_cacheable_share()),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "domains always cacheable",
+        "~30%",
+        &pct(h.always_cacheable_share()),
+    ));
+
+    let mean = |c: IndustryCategory| h.row_mean(c).unwrap_or(0.5);
+    let content_mean = (mean(IndustryCategory::NewsMedia)
+        + mean(IndustryCategory::Sports)
+        + mean(IndustryCategory::Entertainment))
+        / 3.0;
+    let personalized_mean = (mean(IndustryCategory::FinancialServices)
+        + mean(IndustryCategory::Streaming)
+        + mean(IndustryCategory::Gaming))
+        / 3.0;
+    ExperimentResult {
+        id: "fig4",
+        title: "Figure 4 — heatmap of domain cacheability by category",
+        rendered,
+        checks: vec![
+            (
+                "~50% never cacheable (38..62%)".into(),
+                (0.38..0.62).contains(&h.never_cacheable_share()),
+            ),
+            (
+                "~30% always cacheable (18..42%)".into(),
+                (0.18..0.42).contains(&h.always_cacheable_share()),
+            ),
+            (
+                "News/Sports/Entertainment mostly cacheable".into(),
+                content_mean > 0.6,
+            ),
+            (
+                "Financial/Streaming/Gaming mostly uncacheable".into(),
+                personalized_mean < 0.3,
+            ),
+            (
+                "content vs personalized gap is wide".into(),
+                content_mean - personalized_mean > 0.3,
+            ),
+        ],
+    }
+}
+
+/// Shared §5.1 study over the long-term dataset.
+pub fn periodicity(ctx: &Context, permutations: usize) -> PeriodicityReport {
+    let config = PeriodicityStudyConfig {
+        detector: PeriodicityConfig {
+            permutations,
+            parallel: true,
+            max_bins: 1 << 15,
+            ..PeriodicityConfig::default()
+        },
+        ..PeriodicityStudyConfig::default()
+    };
+    run_study(&ctx.long_term.trace, &config)
+}
+
+/// E7 / Figure 5: histogram of JSON object periods.
+pub fn fig5(ctx: &Context, report: &PeriodicityReport) -> ExperimentResult {
+    let mut rendered = report.period_histogram().render(40);
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "periodic share of JSON requests",
+        "6.3%",
+        &pct(report.periodic_share()),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "periodic traffic uncacheable",
+        "56.2%",
+        &pct(report.periodic_uncacheable_share()),
+    ));
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "periodic traffic uploads",
+        "78%",
+        &pct(report.periodic_upload_share()),
+    ));
+
+    // The planted spikes: every detected object period should land near one.
+    let spikes = [30.0, 60.0, 120.0, 180.0, 600.0, 900.0, 1800.0];
+    let on_spike = report
+        .object_periods
+        .values()
+        .filter(|&&p| spikes.iter().any(|s| (p - s).abs() <= s * 0.12))
+        .count();
+    let spike_share = on_spike as f64 / report.object_periods.len().max(1) as f64;
+    rendered.push('\n');
+    rendered.push_str(&format!(
+        "detected objects: {} ({} on even-interval spikes)",
+        report.object_periods.len(),
+        pct(spike_share)
+    ));
+    let truth = &ctx.long_term.workload.truth;
+    ExperimentResult {
+        id: "fig5",
+        title: "Figure 5 — histogram of JSON object periods",
+        rendered,
+        checks: vec![
+            (
+                "some periodic objects detected".into(),
+                !report.object_periods.is_empty(),
+            ),
+            (
+                "periodic share ~6.3% (3..11%)".into(),
+                (0.03..0.11).contains(&report.periodic_share()),
+            ),
+            (
+                "detected periods sit on even intervals (>= 80%)".into(),
+                spike_share >= 0.80,
+            ),
+            (
+                "uploads dominate periodic traffic (>= 60%)".into(),
+                report.periodic_upload_share() >= 0.60,
+            ),
+            (
+                "majority of periodic traffic uncacheable (>= 45%)".into(),
+                report.periodic_uncacheable_share() >= 0.45,
+            ),
+            (
+                "ground truth planted periodic objects".into(),
+                !truth.periodic_objects.is_empty(),
+            ),
+        ],
+    }
+}
+
+/// E8 / Figure 6: CDF of the percent of periodic clients across objects.
+pub fn fig6(report: &PeriodicityReport) -> ExperimentResult {
+    let mut rendered = report.client_fraction_cdf().render(10, 40);
+    rendered.push('\n');
+    rendered.push_str(&paper_vs_measured(
+        "objects with >50% periodic clients",
+        "20%",
+        &pct(report.majority_periodic_object_share()),
+    ));
+    let majority = report.majority_periodic_object_share();
+    ExperimentResult {
+        id: "fig6",
+        title: "Figure 6 — CDF of percent of periodic clients across objects",
+        rendered,
+        checks: vec![
+            (
+                "CDF is non-degenerate".into(),
+                report.periodic_client_fraction.len() >= 5,
+            ),
+            (
+                "a minority of objects has periodic majority (5..45%)".into(),
+                (0.05..0.45).contains(&majority),
+            ),
+        ],
+    }
+}
+
+/// E9 / Table 3: n-gram accuracy for clustered vs actual URLs.
+pub fn table3(ctx: &Context) -> ExperimentResult {
+    let report = run_prediction(&ctx.long_term.trace, &PredictionStudyConfig::default());
+    let paper = [(1, 0.65, 0.45), (5, 0.84, 0.64), (10, 0.87, 0.69)];
+    let mut table = TextTable::new(&[
+        "K",
+        "Clustered (paper)",
+        "Clustered",
+        "Actual (paper)",
+        "Actual",
+        "Popularity baseline",
+    ]);
+    for (cell, (k, pc, pa)) in report.rows.iter().zip(paper.iter()) {
+        assert_eq!(cell.k, *k);
+        table.row(&[
+            k.to_string(),
+            format!("{pc:.2}"),
+            format!("{:.2}", cell.clustered),
+            format!("{pa:.2}"),
+            format!("{:.2}", cell.actual),
+            format!("{:.2}", cell.popularity_baseline),
+        ]);
+    }
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "\n({} test transitions over {} held-out clients, N = {})\n",
+        report.test_transitions, report.test_clients, report.history
+    ));
+    let k1 = &report.rows[0];
+    let k10 = &report.rows[2];
+    ExperimentResult {
+        id: "table3",
+        title: "Table 3 — n-gram model accuracy (clustered vs actual URLs)",
+        rendered,
+        checks: vec![
+            (
+                "clustered beats actual at every K".into(),
+                report.rows.iter().all(|r| r.clustered >= r.actual),
+            ),
+            (
+                "accuracy grows with K".into(),
+                k10.actual >= k1.actual && k10.clustered >= k1.clustered,
+            ),
+            (
+                "actual K=10 lands near 0.7 (0.5..0.9)".into(),
+                (0.5..0.9).contains(&k10.actual),
+            ),
+            (
+                "clustered K=10 lands near 0.87 (0.7..0.97)".into(),
+                (0.7..0.97).contains(&k10.clustered),
+            ),
+            (
+                "clustered K=1 gap is substantial (>= 0.08)".into(),
+                k1.clustered - k1.actual >= 0.08,
+            ),
+            (
+                "n-gram beats the popularity baseline at every K".into(),
+                report.rows.iter().all(|r| r.actual > r.popularity_baseline),
+            ),
+        ],
+    }
+}
+
+/// X1: prefetching uplift (n-gram and manifest policies vs baseline).
+pub fn ext_prefetch(ctx: &Context) -> ExperimentResult {
+    let workload = &ctx.short_term.workload;
+    let sim = SimConfig::default();
+
+    let mut ngram = NgramPrefetcher::train_from_trace(&ctx.short_term.trace, 1, 5);
+    ngram.bind_universe(&workload.objects);
+    let ngram_cmp = compare_policies(workload, &sim, &mut ngram);
+
+    let mut manifest = ManifestPrefetcher::new();
+    manifest.bind_universe(&workload.objects);
+    let manifest_cmp = compare_policies(workload, &sim, &mut manifest);
+
+    let base = ngram_cmp.baseline.cacheable_hit_ratio().unwrap_or(0.0);
+    let mut table = TextTable::new(&["Policy", "Hit ratio", "Uplift", "Prefetches", "Precision"]);
+    table.row(&[
+        "baseline".into(),
+        pct(base),
+        "-".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+    for (name, cmp) in [
+        ("ngram top-5", &ngram_cmp),
+        ("manifest push", &manifest_cmp),
+    ] {
+        table.row(&[
+            name.into(),
+            pct(cmp.with_policy.cacheable_hit_ratio().unwrap_or(0.0)),
+            format!("{:+.1}pp", cmp.hit_ratio_uplift().unwrap_or(0.0) * 100.0),
+            cmp.with_policy.prefetch_issued.to_string(),
+            cmp.prefetch_precision()
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    ExperimentResult {
+        id: "ext_prefetch",
+        title: "Extension — prefetching lifts the cache hit ratio (§5.2 implication)",
+        rendered: table.render(),
+        checks: vec![
+            (
+                "ngram prefetch lifts hit ratio".into(),
+                ngram_cmp.hit_ratio_uplift().unwrap_or(-1.0) > 0.0,
+            ),
+            (
+                "manifest prefetch does not hurt".into(),
+                manifest_cmp.hit_ratio_uplift().unwrap_or(-1.0) >= 0.0,
+            ),
+            (
+                "prefetched entries get used".into(),
+                ngram_cmp.with_policy.prefetch_useful > 0,
+            ),
+        ],
+    }
+}
+
+/// X2: deprioritizing machine-to-machine traffic (§5.1/§7 implication).
+pub fn ext_depri(ctx: &Context) -> ExperimentResult {
+    let workload = &ctx.short_term.workload;
+    // One edge, with the per-request service cost sized to ~90% utilization
+    // for this workload's arrival rate: queues form and drain, so priority
+    // matters without driving the system into divergence.
+    let duration = workload.config.duration.as_secs_f64();
+    let arrivals = workload.events.len().max(1) as f64;
+    let service_us = (0.90 * duration / arrivals * 1e6) as u64;
+    let sim = SimConfig {
+        edges: 1,
+        service_base: SimDuration::from_micros(service_us.max(1)),
+        service_per_kb: SimDuration::ZERO,
+        ..SimConfig::default()
+    };
+    let mut policy = DeprioritizePolicy::from_ground_truth(workload);
+    let cmp = compare_policies(workload, &sim, &mut policy);
+
+    let base = cmp.baseline.latency_normal.mean().unwrap_or(0.0) * 1e3;
+    let human = cmp.with_policy.latency_normal.mean().unwrap_or(0.0) * 1e3;
+    let machine = cmp.with_policy.latency_depri.mean().unwrap_or(0.0) * 1e3;
+    let rendered = format!(
+        "mean latency, undifferentiated baseline : {base:>8.2} ms\n\
+         mean latency, human traffic (depri on)  : {human:>8.2} ms\n\
+         mean latency, machine traffic (depri on): {machine:>8.2} ms\n\
+         deprioritized pairs: {}",
+        policy.pair_count()
+    );
+    ExperimentResult {
+        id: "ext_depri",
+        title: "Extension — deprioritizing machine-to-machine traffic",
+        rendered,
+        checks: vec![
+            (
+                "human latency does not regress".into(),
+                human <= base * 1.02,
+            ),
+            ("machine traffic absorbs the wait".into(), machine > human),
+        ],
+    }
+}
+
+/// X3: ablation over the permutation count x (§5.1: "values of x greater
+/// than 100 do not produce significantly different results").
+pub fn abl_permutations(ctx: &Context) -> ExperimentResult {
+    let mut table = TextTable::new(&["x", "periodic objects", "periodic share"]);
+    let mut detected = Vec::new();
+    for x in [10usize, 50, 100, 200] {
+        let report = periodicity(ctx, x);
+        detected.push(report.object_periods.len());
+        table.row(&[
+            x.to_string(),
+            report.object_periods.len().to_string(),
+            pct(report.periodic_share()),
+        ]);
+    }
+    let at_100 = detected[2] as f64;
+    let at_200 = detected[3] as f64;
+    let stable = at_100 > 0.0 && (at_200 - at_100).abs() / at_100 <= 0.15;
+    ExperimentResult {
+        id: "abl_permutations",
+        title: "Ablation — permutation count x in the periodicity detector",
+        rendered: table.render(),
+        checks: vec![
+            ("x=100 and x=200 agree within 15%".into(), stable),
+            (
+                "detection works at every x".into(),
+                detected.iter().all(|&d| d > 0),
+            ),
+        ],
+    }
+}
+
+/// X4: ablation over the n-gram history length N (§5.2: "using larger N
+/// like N=5 only marginally increases accuracy by up to 5%").
+pub fn abl_history(ctx: &Context) -> ExperimentResult {
+    let mut table = TextTable::new(&["N", "Actual K=10", "Clustered K=10"]);
+    let mut at_k10 = Vec::new();
+    for n in [1usize, 2, 3, 5] {
+        let report = run_prediction(
+            &ctx.long_term.trace,
+            &PredictionStudyConfig {
+                history: n,
+                ..PredictionStudyConfig::default()
+            },
+        );
+        let row = &report.rows[2];
+        at_k10.push((row.actual, row.clustered));
+        table.row(&[
+            n.to_string(),
+            format!("{:.3}", row.actual),
+            format!("{:.3}", row.clustered),
+        ]);
+    }
+    let (a1, c1) = at_k10[0];
+    let (a5, c5) = at_k10[3];
+    ExperimentResult {
+        id: "abl_history",
+        title: "Ablation — n-gram history length N",
+        rendered: table.render(),
+        checks: vec![
+            (
+                "N=5 within ±7pp of N=1 (actual)".into(),
+                (a5 - a1).abs() <= 0.07,
+            ),
+            (
+                "N=5 within ±7pp of N=1 (clustered)".into(),
+                (c5 - c1).abs() <= 0.07,
+            ),
+        ],
+    }
+}
+
+/// X6: ablation — a parent cache tier between edges and origin.
+pub fn abl_parent_tier(ctx: &Context) -> ExperimentResult {
+    use jcdn_cdnsim::run_default;
+    let workload = &ctx.short_term.workload;
+    let flat = run_default(workload, &SimConfig::default()).stats;
+    let tiered = run_default(
+        workload,
+        &SimConfig {
+            parent_cache: Some(1 << 30),
+            ..SimConfig::default()
+        },
+    )
+    .stats;
+    let mut table = TextTable::new(&[
+        "Topology",
+        "Edge hit ratio",
+        "Origin fetches",
+        "Parent hits",
+    ]);
+    table.row(&[
+        "edges only".into(),
+        pct(flat.cacheable_hit_ratio().unwrap_or(0.0)),
+        flat.origin_fetches.to_string(),
+        "-".into(),
+    ]);
+    table.row(&[
+        "edges + parent".into(),
+        pct(tiered.cacheable_hit_ratio().unwrap_or(0.0)),
+        tiered.origin_fetches.to_string(),
+        tiered.parent_hits.to_string(),
+    ]);
+    let offload = 1.0 - tiered.origin_fetches as f64 / flat.origin_fetches.max(1) as f64;
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "
+origin offload from the parent tier: {}",
+        pct(offload)
+    ));
+    ExperimentResult {
+        id: "abl_parent",
+        title: "Ablation — parent cache tier between edge and origin",
+        rendered,
+        checks: vec![
+            (
+                "parent tier absorbs cross-edge misses".into(),
+                tiered.parent_hits > 0,
+            ),
+            (
+                "origin load drops".into(),
+                tiered.origin_fetches < flat.origin_fetches,
+            ),
+            (
+                "edge-level behaviour unchanged".into(),
+                flat.hits == tiered.hits,
+            ),
+        ],
+    }
+}
+
+/// X8: ablation — edge cache capacity sweep.
+pub fn abl_cache(ctx: &Context) -> ExperimentResult {
+    use jcdn_cdnsim::run_default;
+    let workload = &ctx.short_term.workload;
+    let mut table = TextTable::new(&["Edge cache", "Hit ratio", "Evict-limited?"]);
+    let mut ratios = Vec::new();
+    for (label, capacity) in [
+        ("256 KiB", 256u64 << 10),
+        ("4 MiB", 4 << 20),
+        ("256 MiB", 256 << 20),
+    ] {
+        let stats = run_default(
+            workload,
+            &SimConfig {
+                cache_capacity: capacity,
+                ..SimConfig::default()
+            },
+        )
+        .stats;
+        let ratio = stats.cacheable_hit_ratio().unwrap_or(0.0);
+        ratios.push(ratio);
+        table.row(&[
+            label.into(),
+            pct(ratio),
+            if capacity <= 4 << 20 {
+                "yes"
+            } else {
+                "ttl-limited"
+            }
+            .into(),
+        ]);
+    }
+    ExperimentResult {
+        id: "abl_cache",
+        title: "Ablation — edge cache capacity",
+        rendered: table.render(),
+        checks: vec![
+            (
+                "hit ratio is monotone in capacity".into(),
+                ratios.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            ),
+            ("a starved cache hurts".into(), ratios[0] < ratios[2]),
+        ],
+    }
+}
+
+/// X7: lead-time analysis (interarrival-aware prediction — §5.2's stated
+/// future work).
+pub fn ext_leadtime(ctx: &Context) -> ExperimentResult {
+    use jcdn_prefetch::lead_time::{analyze, LeadTimeConfig};
+    let mut report = analyze(&ctx.long_term.trace, &LeadTimeConfig::default());
+    let median = report.median_predicted();
+    let lead_1s = report.predicted_with_lead_of(1.0);
+    let lead_origin = report.predicted_with_lead_of(0.2); // a miss RTT
+    let rendered = format!(
+        "predicted transitions : {}\n\
+         missed transitions    : {}\n\
+         median lead time      : {}\n\
+         lead >= 200ms (one origin fetch) : {}\n\
+         lead >= 1s                       : {}",
+        report.predicted_gaps.count(),
+        report.missed_gaps.count(),
+        median.map(|m| format!("{m:.1}s")).unwrap_or_default(),
+        lead_origin.map(pct).unwrap_or_default(),
+        lead_1s.map(pct).unwrap_or_default(),
+    );
+    ExperimentResult {
+        id: "ext_leadtime",
+        title: "Extension — prefetch lead times (interarrival-aware prediction)",
+        rendered,
+        checks: vec![
+            (
+                "predicted transitions exist".into(),
+                report.predicted_gaps.count() > 1000,
+            ),
+            (
+                "most predicted transitions leave time for an origin fetch".into(),
+                lead_origin.unwrap_or(0.0) > 0.6,
+            ),
+        ],
+    }
+}
+
+/// X5: anomaly detection from the learned models.
+pub fn ext_anomaly(ctx: &Context) -> ExperimentResult {
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimTime, Trace};
+
+    let detector = SequenceAnomalyDetector::train(&ctx.short_term.trace, 1, 1e-4);
+
+    // False-positive rate on clean (training) traffic.
+    let clean_flags = detector.scan(&ctx.short_term.trace).len();
+    let fp_rate = clean_flags as f64 / ctx.short_term.trace.len().max(1) as f64;
+
+    // Injected scanner session: manifest → paths never seen in training.
+    let manifest_url = ctx
+        .short_term
+        .workload
+        .objects
+        .iter()
+        .find(|o| o.body.is_some())
+        .map(|o| o.url.clone())
+        .expect("manifests exist");
+    let mut attack = Trace::new();
+    let push = |trace: &mut Trace, t: u64, url: &str| {
+        let url = trace.intern_url(url);
+        trace.push(LogRecord {
+            time: SimTime::from_secs(t),
+            client: ClientId(0xA77AC),
+            ua: None,
+            url,
+            method: Method::Get,
+            mime: MimeType::Json,
+            status: 200,
+            response_bytes: 64,
+            cache: CacheStatus::NotCacheable,
+        });
+    };
+    push(&mut attack, 0, &manifest_url);
+    let probes = [
+        "https://news-0.example/wp-admin/setup.php",
+        "https://news-0.example/.env",
+        "https://news-0.example/backup.sql",
+    ];
+    for (i, probe) in probes.iter().enumerate() {
+        push(&mut attack, 2 + i as u64, probe);
+    }
+    let attack_flags = detector.scan(&attack).len();
+
+    let rendered = format!(
+        "false-positive rate on clean traffic : {}\n\
+         injected probe requests flagged      : {attack_flags}/{}",
+        pct(fp_rate),
+        probes.len()
+    );
+    ExperimentResult {
+        id: "ext_anomaly",
+        title: "Extension — anomaly detection from sequence models",
+        rendered,
+        checks: vec![
+            (
+                "all injected probes flagged".into(),
+                attack_flags == probes.len(),
+            ),
+            (
+                "clean-traffic false positives below 8%".into(),
+                fp_rate < 0.08,
+            ),
+        ],
+    }
+}

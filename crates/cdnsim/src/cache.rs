@@ -1,0 +1,362 @@
+//! The edge cache: byte-capacity LRU with per-entry TTL.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use jcdn_trace::{SimDuration, SimTime};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot<K> {
+    key: K,
+    size: u64,
+    expires: SimTime,
+    prefetched: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found a fresh entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// `get` calls that found an expired entry (counted as misses too).
+    pub expirations: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Hits whose entry was inserted by a prefetch and not yet touched by a
+    /// demand request — the numerator of prefetch usefulness.
+    pub prefetch_hits: u64,
+}
+
+/// A least-recently-used cache bounded by total bytes, with per-entry TTL.
+///
+/// Keys are small copyable ids (object ids in the simulator). The recency
+/// list is an intrusive doubly-linked list over a slab, so every operation
+/// is O(1) amortized.
+#[derive(Clone, Debug)]
+pub struct LruCache<K: Eq + Hash + Copy> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: u64,
+    used: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Copy> LruCache<K> {
+    /// Creates a cache bounded by `capacity` bytes.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            used: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Byte capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key` at time `now`, refreshing recency on hit. An expired
+    /// entry is removed and counted as a miss (plus an expiration).
+    pub fn get(&mut self, key: K, now: SimTime) -> bool {
+        match self.map.get(&key).copied() {
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+            Some(idx) => {
+                if self.slots[idx].expires <= now {
+                    self.remove_slot(idx);
+                    self.stats.expirations += 1;
+                    self.stats.misses += 1;
+                    return false;
+                }
+                if self.slots[idx].prefetched {
+                    self.slots[idx].prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                self.touch(idx);
+                self.stats.hits += 1;
+                true
+            }
+        }
+    }
+
+    /// True when `key` is resident and fresh, without recency/stat effects.
+    pub fn peek(&self, key: K, now: SimTime) -> bool {
+        self.map
+            .get(&key)
+            .is_some_and(|&idx| self.slots[idx].expires > now)
+    }
+
+    /// Inserts (or refreshes) `key` with `size` bytes and `ttl` lifetime.
+    /// Entries larger than the whole capacity are rejected (returns false).
+    /// `prefetched` marks entries inserted speculatively.
+    pub fn insert(
+        &mut self,
+        key: K,
+        size: u64,
+        ttl: SimDuration,
+        now: SimTime,
+        prefetched: bool,
+    ) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        let expires = now.saturating_add(ttl);
+        if let Some(&idx) = self.map.get(&key) {
+            // Refresh in place.
+            self.used = self.used - self.slots[idx].size + size;
+            self.slots[idx].size = size;
+            self.slots[idx].expires = expires;
+            self.slots[idx].prefetched = prefetched;
+            self.touch(idx);
+            self.evict_to_fit();
+            return true;
+        }
+        self.used += size;
+        let slot = Slot {
+            key,
+            size,
+            expires,
+            prefetched,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.evict_to_fit();
+        true
+    }
+
+    /// Removes `key` if present; returns whether it was resident.
+    pub fn remove(&mut self, key: K) -> bool {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.remove_slot(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL, "over capacity with empty list");
+            self.remove_slot(tail);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn remove_slot(&mut self, idx: usize) {
+        self.unlink(idx);
+        let key = self.slots[idx].key;
+        self.used -= self.slots[idx].size;
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::MINUTE;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn basic_hit_and_miss() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        assert!(!c.get(1, t(0)));
+        assert!(c.insert(1, 100, TTL, t(0), false));
+        assert!(c.get(1, t(1)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.used_bytes(), 100);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: LruCache<u32> = LruCache::new(300);
+        c.insert(1, 100, TTL, t(0), false);
+        c.insert(2, 100, TTL, t(1), false);
+        c.insert(3, 100, TTL, t(2), false);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(1, t(3)));
+        c.insert(4, 100, TTL, t(4), false);
+        assert!(c.peek(1, t(5)));
+        assert!(!c.peek(2, t(5)), "LRU entry must be evicted");
+        assert!(c.peek(3, t(5)));
+        assert!(c.peek(4, t(5)));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn ttl_expiry_counts_as_miss() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 10, SimDuration::from_secs(30), t(0), false);
+        assert!(c.get(1, t(29)));
+        assert!(!c.get(1, t(30)), "expires at exactly t+ttl");
+        assert_eq!(c.stats().expirations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn refresh_updates_size_and_expiry() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 100, SimDuration::from_secs(10), t(0), false);
+        c.insert(1, 250, SimDuration::from_secs(100), t(5), false);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 250);
+        assert!(c.get(1, t(50)), "new TTL applies");
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        assert!(!c.insert(1, 101, TTL, t(0), false));
+        assert!(c.is_empty());
+        assert!(c.insert(2, 100, TTL, t(0), false));
+    }
+
+    #[test]
+    fn eviction_cascades_for_large_inserts() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        for k in 0..10 {
+            c.insert(k, 10, TTL, t(0), false);
+        }
+        assert_eq!(c.len(), 10);
+        c.insert(100, 95, TTL, t(1), false);
+        assert!(c.peek(100, t(2)));
+        assert!(c.used_bytes() <= 100);
+        assert_eq!(c.stats().evictions, 10, "all small entries evicted");
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 10, TTL, t(0), false);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        // Slot gets reused without growing the slab.
+        c.insert(2, 10, TTL, t(0), false);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_hit_accounting() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 10, TTL, t(0), true);
+        assert!(c.get(1, t(1)));
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second hit on the same entry is a plain hit.
+        assert!(c.get(1, t(2)));
+        assert_eq!(c.stats().prefetch_hits, 1);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut c: LruCache<u32> = LruCache::new(200);
+        c.insert(1, 100, TTL, t(0), false);
+        c.insert(2, 100, TTL, t(1), false);
+        // Peeking 1 must NOT refresh it.
+        assert!(c.peek(1, t(2)));
+        c.insert(3, 100, TTL, t(3), false);
+        assert!(!c.peek(1, t(4)), "peek must not have refreshed entry 1");
+        assert_eq!(c.stats().hits, 0);
+    }
+}

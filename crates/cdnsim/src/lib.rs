@@ -1,0 +1,49 @@
+//! # jcdn-cdnsim — a discrete-event CDN edge/origin simulator
+//!
+//! The paper's data comes from Akamai edge servers: requests arrive from
+//! clients, are served from an edge cache when the customer configuration
+//! allows and the object is resident, and are otherwise fetched from (or
+//! tunneled to) the customer origin. This crate simulates that path and
+//! emits the request logs (§3.1 schema) the analysis pipeline consumes.
+//!
+//! Design follows the event-driven, explicit-time style of embedded network
+//! stacks (smoltcp): a single [`SimTime`] clock advanced by a binary-heap
+//! event queue; no wall clock, no threads, no async — request handling is
+//! CPU-bound and deterministic given (workload, config).
+//!
+//! Components:
+//!
+//! * [`cache::LruCache`] — byte-capacity LRU with per-entry TTL, the edge
+//!   cache ("object caching information" in the logs),
+//! * [`LatencyModel`] — client↔edge and edge↔origin delays,
+//! * edge service queues with two priority classes, which the
+//!   deprioritization experiment (§5.1's proposed optimization) exercises,
+//! * a pluggable [`Policy`] hook consulted on every request — the prefetch
+//!   and deprioritization engines in `jcdn-prefetch` implement it.
+//!
+//! ## Example
+//!
+//! ```
+//! use jcdn_workload::{build, WorkloadConfig};
+//! use jcdn_cdnsim::{run_default, SimConfig};
+//!
+//! let workload = build(&WorkloadConfig::tiny(42).scaled(0.1));
+//! let output = run_default(&workload, &SimConfig::default());
+//! assert_eq!(output.trace.len(), workload.events.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod latency;
+mod sim;
+
+pub use latency::LatencyModel;
+pub use sim::{
+    run, run_default, NoopPolicy, Policy, PolicyOutcome, Priority, RequestCtx, SimConfig,
+    SimOutput, SimStats,
+};
+
+// Re-exported for implementors of [`Policy`].
+pub use jcdn_trace::{SimDuration, SimTime};

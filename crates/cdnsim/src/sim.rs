@@ -1,0 +1,730 @@
+//! The event-driven simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use jcdn_stats::Summary;
+use jcdn_trace::{
+    CacheStatus, ClientId, LogRecord, MimeType, SimDuration, SimTime, Trace, UaId, UrlId,
+};
+use jcdn_workload::{ClientInfo, ObjectInfo, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::LruCache;
+use crate::latency::LatencyModel;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of edge servers (the paper's long-term dataset covers three
+    /// vantage points).
+    pub edges: usize,
+    /// Per-edge cache capacity in bytes.
+    pub cache_capacity: u64,
+    /// Optional parent-tier cache capacity (bytes). When set, cacheable
+    /// edge misses consult a shared regional parent before the origin —
+    /// the "through the CDN to origin content servers" path of §4, with
+    /// one intermediate tier.
+    pub parent_cache: Option<u64>,
+    /// Network delays.
+    pub latency: LatencyModel,
+    /// Fixed CPU cost of handling one request at the edge.
+    pub service_base: SimDuration,
+    /// Additional CPU cost per KiB of response ("a large chunk of the total
+    /// request cost is tied to CPU request processing", §4).
+    pub service_per_kb: SimDuration,
+    /// Fraction of requests that fail at the origin (5xx).
+    pub error_fraction: f64,
+    /// RNG seed (response sizes, latency jitter, errors).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            edges: 3,
+            cache_capacity: 256 << 20,
+            parent_cache: None,
+            latency: LatencyModel::default(),
+            service_base: SimDuration::from_micros(200),
+            service_per_kb: SimDuration::from_micros(20),
+            error_fraction: 0.004,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Scheduling priority of a request at the edge.
+///
+/// §5.1/§7 of the paper propose deprioritizing machine-to-machine traffic
+/// "since a human is not waiting for the response"; the service queue
+/// serves all `Normal` requests before any `Deprioritized` one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Human-facing traffic (served first).
+    #[default]
+    Normal,
+    /// Machine-to-machine traffic (served when no normal work waits).
+    Deprioritized,
+}
+
+/// What a [`Policy`] decides about one request.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyOutcome {
+    /// Objects to prefetch into this edge's cache.
+    pub prefetch: Vec<u32>,
+    /// The request's scheduling priority.
+    pub priority: Priority,
+}
+
+/// Everything a policy can see about one arriving request.
+#[derive(Debug)]
+pub struct RequestCtx<'a> {
+    /// Arrival time.
+    pub time: SimTime,
+    /// Client index.
+    pub client: u32,
+    /// Requested object index.
+    pub object: u32,
+    /// Edge the request was routed to.
+    pub edge: usize,
+    /// The object universe.
+    pub objects: &'a [ObjectInfo],
+    /// The client population.
+    pub clients: &'a [ClientInfo],
+    /// Whether the object is already resident in this edge's cache.
+    pub cache_resident: bool,
+}
+
+/// A per-request hook: prefetching, deprioritization, anomaly scoring.
+pub trait Policy {
+    /// Called for every arriving request, before cache lookup.
+    fn on_request(&mut self, ctx: &RequestCtx<'_>) -> PolicyOutcome;
+}
+
+/// The default policy: no prefetch, everything `Normal`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopPolicy;
+
+impl Policy for NoopPolicy {
+    fn on_request(&mut self, _ctx: &RequestCtx<'_>) -> PolicyOutcome {
+        PolicyOutcome::default()
+    }
+}
+
+/// Aggregate simulation statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Cacheable requests served from edge cache.
+    pub hits: u64,
+    /// Cacheable requests fetched from origin.
+    pub misses: u64,
+    /// Requests for uncacheable objects (tunneled to origin).
+    pub not_cacheable: u64,
+    /// Total origin round trips (misses + uncacheable + prefetches).
+    pub origin_fetches: u64,
+    /// Cacheable edge misses served by the parent tier.
+    pub parent_hits: u64,
+    /// Cacheable edge misses that fell through the parent to the origin.
+    pub parent_misses: u64,
+    /// Prefetches issued by the policy.
+    pub prefetch_issued: u64,
+    /// Prefetches that completed and were inserted.
+    pub prefetch_completed: u64,
+    /// Demand hits on prefetched entries (usefulness numerator).
+    pub prefetch_useful: u64,
+    /// Response bytes served from cache.
+    pub bytes_cache: u64,
+    /// Response bytes fetched from origin (incl. prefetch).
+    pub bytes_origin: u64,
+    /// JSON-only counters (the paper's cacheability numbers are JSON-only).
+    pub json_requests: u64,
+    /// JSON requests served from cache.
+    pub json_hits: u64,
+    /// JSON cacheable requests that missed.
+    pub json_misses: u64,
+    /// JSON uncacheable requests.
+    pub json_not_cacheable: u64,
+    /// End-to-end latency of `Normal` requests (seconds).
+    pub latency_normal: Summary,
+    /// End-to-end latency of `Deprioritized` requests (seconds).
+    pub latency_depri: Summary,
+}
+
+impl SimStats {
+    /// Hit ratio over cacheable traffic.
+    pub fn cacheable_hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Hit ratio over all traffic (uncacheable requests count as misses —
+    /// the operator's view of origin offload).
+    pub fn overall_hit_ratio(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.hits as f64 / self.requests as f64)
+    }
+
+    /// JSON-only uncacheable share (paper: ~55%).
+    pub fn json_uncacheable_share(&self) -> Option<f64> {
+        (self.json_requests > 0).then(|| self.json_not_cacheable as f64 / self.json_requests as f64)
+    }
+}
+
+/// The simulator's output: the edge logs and the aggregate stats.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Request logs in arrival order (§3.1 schema).
+    pub trace: Trace,
+    /// Aggregate counters and latency summaries.
+    pub stats: SimStats,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum InternalEvent {
+    /// Edge server finished the CPU service of a queued request.
+    ServiceDone { edge: usize },
+    /// A prefetch fetch returned from origin.
+    PrefetchDone { edge: usize, object: u32 },
+}
+
+struct Edge {
+    cache: LruCache<u32>,
+    busy_until: SimTime,
+    /// Waiting requests: (priority, arrival, seq, workload index).
+    queue: BinaryHeap<Reverse<(Priority, SimTime, u64, usize)>>,
+    /// Request currently in service.
+    in_service: Option<(usize, SimTime, Priority)>,
+}
+
+/// Runs the workload through the simulated CDN with the given policy.
+pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> SimOutput {
+    assert!(config.edges > 0, "need at least one edge");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = SimStats::default();
+    let mut parent: Option<LruCache<u32>> = config.parent_cache.map(LruCache::new);
+    let mut edges: Vec<Edge> = (0..config.edges)
+        .map(|_| Edge {
+            cache: LruCache::new(config.cache_capacity),
+            busy_until: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            in_service: None,
+        })
+        .collect();
+
+    // Pre-intern all strings so ids are stable and independent of policy
+    // decisions.
+    let mut trace = Trace::with_capacity(workload.events.len());
+    let url_ids: Vec<UrlId> = workload
+        .objects
+        .iter()
+        .map(|o| trace.intern_url(&o.url))
+        .collect();
+    let ua_ids: Vec<Option<UaId>> = workload
+        .clients
+        .iter()
+        .map(|c| c.ua.as_deref().map(|ua| trace.intern_ua(ua)))
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // Pick the earlier of the next arrival and the next internal event.
+        let arrival_time = workload.events.get(next_arrival).map(|e| e.time);
+        let internal_time = heap.peek().map(|Reverse((t, _, _))| *t);
+        let take_arrival = match (arrival_time, internal_time) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(at), Some(it)) => at <= it,
+        };
+        match take_arrival {
+            true => {
+                let widx = next_arrival;
+                next_arrival += 1;
+                let event = &workload.events[widx];
+                let edge_idx = (workload.clients[event.client as usize].ip_hash
+                    % config.edges as u64) as usize;
+                let object = &workload.objects[event.object as usize];
+
+                let ctx = RequestCtx {
+                    time: event.time,
+                    client: event.client,
+                    object: event.object,
+                    edge: edge_idx,
+                    objects: &workload.objects,
+                    clients: &workload.clients,
+                    cache_resident: edges[edge_idx].cache.peek(event.object, event.time),
+                };
+                let outcome = policy.on_request(&ctx);
+
+                // Issue prefetches: only cacheable, non-resident objects.
+                for target in outcome.prefetch {
+                    let tobj = &workload.objects[target as usize];
+                    if !tobj.cacheable || edges[edge_idx].cache.peek(target, event.time) {
+                        continue;
+                    }
+                    stats.prefetch_issued += 1;
+                    let size = tobj.sample_size(&mut rng);
+                    stats.bytes_origin += size;
+                    stats.origin_fetches += 1;
+                    let done = event.time + config.latency.origin_fetch(size, &mut rng);
+                    seq += 1;
+                    heap.push(Reverse((
+                        done,
+                        seq,
+                        InternalEvent::PrefetchDone {
+                            edge: edge_idx,
+                            object: target,
+                        },
+                    )));
+                }
+
+                let _ = object;
+                edges[edge_idx]
+                    .queue
+                    .push(Reverse((outcome.priority, event.time, seq, widx)));
+                seq += 1;
+                dispatch(
+                    &mut edges[edge_idx],
+                    edge_idx,
+                    event.time,
+                    workload,
+                    config,
+                    &mut rng,
+                    &mut heap,
+                    &mut seq,
+                );
+            }
+            false => {
+                let Reverse((now, _, ev)) = heap.pop().expect("peeked");
+                match ev {
+                    InternalEvent::PrefetchDone { edge, object } => {
+                        let obj = &workload.objects[object as usize];
+                        stats.prefetch_completed += 1;
+                        // Insert only if still absent — a demand miss may
+                        // have populated it meanwhile.
+                        if !edges[edge].cache.peek(object, now) {
+                            let size = obj.sample_size(&mut rng);
+                            edges[edge].cache.insert(object, size, obj.ttl, now, true);
+                        }
+                    }
+                    InternalEvent::ServiceDone { edge } => {
+                        let (widx, arrival, priority) = edges[edge]
+                            .in_service
+                            .take()
+                            .expect("service completion without request");
+                        complete_request(
+                            widx,
+                            arrival,
+                            priority,
+                            now,
+                            edge,
+                            workload,
+                            config,
+                            &mut edges[edge],
+                            &mut parent,
+                            &mut stats,
+                            &mut trace,
+                            &url_ids,
+                            &ua_ids,
+                            &mut rng,
+                        );
+                        dispatch(
+                            &mut edges[edge],
+                            edge,
+                            now,
+                            workload,
+                            config,
+                            &mut rng,
+                            &mut heap,
+                            &mut seq,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Merge cache-level prefetch-hit counters.
+    for edge in &edges {
+        stats.prefetch_useful += edge.cache.stats().prefetch_hits;
+    }
+
+    trace.sort_by_time();
+    SimOutput { trace, stats }
+}
+
+/// Runs with the no-op policy.
+pub fn run_default(workload: &Workload, config: &SimConfig) -> SimOutput {
+    run(workload, config, &mut NoopPolicy)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    edge: &mut Edge,
+    edge_idx: usize,
+    now: SimTime,
+    workload: &Workload,
+    config: &SimConfig,
+    rng: &mut StdRng,
+    heap: &mut BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>>,
+    seq: &mut u64,
+) {
+    if edge.in_service.is_some() || now < edge.busy_until {
+        return;
+    }
+    let Some(Reverse((priority, arrival, _, widx))) = edge.queue.pop() else {
+        return;
+    };
+    let object = &workload.objects[workload.events[widx].object as usize];
+    // CPU service cost: base + per-KiB of (expected) body.
+    let kb = (object.size_median / 1024.0).ceil() as u64;
+    let service = config.service_base
+        + SimDuration::from_micros(config.service_per_kb.as_micros() * kb.max(1));
+    let done = now + service;
+    edge.busy_until = done;
+    edge.in_service = Some((widx, arrival, priority));
+    *seq += 1;
+    heap.push(Reverse((
+        done,
+        *seq,
+        InternalEvent::ServiceDone { edge: edge_idx },
+    )));
+    let _ = rng;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_request(
+    widx: usize,
+    arrival: SimTime,
+    priority: Priority,
+    now: SimTime,
+    _edge_idx: usize,
+    workload: &Workload,
+    config: &SimConfig,
+    edge: &mut Edge,
+    parent: &mut Option<LruCache<u32>>,
+    stats: &mut SimStats,
+    trace: &mut Trace,
+    url_ids: &[UrlId],
+    ua_ids: &[Option<UaId>],
+    rng: &mut StdRng,
+) {
+    let event = &workload.events[widx];
+    let object = &workload.objects[event.object as usize];
+    let size = object.sample_size(rng);
+    let is_json = object.mime == MimeType::Json;
+
+    stats.requests += 1;
+    if is_json {
+        stats.json_requests += 1;
+    }
+
+    let (cache_status, network) = if !object.cacheable {
+        stats.not_cacheable += 1;
+        stats.origin_fetches += 1;
+        stats.bytes_origin += size;
+        if is_json {
+            stats.json_not_cacheable += 1;
+        }
+        (
+            CacheStatus::NotCacheable,
+            config.latency.miss_latency(size, rng),
+        )
+    } else if edge.cache.get(event.object, now) {
+        stats.hits += 1;
+        stats.bytes_cache += size;
+        if is_json {
+            stats.json_hits += 1;
+        }
+        (CacheStatus::Hit, config.latency.hit_latency(size, rng))
+    } else {
+        stats.misses += 1;
+        if is_json {
+            stats.json_misses += 1;
+        }
+        edge.cache
+            .insert(event.object, size, object.ttl, now, false);
+        // Edge miss: consult the parent tier before the origin.
+        let network = match parent.as_mut() {
+            Some(parent_cache) => {
+                if parent_cache.get(event.object, now) {
+                    stats.parent_hits += 1;
+                    config.latency.parent_hit_latency(size, rng)
+                } else {
+                    stats.parent_misses += 1;
+                    stats.origin_fetches += 1;
+                    stats.bytes_origin += size;
+                    parent_cache.insert(event.object, size, object.ttl, now, false);
+                    config.latency.miss_latency(size, rng)
+                }
+            }
+            None => {
+                stats.origin_fetches += 1;
+                stats.bytes_origin += size;
+                config.latency.miss_latency(size, rng)
+            }
+        };
+        (CacheStatus::Miss, network)
+    };
+
+    // End-to-end latency: queueing + service (now - arrival) + network.
+    let latency = (now - arrival) + network;
+    match priority {
+        Priority::Normal => stats.latency_normal.record(latency.as_secs_f64()),
+        Priority::Deprioritized => stats.latency_depri.record(latency.as_secs_f64()),
+    }
+
+    let status = if rng.gen_bool(config.error_fraction) {
+        500
+    } else {
+        200
+    };
+    trace.push(LogRecord {
+        time: event.time,
+        client: ClientId(workload.clients[event.client as usize].ip_hash),
+        ua: ua_ids[event.client as usize],
+        url: url_ids[event.object as usize],
+        method: event.method,
+        mime: object.mime,
+        status,
+        response_bytes: size,
+        cache: cache_status,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcdn_workload::{build, WorkloadConfig};
+
+    fn tiny_output() -> SimOutput {
+        let w = build(&WorkloadConfig::tiny(0xFEED));
+        run_default(&w, &SimConfig::default())
+    }
+
+    #[test]
+    fn every_event_produces_exactly_one_log() {
+        let w = build(&WorkloadConfig::tiny(1));
+        let out = run_default(&w, &SimConfig::default());
+        assert_eq!(out.trace.len(), w.events.len());
+        assert_eq!(out.stats.requests, w.events.len() as u64);
+        assert_eq!(
+            out.stats.hits + out.stats.misses + out.stats.not_cacheable,
+            out.stats.requests
+        );
+    }
+
+    #[test]
+    fn logs_are_time_sorted_and_carry_strings() {
+        let out = tiny_output();
+        assert!(out
+            .trace
+            .records()
+            .windows(2)
+            .all(|p| p[0].time <= p[1].time));
+        let v = out.trace.iter().next().unwrap();
+        assert!(v.url.starts_with("https://"));
+    }
+
+    #[test]
+    fn cacheable_popular_objects_get_hits() {
+        let out = tiny_output();
+        assert!(
+            out.stats.hits > 0,
+            "popular objects must produce cache hits"
+        );
+        let ratio = out.stats.cacheable_hit_ratio().unwrap();
+        assert!(ratio > 0.2, "cacheable hit ratio {ratio}");
+    }
+
+    #[test]
+    fn uncacheable_objects_never_hit() {
+        let w = build(&WorkloadConfig::tiny(3));
+        let out = run_default(&w, &SimConfig::default());
+        // Every record for an uncacheable object must be NotCacheable.
+        for view in out.trace.iter() {
+            let obj = w
+                .objects
+                .iter()
+                .find(|o| o.url == view.url)
+                .expect("object exists");
+            if !obj.cacheable {
+                assert_eq!(view.record.cache, CacheStatus::NotCacheable);
+            } else {
+                assert_ne!(view.record.cache, CacheStatus::NotCacheable);
+            }
+        }
+    }
+
+    #[test]
+    fn json_uncacheable_share_matches_workload_plant() {
+        let out = tiny_output();
+        let share = out.stats.json_uncacheable_share().unwrap();
+        assert!((0.40..0.75).contains(&share), "uncacheable share {share}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let w = build(&WorkloadConfig::tiny(5));
+        let a = run_default(&w, &SimConfig::default());
+        let b = run_default(&w, &SimConfig::default());
+        assert_eq!(a.trace.records(), b.trace.records());
+        assert_eq!(a.stats.hits, b.stats.hits);
+    }
+
+    #[test]
+    fn prefetch_policy_improves_hit_ratio() {
+        // A clairvoyant policy that prefetches the manifest children the
+        // moment the manifest is requested.
+        struct Oracle<'w> {
+            workload: &'w Workload,
+        }
+        impl Policy for Oracle<'_> {
+            fn on_request(&mut self, ctx: &RequestCtx<'_>) -> PolicyOutcome {
+                let prefetch = self
+                    .workload
+                    .truth
+                    .manifest_children
+                    .get(&ctx.object)
+                    .cloned()
+                    .unwrap_or_default();
+                PolicyOutcome {
+                    prefetch,
+                    priority: Priority::Normal,
+                }
+            }
+        }
+        let w = build(&WorkloadConfig::tiny(7));
+        let base = run_default(&w, &SimConfig::default());
+        let mut oracle = Oracle { workload: &w };
+        let boosted = run(&w, &SimConfig::default(), &mut oracle);
+        assert!(boosted.stats.prefetch_issued > 0);
+        assert!(
+            boosted.stats.prefetch_useful > 0,
+            "prefetched entries must be used"
+        );
+        assert!(
+            boosted.stats.cacheable_hit_ratio().unwrap()
+                > base.stats.cacheable_hit_ratio().unwrap(),
+            "prefetching must lift hit ratio: {} vs {}",
+            boosted.stats.cacheable_hit_ratio().unwrap(),
+            base.stats.cacheable_hit_ratio().unwrap()
+        );
+    }
+
+    #[test]
+    fn deprioritized_requests_wait_longer_under_load() {
+        // Deprioritize periodic machine traffic; under a saturated edge the
+        // normal class must see lower latency.
+        struct Depri<'w> {
+            workload: &'w Workload,
+        }
+        impl Policy for Depri<'_> {
+            fn on_request(&mut self, ctx: &RequestCtx<'_>) -> PolicyOutcome {
+                let machine = self
+                    .workload
+                    .truth
+                    .periodic_pairs
+                    .contains_key(&(ctx.client, ctx.object));
+                PolicyOutcome {
+                    prefetch: Vec::new(),
+                    priority: if machine {
+                        Priority::Deprioritized
+                    } else {
+                        Priority::Normal
+                    },
+                }
+            }
+        }
+        let w = build(&WorkloadConfig::tiny(9));
+        // One edge sized to ~120% utilization for this workload → real,
+        // persistent queueing regardless of calibration tweaks upstream.
+        let service_us =
+            (1.2 * w.config.duration.as_secs_f64() / w.events.len() as f64 * 1e6) as u64;
+        let config = SimConfig {
+            edges: 1,
+            service_base: SimDuration::from_micros(service_us.max(1)),
+            service_per_kb: SimDuration::ZERO,
+            ..SimConfig::default()
+        };
+        let mut policy = Depri { workload: &w };
+        let out = run(&w, &config, &mut policy);
+        let normal = out.stats.latency_normal.mean().unwrap();
+        let depri = out.stats.latency_depri.mean().unwrap();
+        assert!(
+            depri > normal,
+            "deprioritized mean {depri} must exceed normal mean {normal}"
+        );
+    }
+
+    #[test]
+    fn single_edge_vs_many_edges_conserves_requests() {
+        let w = build(&WorkloadConfig::tiny(11));
+        for edges in [1, 2, 8] {
+            let out = run_default(
+                &w,
+                &SimConfig {
+                    edges,
+                    ..SimConfig::default()
+                },
+            );
+            assert_eq!(out.stats.requests, w.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parent_tier_absorbs_cross_edge_misses() {
+        let w = build(&WorkloadConfig::tiny(15));
+        let flat = run_default(&w, &SimConfig::default());
+        let tiered = run_default(
+            &w,
+            &SimConfig {
+                parent_cache: Some(1 << 30),
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            tiered.stats.parent_hits > 0,
+            "shared objects hit the parent"
+        );
+        assert_eq!(
+            tiered.stats.parent_hits + tiered.stats.parent_misses,
+            tiered.stats.misses
+        );
+        // Edge-level hit counts are identical; the parent only changes
+        // where misses are served from.
+        assert_eq!(flat.stats.hits, tiered.stats.hits);
+        assert!(
+            tiered.stats.origin_fetches < flat.stats.origin_fetches,
+            "the parent tier must offload the origin: {} vs {}",
+            tiered.stats.origin_fetches,
+            flat.stats.origin_fetches
+        );
+    }
+
+    #[test]
+    fn error_fraction_produces_5xx() {
+        let w = build(&WorkloadConfig::tiny(13));
+        let out = run_default(
+            &w,
+            &SimConfig {
+                error_fraction: 0.05,
+                ..SimConfig::default()
+            },
+        );
+        let errors = out
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.status == 500)
+            .count();
+        let share = errors as f64 / out.trace.len() as f64;
+        assert!((0.03..0.07).contains(&share), "error share {share}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Model-based property tests for the edge cache: the LRU must agree with
+//! a naive reference implementation on every operation sequence.
+
+use jcdn_cdnsim::cache::LruCache;
+use jcdn_cdnsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u8),
+    Insert(u8, u16),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::Get),
+        (0u8..16, 1u16..400).prop_map(|(k, s)| Op::Insert(k, s)),
+        (0u8..16).prop_map(Op::Remove),
+    ]
+}
+
+/// Naive reference: a vector in recency order (front = most recent).
+#[derive(Default)]
+struct Reference {
+    entries: Vec<(u8, u64)>, // (key, size), front = MRU
+    capacity: u64,
+}
+
+impl Reference {
+    fn used(&self) -> u64 {
+        self.entries.iter().map(|&(_, s)| s).sum()
+    }
+
+    fn get(&mut self, key: u8) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u8, size: u64) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, size));
+        while self.used() > self.capacity {
+            self.entries.pop();
+        }
+        true
+    }
+
+    fn remove(&mut self, key: u8) -> bool {
+        match self.entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_agrees_with_reference(
+        ops in prop::collection::vec(arb_op(), 0..200),
+        capacity in 100u64..2000,
+    ) {
+        // Long TTL so expiry never interferes; time advances per op so
+        // recency updates are observable.
+        let ttl = SimDuration::from_secs(1 << 30);
+        let mut lru: LruCache<u8> = LruCache::new(capacity);
+        let mut reference = Reference { capacity, ..Reference::default() };
+        for (i, op) in ops.iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            match *op {
+                Op::Get(k) => {
+                    prop_assert_eq!(lru.get(k, now), reference.get(k), "get({}) at step {}", k, i);
+                }
+                Op::Insert(k, s) => {
+                    prop_assert_eq!(
+                        lru.insert(k, u64::from(s), ttl, now, false),
+                        reference.insert(k, u64::from(s)),
+                        "insert({}, {}) at step {}", k, s, i
+                    );
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(lru.remove(k), reference.remove(k), "remove({}) at step {}", k, i);
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(lru.len(), reference.entries.len());
+            prop_assert_eq!(lru.used_bytes(), reference.used());
+            prop_assert!(lru.used_bytes() <= capacity);
+            for &(k, _) in &reference.entries {
+                prop_assert!(lru.peek(k, SimTime::from_secs(i as u64)));
+            }
+        }
+    }
+
+    #[test]
+    fn expired_entries_never_hit(
+        ttl_secs in 1u64..100,
+        probe_offset in 0u64..200,
+    ) {
+        let mut lru: LruCache<u8> = LruCache::new(1000);
+        lru.insert(1, 10, SimDuration::from_secs(ttl_secs), SimTime::ZERO, false);
+        let hit = lru.get(1, SimTime::from_secs(probe_offset));
+        prop_assert_eq!(hit, probe_offset < ttl_secs);
+    }
+}

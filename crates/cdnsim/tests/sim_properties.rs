@@ -1,0 +1,83 @@
+//! Property tests over the simulator: conservation laws that must hold for
+//! any seed and any topology.
+
+use jcdn_cdnsim::{run_default, SimConfig};
+use jcdn_trace::CacheStatus;
+use jcdn_workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn conservation_laws_hold(seed in any::<u64>(), edges in 1usize..6, parent in any::<bool>()) {
+        let workload = build(&WorkloadConfig::tiny(seed).scaled(0.2));
+        let config = SimConfig {
+            edges,
+            parent_cache: parent.then_some(1 << 28),
+            ..SimConfig::default()
+        };
+        let out = run_default(&workload, &config);
+        let stats = &out.stats;
+
+        // Every workload event becomes exactly one log record and one
+        // served request.
+        prop_assert_eq!(out.trace.len(), workload.events.len());
+        prop_assert_eq!(stats.requests as usize, workload.events.len());
+
+        // The three dispositions partition the requests.
+        prop_assert_eq!(stats.hits + stats.misses + stats.not_cacheable, stats.requests);
+
+        // JSON counters are consistent subsets.
+        prop_assert!(stats.json_requests <= stats.requests);
+        prop_assert_eq!(
+            stats.json_hits + stats.json_misses + stats.json_not_cacheable,
+            stats.json_requests
+        );
+
+        // Parent-tier counters only exist with a parent, and partition the
+        // edge misses.
+        if parent {
+            prop_assert_eq!(stats.parent_hits + stats.parent_misses, stats.misses);
+        } else {
+            prop_assert_eq!(stats.parent_hits, 0);
+            prop_assert_eq!(stats.parent_misses, 0);
+        }
+
+        // Latency summaries cover every request.
+        prop_assert_eq!(
+            stats.latency_normal.count() + stats.latency_depri.count(),
+            stats.requests
+        );
+
+        // The trace's cache statuses tally with the stats.
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut nostore = 0u64;
+        for r in out.trace.records() {
+            match r.cache {
+                CacheStatus::Hit => hits += 1,
+                CacheStatus::Miss => misses += 1,
+                CacheStatus::NotCacheable => nostore += 1,
+            }
+        }
+        prop_assert_eq!(hits, stats.hits);
+        prop_assert_eq!(misses, stats.misses);
+        prop_assert_eq!(nostore, stats.not_cacheable);
+    }
+
+    #[test]
+    fn edge_count_never_loses_requests(seed in any::<u64>()) {
+        let workload = build(&WorkloadConfig::tiny(seed).scaled(0.1));
+        for edges in [1usize, 3, 7] {
+            let out = run_default(
+                &workload,
+                &SimConfig {
+                    edges,
+                    ..SimConfig::default()
+                },
+            );
+            prop_assert_eq!(out.stats.requests as usize, workload.events.len());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Tiny flag parser shared by the subcommands.
+//!
+//! Deliberately minimal (the workspace adds no CLI dependency): flags are
+//! `--name value` pairs plus positional arguments, with typed accessors
+//! and an unknown-flag check.
+
+use std::collections::HashMap;
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+jcdn — synthetic CDN traces and the IMC'19 JSON-traffic analyses
+
+usage: jcdn <command> [options]
+
+commands:
+  generate      build a workload, simulate the CDN, write a binary trace
+                  --preset short|long|tiny   (default tiny)
+                  --seed N                   (default 42)
+                  --scale F                  (default 1.0)
+                  --out PATH                 (required)
+  inspect       summarize a trace file
+                  <trace>                    positional path
+  characterize  run the §4 analyses on a trace
+                  <trace>
+  periodicity   run the §5.1 periodicity study
+                  <trace> [--permutations N] [--max-bins N]
+  predict       run the §5.2 prediction study (Table 3)
+                  <trace> [--history N] [--k 1,5,10] [--train-percent P]
+  export        convert a trace to JSONL
+                  <trace> --jsonl PATH
+  merge         combine several traces into one
+                  <trace> <trace> [...] --out PATH
+  trend         print the Figure 1 monthly series as CSV
+                  [--months N] [--seed N]
+";
+
+/// Parsed arguments: flags and positionals.
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`, accepting only the given flag names.
+    pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if !allowed.contains(&name) {
+                    return Err(format!("unknown flag --{name}"));
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_owned(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    /// All positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The sole positional argument, required.
+    pub fn positional(&self, what: &str) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// A comma-separated list of numbers with a default.
+    pub fn number_list(&self, name: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.flags.get(name) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse()
+                        .map_err(|_| format!("--{name}: cannot parse {part:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(
+            &argv(&["trace.jcdn", "--seed", "7", "--k", "1,5,10"]),
+            &["seed", "k"],
+        )
+        .unwrap();
+        assert_eq!(a.positional("trace").unwrap(), "trace.jcdn");
+        assert_eq!(a.number::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.number_list("k", &[1]).unwrap(), vec![1, 5, 10]);
+        assert_eq!(a.get_or("missing", "x"), "x");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(Args::parse(&argv(&["--nope", "1"]), &["seed"]).is_err());
+        assert!(Args::parse(&argv(&["--seed"]), &["seed"]).is_err());
+    }
+
+    #[test]
+    fn positional_arity_errors() {
+        let none = Args::parse(&argv(&[]), &[]).unwrap();
+        assert!(none.positional("trace").is_err());
+        let two = Args::parse(&argv(&["a", "b"]), &[]).unwrap();
+        assert!(two.positional("trace").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = Args::parse(&argv(&["--seed", "zzz"]), &["seed"]).unwrap();
+        assert!(a.number::<u64>("seed", 0).is_err());
+        let a = Args::parse(&argv(&["--k", "1,x"]), &["k"]).unwrap();
+        assert!(a.number_list("k", &[1]).is_err());
+    }
+}

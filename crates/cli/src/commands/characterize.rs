@@ -1,0 +1,74 @@
+//! `jcdn characterize` — the §4 analyses over a trace file.
+
+use jcdn_core::characterize::{
+    json_html_ratio, CacheabilityHeatmap, RequestTypeBreakdown, ResponseTypeBreakdown,
+    TokenCategoryProvider, TrafficSourceBreakdown,
+};
+use jcdn_core::report::{pct, TextTable};
+use jcdn_ua::DeviceType;
+use jcdn_workload::IndustryCategory;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let trace = load_trace(args.positional("trace path")?)?;
+
+    let sources = TrafficSourceBreakdown::compute(&trace);
+    let mut table = TextTable::new(&["Device", "Requests", "UA strings"]);
+    for device in DeviceType::ALL {
+        table.row(&[
+            device.to_string(),
+            pct(sources.request_share(device)),
+            pct(sources.ua_share(device)),
+        ]);
+    }
+    println!("traffic source (JSON requests):\n{}", table.render());
+    println!("non-browser: {}\n", pct(sources.non_browser_share()));
+
+    let requests = RequestTypeBreakdown::compute(&trace);
+    println!(
+        "request type: GET {}   POST-of-rest {}",
+        pct(requests.download_share()),
+        pct(requests.upload_share_of_rest())
+    );
+
+    let mut responses = ResponseTypeBreakdown::compute(&trace);
+    println!("uncacheable JSON: {}", pct(responses.uncacheable_share()));
+    for q in [0.5, 0.75] {
+        if let Some(gap) = responses.json_smaller_than_html_at(q) {
+            println!(
+                "JSON smaller than HTML at p{}: {}",
+                (q * 100.0) as u32,
+                pct(gap)
+            );
+        }
+    }
+    if let Some(ratio) = json_html_ratio(&trace) {
+        println!("JSON:HTML request ratio: {ratio:.2}x");
+    }
+
+    let heatmap = CacheabilityHeatmap::compute(&trace, &TokenCategoryProvider, 10);
+    let mut table = TextTable::new(&["Industry", "Never", "Always", "Mean cacheable"]);
+    for category in IndustryCategory::ALL {
+        let Some(row) = heatmap.rows.get(&category) else {
+            continue;
+        };
+        let total: u64 = row.iter().sum();
+        table.row(&[
+            category.label().to_string(),
+            pct(row[0] as f64 / total.max(1) as f64),
+            pct(row[9] as f64 / total.max(1) as f64),
+            heatmap.row_mean(category).map(pct).unwrap_or_default(),
+        ]);
+    }
+    println!("\ncacheability by industry:\n{}", table.render());
+    println!(
+        "domains never cacheable: {}   always: {}   uncategorized: {}",
+        pct(heatmap.never_cacheable_share()),
+        pct(heatmap.always_cacheable_share()),
+        heatmap.uncategorized
+    );
+    Ok(())
+}

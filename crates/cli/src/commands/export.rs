@@ -1,0 +1,23 @@
+//! `jcdn export` — trace file → JSONL.
+
+use std::io::Write as _;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["jsonl"])?;
+    let input = args.positional("trace path")?;
+    let output = args.require("jsonl")?;
+    let trace = load_trace(input)?;
+
+    let file = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    for record in trace.records() {
+        let line = jcdn_json::to_string(&jcdn_trace::codec::record_to_json(&trace, record));
+        writeln!(writer, "{line}").map_err(|e| format!("{output}: {e}"))?;
+    }
+    writer.flush().map_err(|e| format!("{output}: {e}"))?;
+    eprintln!("wrote {} JSONL records to {output}", trace.len());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `jcdn generate` — build a workload, simulate the CDN, write the trace.
+
+use std::path::Path;
+
+use jcdn_cdnsim::SimConfig;
+use jcdn_core::dataset::simulate_with;
+use jcdn_workload::WorkloadConfig;
+
+use crate::args::Args;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["preset", "seed", "scale", "out", "edges"])?;
+    let seed: u64 = args.number("seed", 42)?;
+    let scale: f64 = args.number("scale", 1.0)?;
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err("--scale must be positive".into());
+    }
+    let preset = args.get_or("preset", "tiny");
+    let out = args.require("out")?;
+
+    let config = match preset {
+        "short" => WorkloadConfig::short_term(seed),
+        "long" => WorkloadConfig::long_term(seed),
+        "tiny" => WorkloadConfig::tiny(seed),
+        other => return Err(format!("unknown preset {other:?} (short|long|tiny)")),
+    }
+    .scaled(scale);
+
+    let sim = SimConfig {
+        edges: args.number("edges", 3usize)?,
+        ..SimConfig::default()
+    };
+
+    eprintln!(
+        "generating `{}` (~{} events, {} clients, {} domains)...",
+        config.name, config.target_events, config.clients, config.domains
+    );
+    let data = simulate_with(&config, &sim);
+    jcdn_trace::codec::write_file(&data.trace, Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "wrote {} records ({} distinct URLs, {} UAs) to {out}",
+        data.trace.len(),
+        data.trace.url_count(),
+        data.trace.ua_count()
+    );
+    println!("{}", data.summary().table_row());
+    Ok(())
+}

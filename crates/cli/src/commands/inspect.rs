@@ -1,0 +1,54 @@
+//! `jcdn inspect` — summarize a trace file.
+
+use std::collections::HashMap;
+
+use jcdn_core::report::{pct, TextTable};
+use jcdn_trace::summary::DatasetSummary;
+use jcdn_trace::MimeType;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["top"])?;
+    let path = args.positional("trace path")?;
+    let top: usize = args.number("top", 10)?;
+    let trace = load_trace(path)?;
+
+    let summary = DatasetSummary::compute(path, &trace);
+    println!(
+        "records: {}   duration: {}   domains: {}   clients: {}   objects: {}",
+        summary.logs, summary.duration, summary.domains, summary.clients, summary.objects
+    );
+
+    // Content-type mix.
+    let mut by_mime: HashMap<MimeType, u64> = HashMap::new();
+    for r in trace.records() {
+        *by_mime.entry(r.mime).or_default() += 1;
+    }
+    let mut mimes: Vec<(MimeType, u64)> = by_mime.into_iter().collect();
+    mimes.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    let mut table = TextTable::new(&["Content type", "Requests", "Share"]);
+    for (mime, count) in mimes {
+        table.row(&[
+            mime.to_string(),
+            count.to_string(),
+            pct(count as f64 / trace.len().max(1) as f64),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Busiest domains.
+    let mut by_domain: HashMap<&str, u64> = HashMap::new();
+    for r in trace.records() {
+        *by_domain.entry(trace.host_of(r.url)).or_default() += 1;
+    }
+    let mut domains: Vec<(&str, u64)> = by_domain.into_iter().collect();
+    domains.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut table = TextTable::new(&["Domain", "Requests"]);
+    for (host, count) in domains.into_iter().take(top) {
+        table.row(&[host.to_string(), count.to_string()]);
+    }
+    println!("top {top} domains:\n{}", table.render());
+    Ok(())
+}

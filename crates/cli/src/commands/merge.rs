@@ -1,0 +1,29 @@
+//! `jcdn merge` — combine several trace files into one.
+
+use std::path::Path;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["out"])?;
+    let out = args.require("out")?;
+    let inputs = args.positionals();
+    if inputs.len() < 2 {
+        return Err("merge needs at least two input traces".into());
+    }
+    let mut merged = load_trace(&inputs[0])?;
+    for path in &inputs[1..] {
+        let next = load_trace(path)?;
+        merged.merge(&next);
+    }
+    merged.sort_by_time();
+    jcdn_trace::codec::write_file(&merged, Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "merged {} traces into {out} ({} records, {} URLs)",
+        inputs.len(),
+        merged.len(),
+        merged.url_count()
+    );
+    Ok(())
+}

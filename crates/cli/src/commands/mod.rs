@@ -1,0 +1,19 @@
+//! The subcommand implementations.
+
+pub mod characterize;
+pub mod export;
+pub mod generate;
+pub mod inspect;
+pub mod merge;
+pub mod periodicity;
+pub mod predict;
+pub mod trend;
+
+use std::path::Path;
+
+use jcdn_trace::Trace;
+
+/// Loads a binary trace file with a readable error.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    jcdn_trace::codec::read_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}

@@ -1,0 +1,42 @@
+//! `jcdn predict` — the §5.2 Table 3 study over a trace file.
+
+use jcdn_core::prediction::{run_study, PredictionStudyConfig};
+use jcdn_core::report::TextTable;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["history", "k", "train-percent"])?;
+    let trace = load_trace(args.positional("trace path")?)?;
+
+    let config = PredictionStudyConfig {
+        history: args.number("history", 1usize)?,
+        ks: args.number_list("k", &[1, 5, 10])?,
+        train_percent: args.number("train-percent", 70u8)?,
+        ..PredictionStudyConfig::default()
+    };
+    if config.history == 0 {
+        return Err("--history must be at least 1".into());
+    }
+    eprintln!(
+        "training the n-gram model (N = {}, {}% train split)...",
+        config.history, config.train_percent
+    );
+    let report = run_study(&trace, &config);
+
+    let mut table = TextTable::new(&["K", "Clustered URLs", "Actual URLs"]);
+    for cell in &report.rows {
+        table.row(&[
+            cell.k.to_string(),
+            format!("{:.3}", cell.clustered),
+            format!("{:.3}", cell.actual),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} test transitions over {} held-out clients ({} trained)",
+        report.test_transitions, report.test_clients, report.train_clients
+    );
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `jcdn trend` — the Figure 1 monthly series as CSV.
+
+use jcdn_workload::trend::TrendModel;
+
+use crate::args::Args;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["months", "seed"])?;
+    let model = TrendModel {
+        months: args.number("months", 42usize)?,
+        seed: args.number("seed", 2016u64)?,
+        ..TrendModel::default()
+    };
+    if model.months < 2 {
+        return Err("--months must be at least 2".into());
+    }
+    println!("month,json_requests,html_requests,ratio,json_mean_size");
+    for point in model.generate() {
+        println!(
+            "{},{:.0},{:.0},{:.4},{:.1}",
+            point.label(),
+            point.json_requests,
+            point.html_requests,
+            point.ratio(),
+            point.json_mean_size
+        );
+    }
+    Ok(())
+}

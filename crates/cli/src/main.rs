@@ -1,0 +1,71 @@
+//! # jcdn — the command-line interface
+//!
+//! Drives the whole reproduction from a shell: generate synthetic CDN
+//! traces, inspect them, run the paper's analyses, and export to JSONL.
+//!
+//! ```text
+//! jcdn generate --preset short --seed 42 --out trace.jcdn
+//! jcdn inspect trace.jcdn
+//! jcdn characterize trace.jcdn
+//! jcdn periodicity trace.jcdn --permutations 100
+//! jcdn predict trace.jcdn --history 1 --k 1,5,10
+//! jcdn export trace.jcdn --jsonl trace.jsonl
+//! jcdn merge a.jcdn b.jcdn --out all.jcdn
+//! jcdn trend --months 42
+//! ```
+//!
+//! Traces written by `generate` use `jcdn-trace`'s versioned binary format
+//! and can be re-analyzed without re-simulating.
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", args::USAGE);
+        return ExitCode::from(2);
+    };
+    // Piping into `head` closes stdout early; treat the resulting broken
+    // pipe as a normal exit instead of a panic (the usual CLI convention).
+    let run = || match command.as_str() {
+        "generate" => commands::generate::run(rest),
+        "inspect" => commands::inspect::run(rest),
+        "characterize" => commands::characterize::run(rest),
+        "periodicity" => commands::periodicity::run(rest),
+        "predict" => commands::predict::run(rest),
+        "export" => commands::export::run(rest),
+        "merge" => commands::merge::run(rest),
+        "trend" => commands::trend::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", args::USAGE)),
+    };
+    let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if message.contains("Broken pipe") {
+                return ExitCode::SUCCESS;
+            }
+            std::panic::resume_unwind(payload);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `jcdn` binary: generate → inspect →
+//! characterize → predict → export → merge, all against real subprocess
+//! invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn jcdn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jcdn"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jcdn-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn generate_inspect_characterize_round_trip() {
+    let dir = tempdir("gen");
+    let trace = dir.join("t.jcdn");
+    let trace_str = trace.to_str().unwrap();
+
+    let out = jcdn(&[
+        "generate", "--preset", "tiny", "--seed", "11", "--scale", "0.2", "--out", trace_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = jcdn(&["inspect", trace_str]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("records:"), "{stdout}");
+    assert!(stdout.contains("application/json"), "{stdout}");
+
+    let out = jcdn(&["characterize", trace_str]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Mobile"), "{stdout}");
+    assert!(stdout.contains("uncacheable JSON"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_export_and_merge() {
+    let dir = tempdir("pem");
+    let a = dir.join("a.jcdn");
+    let b = dir.join("b.jcdn");
+    let merged = dir.join("ab.jcdn");
+    let jsonl = dir.join("a.jsonl");
+    for (path, seed) in [(&a, "21"), (&b, "22")] {
+        let out = jcdn(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--seed",
+            seed,
+            "--scale",
+            "0.2",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+
+    let out = jcdn(&["predict", a.to_str().unwrap(), "--k", "1,5"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Clustered URLs"), "{stdout}");
+
+    let out = jcdn(&[
+        "export",
+        a.to_str().unwrap(),
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let first_line = std::fs::read_to_string(&jsonl)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_owned();
+    assert!(first_line.starts_with('{') && first_line.contains("\"url\""));
+
+    let out = jcdn(&[
+        "merge",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The merged trace must contain both inputs' records.
+    let ta = jcdn_trace::codec::read_file(&a).unwrap();
+    let tb = jcdn_trace::codec::read_file(&b).unwrap();
+    let tm = jcdn_trace::codec::read_file(&merged).unwrap();
+    assert_eq!(tm.len(), ta.len() + tb.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_emits_csv() {
+    let out = jcdn(&["trend", "--months", "6"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 7, "header + 6 months");
+    assert!(lines[0].starts_with("month,json_requests"));
+    assert!(lines[1].starts_with("2016-01,"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let out = jcdn(&["inspect", "/nonexistent/trace.jcdn"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    let out = jcdn(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = jcdn(&["generate", "--preset", "nope", "--out", "/tmp/x.jcdn"]);
+    assert!(!out.status.success());
+
+    let out = jcdn(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

@@ -1,0 +1,597 @@
+//! §4 — characterizing JSON traffic.
+
+use std::collections::HashMap;
+
+use jcdn_stats::ExactQuantiles;
+use jcdn_trace::{MimeType, Trace};
+use jcdn_ua::{classify, DeviceType};
+use jcdn_workload::IndustryCategory;
+
+use crate::taxonomy::RequestType;
+
+/// Figure 3: the breakdown of JSON requests by device type, plus the
+/// browser/non-browser and UA-string-level shares §4 reports.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficSourceBreakdown {
+    /// JSON request counts per device type.
+    pub requests_by_device: HashMap<DeviceType, u64>,
+    /// Distinct UA strings per device type (the paper's "distribution of
+    /// user agent strings": 73% Mobile / 17% Embedded / 3% Desktop / 7%
+    /// Unknown).
+    pub ua_strings_by_device: HashMap<DeviceType, u64>,
+    /// JSON requests issued by browsers.
+    pub browser_requests: u64,
+    /// JSON requests issued by mobile browsers.
+    pub mobile_browser_requests: u64,
+    /// JSON requests issued by browsers on embedded devices (paper: 0).
+    pub embedded_browser_requests: u64,
+    /// Total JSON requests.
+    pub total: u64,
+}
+
+impl TrafficSourceBreakdown {
+    /// Computes the breakdown over the trace's JSON records.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut out = TrafficSourceBreakdown::default();
+
+        // Classify each distinct UA once; records reference them by id.
+        let ua_classes: Vec<_> = trace
+            .ua_table()
+            .iter()
+            .map(|ua| classify(Some(ua)))
+            .collect();
+        let missing_class = classify(None);
+
+        for r in trace.records() {
+            if r.mime != MimeType::Json {
+                continue;
+            }
+            let c = match r.ua {
+                Some(ua) => &ua_classes[ua.0 as usize],
+                None => &missing_class,
+            };
+            out.total += 1;
+            *out.requests_by_device.entry(c.device).or_default() += 1;
+            if c.is_browser {
+                out.browser_requests += 1;
+                match c.device {
+                    DeviceType::Mobile => out.mobile_browser_requests += 1,
+                    DeviceType::Embedded => out.embedded_browser_requests += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        // UA-string distribution counts distinct strings, not requests.
+        for c in &ua_classes {
+            *out.ua_strings_by_device.entry(c.device).or_default() += 1;
+        }
+        out
+    }
+
+    /// Request share of a device type in `[0, 1]`.
+    pub fn request_share(&self, device: DeviceType) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.requests_by_device.get(&device).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Distinct-UA-string share of a device type.
+    pub fn ua_share(&self, device: DeviceType) -> f64 {
+        let total: u64 = self.ua_strings_by_device.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.ua_strings_by_device.get(&device).unwrap_or(&0) as f64 / total as f64
+    }
+
+    /// Share of JSON requests that are non-browser (paper: 88%).
+    pub fn non_browser_share(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.browser_requests as f64 / self.total as f64
+    }
+}
+
+/// §4's request-type split: GET/downloads vs POST/uploads.
+#[derive(Clone, Debug, Default)]
+pub struct RequestTypeBreakdown {
+    /// JSON download (GET/HEAD) requests.
+    pub downloads: u64,
+    /// JSON upload (POST/PUT) requests.
+    pub uploads: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+impl RequestTypeBreakdown {
+    /// Computes the split over JSON records.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut out = RequestTypeBreakdown::default();
+        for r in trace.records() {
+            if r.mime != MimeType::Json {
+                continue;
+            }
+            match RequestType::from_method(r.method) {
+                RequestType::Download => out.downloads += 1,
+                RequestType::Upload => out.uploads += 1,
+                RequestType::Other => out.other += 1,
+            }
+        }
+        out
+    }
+
+    /// Total JSON requests.
+    pub fn total(&self) -> u64 {
+        self.downloads + self.uploads + self.other
+    }
+
+    /// GET share (paper: 84%).
+    pub fn download_share(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.downloads as f64 / self.total() as f64
+    }
+
+    /// Of the non-download remainder, the share that uploads (paper: 96%).
+    pub fn upload_share_of_rest(&self) -> f64 {
+        let rest = self.uploads + self.other;
+        if rest == 0 {
+            return 0.0;
+        }
+        self.uploads as f64 / rest as f64
+    }
+}
+
+/// §4's response-type characterization: cacheability and sizes.
+#[derive(Clone, Debug)]
+pub struct ResponseTypeBreakdown {
+    /// JSON requests marked uncacheable.
+    pub json_uncacheable: u64,
+    /// Total JSON requests.
+    pub json_total: u64,
+    /// JSON response-size distribution.
+    pub json_sizes: ExactQuantiles,
+    /// HTML response-size distribution.
+    pub html_sizes: ExactQuantiles,
+}
+
+impl ResponseTypeBreakdown {
+    /// Computes cacheability and size distributions.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut json_uncacheable = 0;
+        let mut json_total = 0;
+        let mut json_sizes = ExactQuantiles::new();
+        let mut html_sizes = ExactQuantiles::new();
+        for r in trace.records() {
+            match r.mime {
+                MimeType::Json => {
+                    json_total += 1;
+                    if !r.cache.is_cacheable() {
+                        json_uncacheable += 1;
+                    }
+                    json_sizes.record(r.response_bytes as f64);
+                }
+                MimeType::Html => html_sizes.record(r.response_bytes as f64),
+                _ => {}
+            }
+        }
+        ResponseTypeBreakdown {
+            json_uncacheable,
+            json_total,
+            json_sizes,
+            html_sizes,
+        }
+    }
+
+    /// Uncacheable share of JSON traffic (paper: ~55%).
+    pub fn uncacheable_share(&self) -> f64 {
+        if self.json_total == 0 {
+            return 0.0;
+        }
+        self.json_uncacheable as f64 / self.json_total as f64
+    }
+
+    /// How much smaller JSON is than HTML at quantile `q`, as a fraction
+    /// (paper: 0.24 at the median, 0.87 at p75). `None` when either
+    /// distribution is empty.
+    pub fn json_smaller_than_html_at(&mut self, q: f64) -> Option<f64> {
+        let json = self.json_sizes.quantile(q)?;
+        let html = self.html_sizes.quantile(q)?;
+        (html > 0.0).then(|| 1.0 - json / html)
+    }
+}
+
+/// Maps a domain (URL host) to its industry category.
+///
+/// The paper used a commercial categorization service \[10\]; the synthetic
+/// universe encodes the category in the hostname, and real deployments can
+/// plug in an actual service.
+pub trait CategoryProvider {
+    /// The category for `host`, or `None` when unknown.
+    fn category(&self, host: &str) -> Option<IndustryCategory>;
+}
+
+/// Category provider for the synthetic universe: reads the industry token
+/// the workload generator prefixes hostnames with (`sports-17.example` →
+/// `Sports`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TokenCategoryProvider;
+
+impl CategoryProvider for TokenCategoryProvider {
+    fn category(&self, host: &str) -> Option<IndustryCategory> {
+        let token = host.split('-').next()?;
+        IndustryCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.host_token() == token)
+    }
+}
+
+/// Figure 4: the heatmap of per-domain cacheability by industry category.
+///
+/// Each domain's *cacheable request fraction* is computed from its JSON
+/// records, then bucketed into `buckets` equal-width cells; the heatmap
+/// row for a category is the distribution of its domains over those cells.
+#[derive(Clone, Debug)]
+pub struct CacheabilityHeatmap {
+    /// Number of cacheability buckets (columns).
+    pub buckets: usize,
+    /// `rows[category] = domain counts per bucket`.
+    pub rows: HashMap<IndustryCategory, Vec<u64>>,
+    /// Domains whose host had no category.
+    pub uncategorized: u64,
+}
+
+impl CacheabilityHeatmap {
+    /// Computes the heatmap over JSON records.
+    pub fn compute(trace: &Trace, provider: &dyn CategoryProvider, buckets: usize) -> Self {
+        assert!(buckets >= 2, "need at least two buckets");
+        // Per-domain cacheable/total counts.
+        let mut per_domain: HashMap<&str, (u64, u64)> = HashMap::new();
+        for r in trace.records() {
+            if r.mime != MimeType::Json {
+                continue;
+            }
+            let host = trace.host_of(r.url);
+            let entry = per_domain.entry(host).or_default();
+            entry.1 += 1;
+            if r.cache.is_cacheable() {
+                entry.0 += 1;
+            }
+        }
+        let mut rows: HashMap<IndustryCategory, Vec<u64>> = HashMap::new();
+        let mut uncategorized = 0;
+        for (host, (cacheable, total)) in per_domain {
+            let Some(category) = provider.category(host) else {
+                uncategorized += 1;
+                continue;
+            };
+            let fraction = cacheable as f64 / total as f64;
+            let bucket = ((fraction * buckets as f64) as usize).min(buckets - 1);
+            rows.entry(category).or_insert_with(|| vec![0; buckets])[bucket] += 1;
+        }
+        CacheabilityHeatmap {
+            buckets,
+            rows,
+            uncategorized,
+        }
+    }
+
+    /// Fraction of all categorized domains in the lowest bucket ("never
+    /// cacheable"; paper: ~50%).
+    pub fn never_cacheable_share(&self) -> f64 {
+        self.bucket_share(0)
+    }
+
+    /// Fraction of all categorized domains in the highest bucket ("always
+    /// cacheable"; paper: ~30%).
+    pub fn always_cacheable_share(&self) -> f64 {
+        self.bucket_share(self.buckets - 1)
+    }
+
+    fn bucket_share(&self, bucket: usize) -> f64 {
+        let total: u64 = self.rows.values().flat_map(|row| row.iter()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let in_bucket: u64 = self.rows.values().map(|row| row[bucket]).sum();
+        in_bucket as f64 / total as f64
+    }
+
+    /// Mean cacheable-domain-fraction for one category row (bucket
+    /// midpoints weighted by counts), or `None` when the row is absent.
+    pub fn row_mean(&self, category: IndustryCategory) -> Option<f64> {
+        let row = self.rows.get(&category)?;
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let weighted: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(b, &count)| (b as f64 + 0.5) / self.buckets as f64 * count as f64)
+            .sum();
+        Some(weighted / total as f64)
+    }
+}
+
+/// Figure 1 support: the JSON:HTML request-count ratio of a trace.
+pub fn json_html_ratio(trace: &Trace) -> Option<f64> {
+    let mut json = 0u64;
+    let mut html = 0u64;
+    for r in trace.records() {
+        match r.mime {
+            MimeType::Json => json += 1,
+            MimeType::Html => html += 1,
+            _ => {}
+        }
+    }
+    (html > 0).then(|| json as f64 / html as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, SimTime, UaId};
+
+    fn push(
+        trace: &mut Trace,
+        url: &str,
+        ua: Option<UaId>,
+        method: Method,
+        mime: MimeType,
+        bytes: u64,
+        cache: CacheStatus,
+    ) {
+        let url = trace.intern_url(url);
+        trace.push(LogRecord {
+            time: SimTime::ZERO,
+            client: ClientId(1),
+            ua,
+            url,
+            method,
+            mime,
+            status: 200,
+            response_bytes: bytes,
+            cache,
+        });
+    }
+
+    #[test]
+    fn traffic_source_counts_json_only() {
+        let mut t = Trace::new();
+        let app = t.intern_ua("NewsApp/1.0 (iPhone; iOS 12.4)");
+        let browser = t.intern_ua(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+             (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36",
+        );
+        push(
+            &mut t,
+            "https://a.example/j",
+            Some(app),
+            Method::Get,
+            MimeType::Json,
+            10,
+            CacheStatus::Hit,
+        );
+        push(
+            &mut t,
+            "https://a.example/j",
+            Some(browser),
+            Method::Get,
+            MimeType::Json,
+            10,
+            CacheStatus::Hit,
+        );
+        push(
+            &mut t,
+            "https://a.example/h",
+            Some(browser),
+            Method::Get,
+            MimeType::Html,
+            10,
+            CacheStatus::Hit,
+        );
+        push(
+            &mut t,
+            "https://a.example/j",
+            None,
+            Method::Get,
+            MimeType::Json,
+            10,
+            CacheStatus::Hit,
+        );
+
+        let b = TrafficSourceBreakdown::compute(&t);
+        assert_eq!(b.total, 3, "HTML records are excluded");
+        assert_eq!(b.request_share(DeviceType::Mobile), 1.0 / 3.0);
+        assert_eq!(b.request_share(DeviceType::Desktop), 1.0 / 3.0);
+        assert_eq!(b.request_share(DeviceType::Unknown), 1.0 / 3.0);
+        assert_eq!(b.browser_requests, 1);
+        assert!((b.non_browser_share() - 2.0 / 3.0).abs() < 1e-12);
+        // UA strings: one mobile, one desktop.
+        assert_eq!(b.ua_share(DeviceType::Mobile), 0.5);
+    }
+
+    #[test]
+    fn request_type_shares() {
+        let mut t = Trace::new();
+        for _ in 0..84 {
+            push(
+                &mut t,
+                "https://a.example/x",
+                None,
+                Method::Get,
+                MimeType::Json,
+                1,
+                CacheStatus::Hit,
+            );
+        }
+        for _ in 0..15 {
+            push(
+                &mut t,
+                "https://a.example/x",
+                None,
+                Method::Post,
+                MimeType::Json,
+                1,
+                CacheStatus::Hit,
+            );
+        }
+        push(
+            &mut t,
+            "https://a.example/x",
+            None,
+            Method::Delete,
+            MimeType::Json,
+            1,
+            CacheStatus::Hit,
+        );
+        let b = RequestTypeBreakdown::compute(&t);
+        assert_eq!(b.total(), 100);
+        assert!((b.download_share() - 0.84).abs() < 1e-12);
+        assert!((b.upload_share_of_rest() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_type_sizes_and_cacheability() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            push(
+                &mut t,
+                "https://a.example/j",
+                None,
+                Method::Get,
+                MimeType::Json,
+                100 + i,
+                if i < 6 {
+                    CacheStatus::NotCacheable
+                } else {
+                    CacheStatus::Hit
+                },
+            );
+            push(
+                &mut t,
+                "https://a.example/h",
+                None,
+                Method::Get,
+                MimeType::Html,
+                1000 + i,
+                CacheStatus::Hit,
+            );
+        }
+        let mut b = ResponseTypeBreakdown::compute(&t);
+        assert!((b.uncacheable_share() - 0.6).abs() < 1e-12);
+        let smaller = b.json_smaller_than_html_at(0.5).unwrap();
+        assert!(
+            smaller > 0.88 && smaller < 0.91,
+            "JSON ~10x smaller: {smaller}"
+        );
+    }
+
+    #[test]
+    fn heatmap_buckets_domains() {
+        let mut t = Trace::new();
+        // news-1: all cacheable; bank-1: none; game-1: half.
+        for _ in 0..4 {
+            push(
+                &mut t,
+                "https://news-1.example/a",
+                None,
+                Method::Get,
+                MimeType::Json,
+                1,
+                CacheStatus::Hit,
+            );
+            push(
+                &mut t,
+                "https://bank-1.example/a",
+                None,
+                Method::Get,
+                MimeType::Json,
+                1,
+                CacheStatus::NotCacheable,
+            );
+        }
+        for i in 0..4 {
+            push(
+                &mut t,
+                "https://game-1.example/a",
+                None,
+                Method::Get,
+                MimeType::Json,
+                1,
+                if i % 2 == 0 {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::NotCacheable
+                },
+            );
+        }
+        let h = CacheabilityHeatmap::compute(&t, &TokenCategoryProvider, 10);
+        assert_eq!(h.rows[&IndustryCategory::NewsMedia][9], 1);
+        assert_eq!(h.rows[&IndustryCategory::FinancialServices][0], 1);
+        assert_eq!(h.rows[&IndustryCategory::Gaming][5], 1);
+        assert!((h.never_cacheable_share() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.always_cacheable_share() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.row_mean(IndustryCategory::Gaming).unwrap() - 0.55).abs() < 1e-12);
+        assert_eq!(h.uncategorized, 0);
+    }
+
+    #[test]
+    fn heatmap_handles_unknown_hosts() {
+        let mut t = Trace::new();
+        push(
+            &mut t,
+            "https://mystery.example/a",
+            None,
+            Method::Get,
+            MimeType::Json,
+            1,
+            CacheStatus::Hit,
+        );
+        let h = CacheabilityHeatmap::compute(&t, &TokenCategoryProvider, 10);
+        assert_eq!(h.uncategorized, 1);
+        assert!(h.rows.is_empty());
+    }
+
+    #[test]
+    fn ratio_requires_html() {
+        let mut t = Trace::new();
+        push(
+            &mut t,
+            "https://a.example/j",
+            None,
+            Method::Get,
+            MimeType::Json,
+            1,
+            CacheStatus::Hit,
+        );
+        assert!(json_html_ratio(&t).is_none());
+        push(
+            &mut t,
+            "https://a.example/h",
+            None,
+            Method::Get,
+            MimeType::Html,
+            1,
+            CacheStatus::Hit,
+        );
+        for _ in 0..3 {
+            push(
+                &mut t,
+                "https://a.example/j",
+                None,
+                Method::Get,
+                MimeType::Json,
+                1,
+                CacheStatus::Hit,
+            );
+        }
+        assert_eq!(json_html_ratio(&t), Some(4.0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Dataset assembly: workload generation → CDN simulation → trace.
+
+use jcdn_cdnsim::{run_default, SimConfig, SimOutput, SimStats};
+use jcdn_trace::summary::DatasetSummary;
+use jcdn_trace::Trace;
+use jcdn_workload::{build, Workload, WorkloadConfig};
+
+/// A fully simulated dataset: the generating workload (with ground truth),
+/// the resulting edge logs, and simulator statistics.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The workload (population + ground truth labels).
+    pub workload: Workload,
+    /// The edge request logs.
+    pub trace: Trace,
+    /// Simulator counters.
+    pub stats: SimStats,
+}
+
+impl Dataset {
+    /// Table 2 summary of this dataset.
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary::compute(self.workload.config.name.clone(), &self.trace)
+    }
+}
+
+/// Generates and simulates a dataset with the default simulator
+/// configuration.
+pub fn simulate(config: &WorkloadConfig) -> Dataset {
+    simulate_with(config, &SimConfig::default())
+}
+
+/// Generates and simulates with an explicit simulator configuration.
+pub fn simulate_with(config: &WorkloadConfig, sim: &SimConfig) -> Dataset {
+    let workload = build(config);
+    let SimOutput { trace, stats } = run_default(&workload, sim);
+    Dataset {
+        workload,
+        trace,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcdn_workload::WorkloadConfig;
+
+    #[test]
+    fn dataset_summary_matches_trace() {
+        let data = simulate(&WorkloadConfig::tiny(3).scaled(0.2));
+        let s = data.summary();
+        assert_eq!(s.logs, data.trace.len());
+        assert_eq!(s.name, "Tiny");
+        assert!(s.domains > 0);
+        assert!(s.json_logs > 0);
+    }
+
+    #[test]
+    fn stats_and_trace_agree_on_request_count() {
+        let data = simulate(&WorkloadConfig::tiny(4).scaled(0.2));
+        assert_eq!(data.stats.requests as usize, data.trace.len());
+        assert_eq!(data.workload.events.len(), data.trace.len());
+    }
+}

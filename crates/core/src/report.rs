@@ -1,0 +1,137 @@
+//! Plain-text rendering of tables and figure data.
+//!
+//! The reproduction harness prints each table/figure of the paper as
+//! aligned text; these helpers keep that formatting in one place.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    ///
+    /// # Panics
+    /// Panics when the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for `&str` rows.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a ratio with two decimals and an `x` suffix.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Renders a labelled comparison against the paper's value.
+pub fn paper_vs_measured(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<44} paper: {paper:>8}   measured: {measured:>8}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["K", "Clustered URLs", "Actual URLs"]);
+        t.row_str(&["1", ".65", ".45"]);
+        t.row_str(&["10", ".87", ".69"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("K "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Clustered" starts at the same offset in all rows.
+        let offset = lines[0].find("Clustered").unwrap();
+        assert_eq!(&lines[2][offset..offset + 3], ".65");
+        assert_eq!(&lines[3][offset..offset + 3], ".87");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        TextTable::new(&["a", "b"]).row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.551), "55.1%");
+        assert_eq!(ratio(4.267), "4.27x");
+        let line = paper_vs_measured("GET share", "84%", "83.1%");
+        assert!(line.contains("paper:"));
+        assert!(line.contains("measured:"));
+    }
+}

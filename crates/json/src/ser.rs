@@ -1,0 +1,149 @@
+//! JSON serialization (compact and pretty).
+
+use std::fmt::Write as _;
+
+use crate::value::Value;
+
+/// Serializes `value` in compact form (no insignificant whitespace).
+///
+/// Output always re-parses to a `Value` equal to the input; this invariant
+/// is enforced by a property test in `tests/roundtrip.rs`.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes `value` with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::value::Map;
+
+    #[test]
+    fn compact_output() {
+        let v = parse(r#"{ "a" : [ 1 , "x" ] , "b" : null }"#).unwrap();
+        assert_eq!(to_string(&v), r#"{"a":[1,"x"],"b":null}"#);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        let expected = "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}";
+        assert_eq!(to_string_pretty(&v), expected);
+    }
+
+    #[test]
+    fn escapes_control_and_special_chars() {
+        let v = Value::String("a\"b\\c\n\u{1}".to_owned());
+        assert_eq!(to_string(&v), "\"a\\\"b\\\\c\\n\\u0001\"");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])), "[]");
+        assert_eq!(to_string(&Value::Object(Map::new())), "{}");
+        assert_eq!(to_string_pretty(&Value::Array(vec![])), "[]");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        let v = Value::String("héllo 😀".to_owned());
+        assert_eq!(to_string(&v), "\"héllo 😀\"");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        for text in ["0", "-1", "42", "2.5", "-0.125", "18446744073709551615"] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&to_string(&v)).unwrap(), v, "round-trip of {text}");
+        }
+    }
+}

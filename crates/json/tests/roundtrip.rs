@@ -1,0 +1,64 @@
+//! Property tests: any generated JSON value survives serialize → parse, and
+//! pretty/compact forms agree.
+
+use jcdn_json::{parse, to_string, to_string_pretty, Map, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values of bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::from),
+        any::<u64>().prop_map(Value::from),
+        // Finite floats only; JSON cannot carry NaN/inf.
+        any::<f64>().prop_filter_map("finite", |f| { Number::from_f64(f).map(Value::Number) }),
+        // Include escapes-heavy and unicode strings.
+        "[ -~]{0,20}".prop_map(Value::from),
+        any::<String>().prop_map(Value::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::vec((any::<String>(), inner), 0..8)
+                .prop_map(|entries| { Value::Object(entries.into_iter().collect::<Map>()) }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trips(v in arb_value()) {
+        let text = to_string(&v);
+        let back = parse(&text).expect("serialized JSON must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trips_and_agrees_with_compact(v in arb_value()) {
+        let pretty = to_string_pretty(&v);
+        let back = parse(&pretty).expect("pretty JSON must parse");
+        prop_assert_eq!(&back, &v);
+        // Compact and pretty forms must denote the same value.
+        prop_assert_eq!(parse(&to_string(&v)).unwrap(), back);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in any::<String>()) {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_jsonish_input(s in "[\\[\\]{}:,\"0-9a-z\\\\ .eE+-]{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn pointer_finds_every_array_element(items in prop::collection::vec(any::<i64>(), 0..16)) {
+        let v = Value::Array(items.iter().copied().map(Value::from).collect());
+        for (i, expected) in items.iter().enumerate() {
+            let got = v.pointer(&format!("/{i}")).and_then(Value::as_i64);
+            prop_assert_eq!(got, Some(*expected));
+        }
+    }
+}

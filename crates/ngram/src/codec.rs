@@ -1,0 +1,267 @@
+//! Model serialization.
+//!
+//! A production prefetcher trains its model offline (on yesterday's logs)
+//! and ships it to edge servers; this module is that wire format — a
+//! compact, versioned binary encoding of a trained [`NgramModel`] plus its
+//! [`Vocab`] strings.
+//!
+//! Layout (LEB128 varints, UTF-8 strings):
+//!
+//! ```text
+//! magic  b"JNGM", version u8 (1)
+//! max_order varint, backoff f64 (LE bits)
+//! vocab: varint count, then per entry varint len + bytes
+//! per order 0..=max_order:
+//!   varint context count
+//!   per context: varint token count, tokens, varint total,
+//!                varint successor count, (token, count)*
+//! ```
+
+use crate::model::NgramModel;
+use crate::vocab::Vocab;
+
+const MAGIC: &[u8; 4] = b"JNGM";
+const VERSION: u8 = 1;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing magic or truncated input.
+    Malformed,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Model invariants violated (e.g. zero order).
+    Invalid,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Malformed => write!(f, "malformed n-gram model"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            DecodeError::Invalid => write!(f, "invalid model contents"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::Malformed)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::Malformed)
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Malformed)?;
+        let slice = self.data.get(self.pos..end).ok_or(DecodeError::Malformed)?;
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// Serializes a trained model and its vocabulary.
+pub fn encode(model: &NgramModel, vocab: &Vocab) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, model.max_order() as u64);
+    out.extend_from_slice(&model.backoff().to_le_bytes());
+
+    put_varint(&mut out, vocab.len() as u64);
+    for token in 0..vocab.len() as u32 {
+        let s = vocab.resolve(token).expect("dense token range");
+        put_varint(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    for order in 0..=model.max_order() {
+        let contexts = model.contexts_at(order);
+        put_varint(&mut out, contexts.len() as u64);
+        for (context, total, successors) in contexts {
+            put_varint(&mut out, context.len() as u64);
+            for &t in context {
+                put_varint(&mut out, u64::from(t));
+            }
+            put_varint(&mut out, total);
+            put_varint(&mut out, successors.len() as u64);
+            for &(token, count) in &successors {
+                put_varint(&mut out, u64::from(token));
+                put_varint(&mut out, count);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a model and vocabulary. The vocabulary's mode (raw/clustered)
+/// is not serialized — pass the mode the model was trained with.
+pub fn decode(data: &[u8], mode: crate::VocabMode) -> Result<(NgramModel, Vocab), DecodeError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.bytes(4)? != MAGIC {
+        return Err(DecodeError::Malformed);
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let max_order = r.varint()? as usize;
+    if max_order == 0 || max_order > 64 {
+        return Err(DecodeError::Invalid);
+    }
+    let backoff_bits: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+    let backoff = f64::from_le_bytes(backoff_bits);
+    if !(backoff > 0.0 && backoff <= 1.0) {
+        return Err(DecodeError::Invalid);
+    }
+
+    let mut vocab = Vocab::with_mode(mode);
+    let vocab_len = r.varint()? as usize;
+    for expected in 0..vocab_len {
+        let len = r.varint()? as usize;
+        let bytes = r.bytes(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| DecodeError::Malformed)?;
+        // Interning must reproduce the dense token ids; mismatches mean
+        // the payload's vocabulary is inconsistent with the mode.
+        let token = vocab.intern_verbatim(s);
+        if token != expected as u32 {
+            return Err(DecodeError::Invalid);
+        }
+    }
+
+    let mut model = NgramModel::new(max_order).with_backoff(backoff);
+    for order in 0..=max_order {
+        let contexts = r.varint()? as usize;
+        for _ in 0..contexts {
+            let context_len = r.varint()? as usize;
+            if context_len != order {
+                return Err(DecodeError::Invalid);
+            }
+            let mut context = Vec::with_capacity(context_len);
+            for _ in 0..context_len {
+                context.push(u32::try_from(r.varint()?).map_err(|_| DecodeError::Invalid)?);
+            }
+            let total = r.varint()?;
+            let successor_count = r.varint()? as usize;
+            let mut successors = Vec::with_capacity(successor_count);
+            let mut sum = 0u64;
+            for _ in 0..successor_count {
+                let token = u32::try_from(r.varint()?).map_err(|_| DecodeError::Invalid)?;
+                let count = r.varint()?;
+                sum = sum.checked_add(count).ok_or(DecodeError::Invalid)?;
+                successors.push((token, count));
+            }
+            if sum != total {
+                return Err(DecodeError::Invalid);
+            }
+            model.restore_context(order, context, total, successors);
+        }
+    }
+    if r.pos != data.len() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok((model, vocab))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VocabMode;
+
+    fn trained() -> (NgramModel, Vocab) {
+        let mut vocab = Vocab::raw();
+        let mut model = NgramModel::new(2);
+        for c in 0..20 {
+            let seq: Vec<u32> = (0..10)
+                .map(|i| vocab.intern(&format!("https://h.example/{}", (c * 3 + i * 7) % 15)))
+                .collect();
+            model.train_sequence(&seq);
+        }
+        (model, vocab)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (model, vocab) = trained();
+        let bytes = encode(&model, &vocab);
+        let (back_model, back_vocab) = decode(&bytes, VocabMode::Raw).expect("round trip");
+        assert_eq!(back_vocab.len(), vocab.len());
+        assert_eq!(back_model.max_order(), model.max_order());
+        assert_eq!(back_model.transition_count(), model.transition_count());
+        // Predictions agree on every single-token history.
+        for t in 0..vocab.len() as u32 {
+            let a = model.predict(&[t], 5);
+            let b = back_model.predict(&[t], 5);
+            assert_eq!(a, b, "history {t}");
+        }
+        // Vocabulary strings resolve identically.
+        for t in 0..vocab.len() as u32 {
+            assert_eq!(vocab.resolve(t), back_vocab.resolve(t));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(
+            decode(b"", VocabMode::Raw).unwrap_err(),
+            DecodeError::Malformed
+        );
+        assert_eq!(
+            decode(b"NOPE\x01", VocabMode::Raw).unwrap_err(),
+            DecodeError::Malformed
+        );
+        let (model, vocab) = trained();
+        let bytes = encode(&model, &vocab);
+        for cut in [5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut], VocabMode::Raw).is_err(), "cut {cut}");
+        }
+        // Bad version byte.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert_eq!(
+            decode(&bad, VocabMode::Raw).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let (model, vocab) = trained();
+        let bytes = encode(&model, &vocab);
+        for i in (0..bytes.len()).step_by(7) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x55;
+            let _ = decode(&corrupted, VocabMode::Raw);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! A/B evaluation harnesses: simulate with and without a policy and report
+//! the deltas the paper's §5 implications predict.
+
+use jcdn_cdnsim::{run, run_default, Policy, SimConfig, SimStats};
+use jcdn_workload::Workload;
+
+/// Side-by-side statistics of a baseline run and a policy run.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The no-policy run.
+    pub baseline: SimStats,
+    /// The policy run.
+    pub with_policy: SimStats,
+}
+
+impl Comparison {
+    /// Absolute cacheable-hit-ratio uplift (policy − baseline).
+    pub fn hit_ratio_uplift(&self) -> Option<f64> {
+        Some(self.with_policy.cacheable_hit_ratio()? - self.baseline.cacheable_hit_ratio()?)
+    }
+
+    /// Fraction of issued prefetches that served a later demand hit.
+    pub fn prefetch_precision(&self) -> Option<f64> {
+        (self.with_policy.prefetch_issued > 0).then(|| {
+            self.with_policy.prefetch_useful as f64 / self.with_policy.prefetch_issued as f64
+        })
+    }
+
+    /// Extra origin bytes the policy spent, relative to baseline.
+    pub fn extra_origin_bytes(&self) -> i64 {
+        self.with_policy.bytes_origin as i64 - self.baseline.bytes_origin as i64
+    }
+
+    /// Mean normal-class latency change (policy − baseline), seconds.
+    pub fn normal_latency_delta(&self) -> Option<f64> {
+        Some(self.with_policy.latency_normal.mean()? - self.baseline.latency_normal.mean()?)
+    }
+}
+
+/// Runs the workload twice — without and with `policy` — under the same
+/// simulator configuration.
+pub fn compare_policies(
+    workload: &Workload,
+    config: &SimConfig,
+    policy: &mut dyn Policy,
+) -> Comparison {
+    let baseline = run_default(workload, config).stats;
+    let with_policy = run(workload, config, policy).stats;
+    Comparison {
+        baseline,
+        with_policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManifestPrefetcher;
+    use jcdn_workload::{build, WorkloadConfig};
+
+    #[test]
+    fn comparison_reports_uplift_and_cost() {
+        let w = build(&WorkloadConfig::tiny(101));
+        let mut policy = ManifestPrefetcher::new();
+        policy.bind_universe(&w.objects);
+        let cmp = compare_policies(&w, &SimConfig::default(), &mut policy);
+        let uplift = cmp.hit_ratio_uplift().unwrap();
+        assert!(uplift >= 0.0, "manifest prefetch must not hurt: {uplift}");
+        if cmp.with_policy.prefetch_issued > 0 {
+            // The origin-byte delta can go either way: prefetches cost
+            // fetches, but every useful prefetch avoids later demand
+            // misses. It must at least move.
+            assert_ne!(cmp.extra_origin_bytes(), 0);
+            let precision = cmp.prefetch_precision().unwrap();
+            assert!((0.0..=1.0).contains(&precision));
+        }
+    }
+}

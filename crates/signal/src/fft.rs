@@ -1,0 +1,275 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! Self-contained (the workspace carries no numeric dependencies): a minimal
+//! complex type and an in-place, power-of-two FFT with the conventional
+//! unnormalized forward transform and `1/N`-normalized inverse.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number, `re + i·im`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Constructs from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A real number.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// Panics when `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (normalized by `1/N`).
+///
+/// # Panics
+/// Panics when `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::real(1.0);
+            for k in 0..len / 2 {
+                let even = data[start + k];
+                let odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal, zero-padded to the next power of two.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data = vec![Complex::ZERO; n];
+    for (slot, &x) in data.iter_mut().zip(signal.iter()) {
+        *slot = Complex::real(x);
+    }
+    fft_in_place(&mut data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT for cross-checking.
+    fn dft(signal: &[Complex]) -> Vec<Complex> {
+        let n = signal.len();
+        (0..n)
+            .map(|k| {
+                let mut sum = Complex::ZERO;
+                for (t, &x) in signal.iter().enumerate() {
+                    sum = sum
+                        + x * Complex::cis(-std::f64::consts::TAU * k as f64 * t as f64 / n as f64);
+                }
+                sum
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = signal.clone();
+        fft_in_place(&mut fast);
+        let slow = dft(&signal);
+        assert_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let signal: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sqrt(), -(i as f64) * 0.1))
+            .collect();
+        let mut data = signal.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        assert_close(&data, &signal, 1e-10);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::real(1.0);
+        fft_in_place(&mut data);
+        for x in &data {
+            assert!((x.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_at_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * k0 as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let spectrum = rfft(&signal);
+        let powers: Vec<f64> = spectrum.iter().map(|c| c.norm_sq()).collect();
+        let max_bin = (1..n / 2)
+            .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
+            .unwrap();
+        assert_eq!(max_bin, k0);
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let spectrum = rfft(&signal);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            spectrum.iter().map(|c| c.norm_sq()).sum::<f64>() / spectrum.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let mut one = vec![Complex::real(3.0)];
+        fft_in_place(&mut one);
+        assert_eq!(one[0], Complex::real(3.0));
+
+        let mut two = vec![Complex::real(1.0), Complex::real(2.0)];
+        fft_in_place(&mut two);
+        assert!((two[0].re - 3.0).abs() < 1e-12);
+        assert!((two[1].re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn rfft_pads_to_pow2() {
+        assert_eq!(rfft(&[1.0; 20]).len(), 32);
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(17), 32);
+    }
+}

@@ -1,0 +1,222 @@
+//! The P² streaming quantile estimator (Jain & Chlamtac, 1985).
+//!
+//! [`ExactQuantiles`] keeps every sample; at the paper's real scale (25M
+//! logs) that is gigabytes per distribution. [`P2Quantile`] estimates a
+//! single quantile in O(1) space with five markers whose positions are
+//! adjusted by a piecewise-parabolic formula — the classic streaming
+//! estimator used in production telemetry systems.
+
+/// Streaming estimator of one quantile.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    /// The target quantile in (0, 1).
+    q: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile_target(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x below heights[4]")
+        };
+
+        // Increment positions of markers above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three middle markers if they drifted.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let direction = d.signum();
+                let candidate = self.parabolic(i, direction);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, direction)
+                    };
+                self.positions[i] += direction;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (p_prev, p, p_next) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        let (h_prev, h, h_next) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        h + d / (p_next - p_prev)
+            * ((p - p_prev + d) * (h_next - h) / (p_next - p)
+                + (p_next - p - d) * (h - h_prev) / (p - p_prev))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, or `None` before any observation. With fewer
+    /// than five observations the exact order statistic is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut seen: Vec<f64> = self.heights[..n as usize].to_vec();
+                seen.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize);
+                Some(seen[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LogNormal, Sample};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let mut p = P2Quantile::new(0.5);
+        assert!(p.estimate().is_none());
+        p.record(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.record(20.0);
+        p.record(30.0);
+        // Exact median of {10,20,30} (rank ceil(0.5*3)=2).
+        assert_eq!(p.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic low-discrepancy walk over (0, 1000).
+        for i in 0..100_000u64 {
+            p.record((i.wrapping_mul(6364136223846793005) >> 11) as f64 % 1000.0);
+        }
+        let estimate = p.estimate().unwrap();
+        assert!(
+            (estimate - 500.0).abs() < 20.0,
+            "median estimate {estimate}"
+        );
+    }
+
+    #[test]
+    fn p75_of_lognormal_matches_exact() {
+        let ln = LogNormal::from_median(900.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p2 = P2Quantile::new(0.75);
+        let mut exact = crate::ExactQuantiles::new();
+        for _ in 0..200_000 {
+            let x = ln.sample(&mut rng);
+            p2.record(x);
+            exact.record(x);
+        }
+        let approx = p2.estimate().unwrap();
+        let truth = exact.quantile(0.75).unwrap();
+        let err = (approx - truth).abs() / truth;
+        assert!(err < 0.03, "P2 {approx} vs exact {truth} (err {err})");
+    }
+
+    #[test]
+    fn extreme_quantiles() {
+        let mut p99 = P2Quantile::new(0.99);
+        let mut p01 = P2Quantile::new(0.01);
+        for i in 1..=10_000 {
+            // Shuffled-ish order via multiplicative hashing.
+            let v = ((i as u64).wrapping_mul(2654435761) % 10_000) as f64;
+            p99.record(v);
+            p01.record(v);
+        }
+        assert!((p99.estimate().unwrap() - 9_900.0).abs() < 150.0);
+        assert!((p01.estimate().unwrap() - 100.0).abs() < 150.0);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut p = P2Quantile::new(0.5);
+        p.record(f64::NAN);
+        p.record(f64::INFINITY);
+        assert!(p.estimate().is_none());
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_out_of_range_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fixed-width time-bucketed counters.
+
+/// Counts events into fixed-width buckets along a `u64` time axis.
+///
+/// Used for Figure 1 (monthly JSON:HTML request counts over a multi-year
+/// trend) and for the 1-second sampling step of the periodicity detector
+/// (§5.1) — the detector operates on the per-bucket counts as a discrete
+/// signal.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    origin: u64,
+    bucket_width: u64,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series starting at `origin` with `buckets` buckets of
+    /// `bucket_width` ticks each.
+    ///
+    /// # Panics
+    /// Panics when `bucket_width == 0` or `buckets == 0`.
+    pub fn new(origin: u64, bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        TimeSeries {
+            origin,
+            bucket_width,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Creates a series sized to cover `[origin, end]`.
+    pub fn covering(origin: u64, end: u64, bucket_width: u64) -> Self {
+        assert!(end >= origin, "end must not precede origin");
+        let span = end - origin;
+        let buckets = (span / bucket_width + 1) as usize;
+        TimeSeries::new(origin, bucket_width, buckets)
+    }
+
+    /// Records one event at time `t`. Events outside the covered range are
+    /// counted in neither bucket and reported via the return value.
+    pub fn record(&mut self, t: u64) -> bool {
+        match self.bucket_index(t) {
+            Some(idx) => {
+                self.counts[idx] += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds `n` events at time `t`.
+    pub fn record_n(&mut self, t: u64, n: u64) -> bool {
+        match self.bucket_index(t) {
+            Some(idx) => {
+                self.counts[idx] += n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The bucket index covering time `t`, if in range.
+    pub fn bucket_index(&self, t: u64) -> Option<usize> {
+        if t < self.origin {
+            return None;
+        }
+        let idx = ((t - self.origin) / self.bucket_width) as usize;
+        (idx < self.counts.len()).then_some(idx)
+    }
+
+    /// The start time of bucket `idx`.
+    pub fn bucket_start(&self, idx: usize) -> u64 {
+        self.origin + self.bucket_width * idx as u64
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Counts as `f64`, the input format of the signal-processing pipeline.
+    pub fn as_signal(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Total events recorded in range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the series has zero buckets (impossible by construction,
+    /// kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Element-wise ratio of this series to `other` (`None` where `other`
+    /// is zero). The Figure 1 "JSON:HTML ratio" series is produced this way.
+    pub fn ratio_to(&self, other: &TimeSeries) -> Vec<Option<f64>> {
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .map(|(&a, &b)| (b > 0).then(|| a as f64 / b as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut ts = TimeSeries::new(100, 10, 3); // [100,110) [110,120) [120,130)
+        assert!(ts.record(100));
+        assert!(ts.record(109));
+        assert!(ts.record(110));
+        assert!(ts.record(129));
+        assert!(!ts.record(99));
+        assert!(!ts.record(130));
+        assert_eq!(ts.counts(), &[2, 1, 1]);
+        assert_eq!(ts.total(), 4);
+    }
+
+    #[test]
+    fn covering_spans_inclusive_end() {
+        let ts = TimeSeries::covering(0, 100, 10);
+        assert_eq!(ts.len(), 11);
+        assert_eq!(ts.bucket_index(100), Some(10));
+    }
+
+    #[test]
+    fn bucket_start_inverts_index() {
+        let ts = TimeSeries::new(50, 7, 4);
+        for i in 0..4 {
+            assert_eq!(ts.bucket_index(ts.bucket_start(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut json = TimeSeries::new(0, 1, 3);
+        let mut html = TimeSeries::new(0, 1, 3);
+        json.record_n(0, 8);
+        html.record_n(0, 2);
+        json.record_n(1, 5);
+        // html bucket 1 stays zero
+        html.record_n(2, 4);
+        let ratio = json.ratio_to(&html);
+        assert_eq!(ratio[0], Some(4.0));
+        assert_eq!(ratio[1], None);
+        assert_eq!(ratio[2], Some(0.0));
+    }
+
+    #[test]
+    fn as_signal_matches_counts() {
+        let mut ts = TimeSeries::new(0, 5, 2);
+        ts.record_n(1, 3);
+        assert_eq!(ts.as_signal(), vec![3.0, 0.0]);
+    }
+}

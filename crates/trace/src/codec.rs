@@ -1,0 +1,484 @@
+//! Trace serialization: a compact versioned binary format and JSONL.
+//!
+//! The binary format exists so multi-million-record synthetic traces can be
+//! written once and re-analyzed cheaply; JSONL exists for interop with
+//! external tooling (and is, fittingly for this paper, JSON).
+//!
+//! Binary layout (all integers little-endian or LEB128 varint):
+//!
+//! ```text
+//! magic  b"JCDN"            4 bytes
+//! version u16               (currently 1)
+//! url table: varint count, then per string: varint len + UTF-8 bytes
+//! ua  table: same
+//! record count: varint
+//! records, each:
+//!   time   varint (delta from previous record's time, µs)
+//!   client varint
+//!   ua     varint (0 = absent, else UaId + 1)
+//!   url    varint (UrlId)
+//!   method u8, mime u8, cache u8
+//!   status varint
+//!   bytes  varint
+//! ```
+//!
+//! Time is delta-encoded, so traces must be time-sorted before encoding for
+//! best size — but unsorted traces still round-trip (the delta is signed
+//! zig-zag).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, UaId};
+use crate::time::SimTime;
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 4] = b"JCDN";
+const VERSION: u16 = 1;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the `JCDN` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended prematurely.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant was out of range.
+    BadDiscriminant(&'static str, u8),
+    /// A record referenced an id beyond its table.
+    DanglingId,
+    /// A delta-encoded timestamp overflowed the time axis.
+    TimeOverflow,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a JCDN trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "truncated trace"),
+            DecodeError::VarintOverflow => write!(f, "varint overflow"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string table"),
+            DecodeError::BadDiscriminant(what, v) => write!(f, "bad {what} discriminant {v}"),
+            DecodeError::DanglingId => write!(f, "record references missing table entry"),
+            DecodeError::TimeOverflow => write!(f, "timestamp delta overflow"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+}
+
+/// Encodes a trace into the binary format.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(trace.len() * 16 + 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    put_varint(&mut buf, trace.url_table().len() as u64);
+    for url in trace.url_table() {
+        put_string(&mut buf, url);
+    }
+    put_varint(&mut buf, trace.ua_table().len() as u64);
+    for ua in trace.ua_table() {
+        put_string(&mut buf, ua);
+    }
+
+    put_varint(&mut buf, trace.len() as u64);
+    let mut prev_time: i64 = 0;
+    for r in trace.records() {
+        let t = r.time.as_micros() as i64;
+        put_varint(&mut buf, zigzag(t - prev_time));
+        prev_time = t;
+        put_varint(&mut buf, r.client.0);
+        put_varint(&mut buf, r.ua.map_or(0, |ua| u64::from(ua.0) + 1));
+        put_varint(&mut buf, u64::from(r.url.0));
+        buf.put_u8(method_tag(r.method));
+        buf.put_u8(mime_tag(r.mime));
+        buf.put_u8(cache_tag(r.cache));
+        put_varint(&mut buf, u64::from(r.status));
+        put_varint(&mut buf, r.response_bytes);
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary trace.
+pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
+    if buf.remaining() < 6 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    let mut trace = Trace::new();
+    // Interning deduplicates, so a (corrupted or adversarial) payload with
+    // repeated table strings would otherwise leave record ids pointing past
+    // the rebuilt table; map payload indices to interned ids explicitly.
+    let url_count = get_varint(&mut buf)? as usize;
+    let mut url_map = Vec::with_capacity(url_count.min(1 << 20));
+    for _ in 0..url_count {
+        let s = get_string(&mut buf)?;
+        url_map.push(trace.intern_url(&s));
+    }
+    let ua_count = get_varint(&mut buf)? as usize;
+    let mut ua_map = Vec::with_capacity(ua_count.min(1 << 20));
+    for _ in 0..ua_count {
+        let s = get_string(&mut buf)?;
+        ua_map.push(trace.intern_ua(&s));
+    }
+
+    let record_count = get_varint(&mut buf)? as usize;
+    let mut prev_time: i64 = 0;
+    for _ in 0..record_count {
+        let delta = unzigzag(get_varint(&mut buf)?);
+        let t = prev_time
+            .checked_add(delta)
+            .ok_or(DecodeError::TimeOverflow)?;
+        prev_time = t;
+        let client = ClientId(get_varint(&mut buf)?);
+        let ua_raw = get_varint(&mut buf)?;
+        let ua = if ua_raw == 0 {
+            None
+        } else {
+            let id = (ua_raw - 1) as usize;
+            match ua_map.get(id) {
+                Some(&mapped) => Some(mapped),
+                None => return Err(DecodeError::DanglingId),
+            }
+        };
+        let url_raw = get_varint(&mut buf)? as usize;
+        let url = match url_map.get(url_raw) {
+            Some(&mapped) => mapped,
+            None => return Err(DecodeError::DanglingId),
+        };
+        if buf.remaining() < 3 {
+            return Err(DecodeError::Truncated);
+        }
+        let method = untag_method(buf.get_u8())?;
+        let mime = untag_mime(buf.get_u8())?;
+        let cache = untag_cache(buf.get_u8())?;
+        let status = get_varint(&mut buf)? as u16;
+        let response_bytes = get_varint(&mut buf)?;
+        trace.push(LogRecord {
+            time: SimTime::from_micros(t.max(0) as u64),
+            client,
+            ua,
+            url,
+            method,
+            mime,
+            status,
+            response_bytes,
+            cache,
+        });
+    }
+    Ok(trace)
+}
+
+fn method_tag(m: Method) -> u8 {
+    match m {
+        Method::Get => 0,
+        Method::Post => 1,
+        Method::Head => 2,
+        Method::Put => 3,
+        Method::Delete => 4,
+    }
+}
+
+fn untag_method(v: u8) -> Result<Method, DecodeError> {
+    Ok(match v {
+        0 => Method::Get,
+        1 => Method::Post,
+        2 => Method::Head,
+        3 => Method::Put,
+        4 => Method::Delete,
+        _ => return Err(DecodeError::BadDiscriminant("method", v)),
+    })
+}
+
+fn mime_tag(m: MimeType) -> u8 {
+    match m {
+        MimeType::Json => 0,
+        MimeType::Html => 1,
+        MimeType::Css => 2,
+        MimeType::JavaScript => 3,
+        MimeType::Image => 4,
+        MimeType::Video => 5,
+        MimeType::Other => 6,
+    }
+}
+
+fn untag_mime(v: u8) -> Result<MimeType, DecodeError> {
+    Ok(match v {
+        0 => MimeType::Json,
+        1 => MimeType::Html,
+        2 => MimeType::Css,
+        3 => MimeType::JavaScript,
+        4 => MimeType::Image,
+        5 => MimeType::Video,
+        6 => MimeType::Other,
+        _ => return Err(DecodeError::BadDiscriminant("mime", v)),
+    })
+}
+
+fn cache_tag(c: CacheStatus) -> u8 {
+    match c {
+        CacheStatus::Hit => 0,
+        CacheStatus::Miss => 1,
+        CacheStatus::NotCacheable => 2,
+    }
+}
+
+fn untag_cache(v: u8) -> Result<CacheStatus, DecodeError> {
+    Ok(match v {
+        0 => CacheStatus::Hit,
+        1 => CacheStatus::Miss,
+        2 => CacheStatus::NotCacheable,
+        _ => return Err(DecodeError::BadDiscriminant("cache", v)),
+    })
+}
+
+/// Writes a trace to a file in the binary format.
+pub fn write_file(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Reads a binary trace file.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    let data = std::fs::read(path)?;
+    decode(Bytes::from(data))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Serializes one record as a JSON object (JSONL line) with resolved
+/// strings.
+pub fn record_to_json(trace: &Trace, record: &LogRecord) -> jcdn_json::Value {
+    let mut obj = jcdn_json::Map::new();
+    obj.insert("time_us", jcdn_json::Value::from(record.time.as_micros()));
+    obj.insert("client", jcdn_json::Value::from(record.client.0));
+    match record.ua {
+        Some(ua) => obj.insert("ua", jcdn_json::Value::from(trace.ua(ua))),
+        None => obj.insert("ua", jcdn_json::Value::Null),
+    };
+    obj.insert("url", jcdn_json::Value::from(trace.url(record.url)));
+    obj.insert("method", jcdn_json::Value::from(record.method.to_string()));
+    obj.insert("mime", jcdn_json::Value::from(record.mime.as_header()));
+    obj.insert("status", jcdn_json::Value::from(u64::from(record.status)));
+    obj.insert("bytes", jcdn_json::Value::from(record.response_bytes));
+    obj.insert(
+        "cache",
+        jcdn_json::Value::from(match record.cache {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::NotCacheable => "no-store",
+        }),
+    );
+    jcdn_json::Value::Object(obj)
+}
+
+/// Exports the whole trace as JSONL (one record per line).
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for r in trace.records() {
+        out.push_str(&jcdn_json::to_string(&record_to_json(trace, r)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let ua = t.intern_ua("okhttp/3.12.1");
+        let u1 = t.intern_url("https://api.example/items/1");
+        let u2 = t.intern_url("https://api.example/items/2");
+        for i in 0..100u64 {
+            t.push(LogRecord {
+                time: SimTime::from_millis(i * 37),
+                client: ClientId(i % 7),
+                ua: (i % 3 != 0).then_some(ua),
+                url: if i % 2 == 0 { u1 } else { u2 },
+                method: if i % 5 == 0 {
+                    Method::Post
+                } else {
+                    Method::Get
+                },
+                mime: MimeType::Json,
+                status: 200,
+                response_bytes: 100 + i,
+                cache: match i % 3 {
+                    0 => CacheStatus::Hit,
+                    1 => CacheStatus::Miss,
+                    _ => CacheStatus::NotCacheable,
+                },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let encoded = encode(&t);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded.len(), t.len());
+        assert_eq!(decoded.url_table(), t.url_table());
+        assert_eq!(decoded.ua_table(), t.ua_table());
+        assert_eq!(decoded.records(), t.records());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new();
+        let decoded = decode(encode(&t)).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.url_count(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            decode(Bytes::from_static(b"")).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            decode(Bytes::from_static(b"NOPE\x01\x00")).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        assert_eq!(
+            decode(Bytes::from_static(b"JCDN\xff\x00")).unwrap_err(),
+            DecodeError::BadVersion(255)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let full = encode(&sample_trace());
+        // Chop at a few byte positions spread across the buffer; every
+        // prefix must fail cleanly, never panic.
+        for cut in [7, 20, full.len() / 2, full.len() - 1] {
+            let r = decode(full.slice(0..cut));
+            assert!(r.is_err(), "prefix of {cut} bytes should fail");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_fields() {
+        let t = sample_trace();
+        let jsonl = to_jsonl(&t);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), t.len());
+        let v = jcdn_json::parse(lines[0]).unwrap();
+        // Record 0 has i % 5 == 0 → POST.
+        assert_eq!(v.get("method").unwrap().as_str(), Some("POST"));
+        assert_eq!(v.get("mime").unwrap().as_str(), Some("application/json"));
+        assert_eq!(
+            v.get("url").unwrap().as_str(),
+            Some("https://api.example/items/1")
+        );
+        assert_eq!(v.get("cache").unwrap().as_str(), Some("hit"));
+        // Record 0 has i % 3 == 0 → UA absent.
+        assert!(v.get("ua").unwrap().is_null());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("jcdn-codec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jcdn");
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.records(), t.records());
+        std::fs::remove_file(&path).ok();
+        // Reading garbage fails with InvalidData, not a panic.
+        let bad = dir.join("bad.jcdn");
+        std::fs::write(&bad, b"not a trace").unwrap();
+        let err = read_file(&bad).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn unsorted_trace_still_round_trips() {
+        let mut t = Trace::new();
+        let u = t.intern_url("https://h.example/x");
+        for &time in &[50u64, 10, 90, 0, 60] {
+            t.push(LogRecord {
+                time: SimTime::from_secs(time),
+                client: ClientId(0),
+                ua: None,
+                url: u,
+                method: Method::Get,
+                mime: MimeType::Json,
+                status: 200,
+                response_bytes: 1,
+                cache: CacheStatus::Hit,
+            });
+        }
+        let decoded = decode(encode(&t)).unwrap();
+        assert_eq!(decoded.records(), t.records());
+    }
+}

@@ -1,0 +1,240 @@
+//! The per-request log record and its field vocabulary.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Anonymized client identity: the paper identifies a client by a *hashed
+/// IP + user-agent pair* (§5.1). The IP hash is stored here; the UA travels
+/// separately as a [`UaId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+/// Interned user-agent string index within a [`crate::Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UaId(pub u32);
+
+/// Interned URL index within a [`crate::Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UrlId(pub u32);
+
+/// HTTP request method.
+///
+/// The paper's request-type taxonomy needs only the GET/POST distinction
+/// (downloads vs. uploads, §3.2), but logs carry the rest too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Download (the paper: 84% of JSON requests).
+    Get,
+    /// Upload (96% of the non-GET remainder).
+    Post,
+    /// Metadata probe.
+    Head,
+    /// Idempotent upload.
+    Put,
+    /// Deletion.
+    Delete,
+}
+
+impl Method {
+    /// True for methods the paper counts as downloads.
+    pub fn is_download(self) -> bool {
+        matches!(self, Method::Get | Method::Head)
+    }
+
+    /// True for methods the paper counts as uploads.
+    pub fn is_upload(self) -> bool {
+        matches!(self, Method::Post | Method::Put)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// Response content type, from the HTTP `Content-Type` (mime) header.
+///
+/// The paper filters on `application/json`; the trend analysis (Figure 1)
+/// also tracks HTML, CSS, and JavaScript.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MimeType {
+    /// `application/json`.
+    Json,
+    /// `text/html`.
+    Html,
+    /// `text/css`.
+    Css,
+    /// `application/javascript` / `text/javascript`.
+    JavaScript,
+    /// `image/*`.
+    Image,
+    /// `video/*`.
+    Video,
+    /// Everything else.
+    Other,
+}
+
+impl MimeType {
+    /// Parses a raw `Content-Type` header value, the way the paper's filter
+    /// does: substring match on the media type, parameters ignored.
+    pub fn from_header(value: &str) -> MimeType {
+        let lower = value.trim().to_ascii_lowercase();
+        let media = lower.split(';').next().unwrap_or("").trim();
+        match media {
+            "application/json" => MimeType::Json,
+            "text/html" => MimeType::Html,
+            "text/css" => MimeType::Css,
+            "application/javascript" | "text/javascript" | "application/x-javascript" => {
+                MimeType::JavaScript
+            }
+            m if m.starts_with("image/") => MimeType::Image,
+            m if m.starts_with("video/") => MimeType::Video,
+            // `application/vnd.api+json` and friends still carry JSON.
+            m if m.ends_with("+json") => MimeType::Json,
+            _ => MimeType::Other,
+        }
+    }
+
+    /// Canonical header value.
+    pub fn as_header(self) -> &'static str {
+        match self {
+            MimeType::Json => "application/json",
+            MimeType::Html => "text/html",
+            MimeType::Css => "text/css",
+            MimeType::JavaScript => "application/javascript",
+            MimeType::Image => "image/jpeg",
+            MimeType::Video => "video/mp4",
+            MimeType::Other => "application/octet-stream",
+        }
+    }
+}
+
+impl fmt::Display for MimeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_header())
+    }
+}
+
+/// How the CDN edge cache handled the request ("object caching
+/// information" in the log schema).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Served from edge cache.
+    Hit,
+    /// Cacheable, but fetched from origin (cold or expired).
+    Miss,
+    /// Customer configuration marks the object uncacheable; tunneled to
+    /// origin. The paper: 55% of JSON traffic.
+    NotCacheable,
+}
+
+impl CacheStatus {
+    /// True when the customer configuration allows caching this object.
+    pub fn is_cacheable(self) -> bool {
+        !matches!(self, CacheStatus::NotCacheable)
+    }
+
+    /// True when the response came from edge cache.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheStatus::Hit)
+    }
+}
+
+/// One edge-server request log line (§3.1 field list).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Request arrival time at the edge.
+    pub time: SimTime,
+    /// Hashed client IP.
+    pub client: ClientId,
+    /// Interned user-agent (None ⇒ header absent).
+    pub ua: Option<UaId>,
+    /// Interned request URL.
+    pub url: UrlId,
+    /// HTTP method.
+    pub method: Method,
+    /// Response content type.
+    pub mime: MimeType,
+    /// HTTP response status.
+    pub status: u16,
+    /// Response body size in bytes.
+    pub response_bytes: u64,
+    /// Edge cache disposition.
+    pub cache: CacheStatus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_taxonomy() {
+        assert!(Method::Get.is_download());
+        assert!(Method::Head.is_download());
+        assert!(Method::Post.is_upload());
+        assert!(Method::Put.is_upload());
+        assert!(!Method::Get.is_upload());
+        assert!(!Method::Delete.is_download());
+    }
+
+    #[test]
+    fn mime_parsing() {
+        assert_eq!(MimeType::from_header("application/json"), MimeType::Json);
+        assert_eq!(
+            MimeType::from_header("application/json; charset=utf-8"),
+            MimeType::Json
+        );
+        assert_eq!(
+            MimeType::from_header("Application/JSON"),
+            MimeType::Json,
+            "matching is case-insensitive"
+        );
+        assert_eq!(
+            MimeType::from_header("application/vnd.api+json"),
+            MimeType::Json
+        );
+        assert_eq!(
+            MimeType::from_header("text/html; charset=utf-8"),
+            MimeType::Html
+        );
+        assert_eq!(
+            MimeType::from_header("text/javascript"),
+            MimeType::JavaScript
+        );
+        assert_eq!(MimeType::from_header("image/png"), MimeType::Image);
+        assert_eq!(MimeType::from_header("video/webm"), MimeType::Video);
+        assert_eq!(MimeType::from_header("font/woff2"), MimeType::Other);
+        assert_eq!(MimeType::from_header(""), MimeType::Other);
+    }
+
+    #[test]
+    fn mime_round_trips_canonical_header() {
+        for mime in [
+            MimeType::Json,
+            MimeType::Html,
+            MimeType::Css,
+            MimeType::JavaScript,
+        ] {
+            assert_eq!(MimeType::from_header(mime.as_header()), mime);
+        }
+    }
+
+    #[test]
+    fn cache_status_predicates() {
+        assert!(CacheStatus::Hit.is_cacheable());
+        assert!(CacheStatus::Hit.is_hit());
+        assert!(CacheStatus::Miss.is_cacheable());
+        assert!(!CacheStatus::Miss.is_hit());
+        assert!(!CacheStatus::NotCacheable.is_cacheable());
+    }
+}

@@ -1,0 +1,336 @@
+//! The trace container with string interning.
+
+use std::collections::HashMap;
+
+use crate::record::{LogRecord, UaId, UrlId};
+use crate::time::SimTime;
+
+/// An in-memory collection of [`LogRecord`]s with interned URL and
+/// user-agent strings.
+///
+/// Interning matters: the short-term dataset in the paper has 25M logs over
+/// ~5K domains — URLs and UAs repeat constantly. Records store 4-byte ids;
+/// the tables resolve them back to strings.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    urls: Vec<String>,
+    url_index: HashMap<String, UrlId>,
+    uas: Vec<String>,
+    ua_index: HashMap<String, UaId>,
+    records: Vec<LogRecord>,
+}
+
+/// A record with its interned strings resolved.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordView<'t> {
+    /// The raw record.
+    pub record: &'t LogRecord,
+    /// The request URL.
+    pub url: &'t str,
+    /// The user-agent header, when present.
+    pub ua: Option<&'t str>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with capacity for `records` records.
+    pub fn with_capacity(records: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(records),
+            ..Trace::default()
+        }
+    }
+
+    /// Interns a URL string, returning its id.
+    pub fn intern_url(&mut self, url: &str) -> UrlId {
+        if let Some(&id) = self.url_index.get(url) {
+            return id;
+        }
+        let id = UrlId(u32::try_from(self.urls.len()).expect("more than u32::MAX distinct URLs"));
+        self.urls.push(url.to_owned());
+        self.url_index.insert(url.to_owned(), id);
+        id
+    }
+
+    /// Interns a user-agent string, returning its id.
+    pub fn intern_ua(&mut self, ua: &str) -> UaId {
+        if let Some(&id) = self.ua_index.get(ua) {
+            return id;
+        }
+        let id = UaId(u32::try_from(self.uas.len()).expect("more than u32::MAX distinct UAs"));
+        self.uas.push(ua.to_owned());
+        self.ua_index.insert(ua.to_owned(), id);
+        id
+    }
+
+    /// Appends a record. The record's ids must have been produced by this
+    /// trace's `intern_*` methods.
+    pub fn push(&mut self, record: LogRecord) {
+        debug_assert!((record.url.0 as usize) < self.urls.len(), "foreign UrlId");
+        debug_assert!(
+            record.ua.is_none_or(|ua| (ua.0 as usize) < self.uas.len()),
+            "foreign UaId"
+        );
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in insertion order (or time order after
+    /// [`sort_by_time`][Trace::sort_by_time]).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Resolves a URL id.
+    pub fn url(&self, id: UrlId) -> &str {
+        &self.urls[id.0 as usize]
+    }
+
+    /// Resolves a UA id.
+    pub fn ua(&self, id: UaId) -> &str {
+        &self.uas[id.0 as usize]
+    }
+
+    /// Looks up the id of an already-interned URL.
+    pub fn find_url(&self, url: &str) -> Option<UrlId> {
+        self.url_index.get(url).copied()
+    }
+
+    /// All interned URLs, indexed by `UrlId`.
+    pub fn url_table(&self) -> &[String] {
+        &self.urls
+    }
+
+    /// All interned UAs, indexed by `UaId`.
+    pub fn ua_table(&self) -> &[String] {
+        &self.uas
+    }
+
+    /// Number of distinct URLs.
+    pub fn url_count(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Number of distinct user agents.
+    pub fn ua_count(&self) -> usize {
+        self.uas.len()
+    }
+
+    /// Resolves one record's strings.
+    pub fn view<'t>(&'t self, record: &'t LogRecord) -> RecordView<'t> {
+        RecordView {
+            record,
+            url: self.url(record.url),
+            ua: record.ua.map(|id| self.ua(id)),
+        }
+    }
+
+    /// Iterates resolved records.
+    pub fn iter(&self) -> impl Iterator<Item = RecordView<'_>> {
+        self.records.iter().map(move |r| self.view(r))
+    }
+
+    /// Sorts records by timestamp (stable, so same-time records keep
+    /// insertion order).
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| r.time);
+    }
+
+    /// Earliest and latest record times, or `None` when empty.
+    pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
+        let first = self.records.iter().map(|r| r.time).min()?;
+        let last = self.records.iter().map(|r| r.time).max()?;
+        Some((first, last))
+    }
+
+    /// The host part of an interned URL (up to the first `/`, skipping any
+    /// scheme), without allocating.
+    pub fn host_of(&self, id: UrlId) -> &str {
+        host_of_url(self.url(id))
+    }
+
+    /// Appends all records of `other`, re-interning its strings into this
+    /// trace's tables. Used to combine captures from multiple vantage
+    /// points into one dataset (the paper's long-term dataset pools three
+    /// Seattle vantage points). Call [`sort_by_time`][Trace::sort_by_time]
+    /// afterwards if a chronological view is needed.
+    pub fn merge(&mut self, other: &Trace) {
+        let url_map: Vec<UrlId> = other
+            .url_table()
+            .iter()
+            .map(|url| self.intern_url(url))
+            .collect();
+        let ua_map: Vec<UaId> = other
+            .ua_table()
+            .iter()
+            .map(|ua| self.intern_ua(ua))
+            .collect();
+        self.records.reserve(other.len());
+        for r in other.records() {
+            let mut record = *r;
+            record.url = url_map[r.url.0 as usize];
+            record.ua = r.ua.map(|ua| ua_map[ua.0 as usize]);
+            self.records.push(record);
+        }
+    }
+
+    /// Retains only records matching the predicate (tables are left
+    /// untouched — ids stay valid).
+    pub fn retain(&mut self, mut predicate: impl FnMut(&LogRecord) -> bool) {
+        self.records.retain(|r| predicate(r));
+    }
+}
+
+/// Extracts the host part of a URL string without full parsing.
+pub(crate) fn host_of_url(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .or_else(|| url.strip_prefix("//"))
+        .unwrap_or(url);
+    let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+    let authority = &rest[..end];
+    // Strip a port.
+    match authority.rsplit_once(':') {
+        Some((host, port)) if !port.is_empty() && port.bytes().all(|b| b.is_ascii_digit()) => host,
+        _ => authority,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CacheStatus, ClientId, Method, MimeType};
+
+    fn record(trace: &mut Trace, t: u64, url: &str) -> LogRecord {
+        let url = trace.intern_url(url);
+        LogRecord {
+            time: SimTime::from_secs(t),
+            client: ClientId(1),
+            ua: None,
+            url,
+            method: Method::Get,
+            mime: MimeType::Json,
+            status: 200,
+            response_bytes: 100,
+            cache: CacheStatus::Hit,
+        }
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = Trace::new();
+        let a = t.intern_url("https://h.example/a");
+        let b = t.intern_url("https://h.example/b");
+        let a2 = t.intern_url("https://h.example/a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.url_count(), 2);
+        assert_eq!(t.url(a), "https://h.example/a");
+        assert_eq!(t.find_url("https://h.example/b"), Some(b));
+        assert_eq!(t.find_url("https://h.example/c"), None);
+    }
+
+    #[test]
+    fn view_resolves_strings() {
+        let mut t = Trace::new();
+        let ua = t.intern_ua("okhttp/3.12.1");
+        let mut r = record(&mut t, 1, "https://h.example/x");
+        r.ua = Some(ua);
+        t.push(r);
+        let v = t.iter().next().unwrap();
+        assert_eq!(v.url, "https://h.example/x");
+        assert_eq!(v.ua, Some("okhttp/3.12.1"));
+    }
+
+    #[test]
+    fn sort_and_time_span() {
+        let mut t = Trace::new();
+        let r3 = record(&mut t, 3, "https://h.example/3");
+        let r1 = record(&mut t, 1, "https://h.example/1");
+        let r2 = record(&mut t, 2, "https://h.example/2");
+        t.push(r3);
+        t.push(r1);
+        t.push(r2);
+        t.sort_by_time();
+        let times: Vec<u64> = t.records().iter().map(|r| r.time.as_secs()).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+        assert_eq!(
+            t.time_span(),
+            Some((SimTime::from_secs(1), SimTime::from_secs(3)))
+        );
+        assert_eq!(Trace::new().time_span(), None);
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of_url("https://a.example:8443/x/y"), "a.example");
+        assert_eq!(host_of_url("http://b.example/"), "b.example");
+        assert_eq!(host_of_url("//c.example?q=1"), "c.example");
+        assert_eq!(host_of_url("d.example/path"), "d.example");
+        assert_eq!(host_of_url("e.example"), "e.example");
+    }
+
+    #[test]
+    fn merge_reinterns_and_preserves_records() {
+        let mut a = Trace::new();
+        let shared_a = record(&mut a, 1, "https://shared.example/x");
+        a.push(shared_a);
+
+        let mut b = Trace::new();
+        let ua = b.intern_ua("okhttp/3.12.1");
+        let mut rb = record(&mut b, 2, "https://only-b.example/y");
+        rb.ua = Some(ua);
+        b.push(rb);
+        let shared_b = record(&mut b, 3, "https://shared.example/x");
+        b.push(shared_b);
+
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        // The shared URL deduplicates; only-b's URL is added.
+        assert_eq!(a.url_count(), 2);
+        assert_eq!(a.ua_count(), 1);
+        let views: Vec<_> = a.iter().collect();
+        assert_eq!(views[1].url, "https://only-b.example/y");
+        assert_eq!(views[1].ua, Some("okhttp/3.12.1"));
+        assert_eq!(views[2].url, "https://shared.example/x");
+        // Both records of the shared URL resolve to the same id.
+        assert_eq!(a.records()[0].url, a.records()[2].url);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Trace::new();
+        let r = record(&mut a, 1, "https://a.example/x");
+        a.push(r);
+        let before = a.records().to_vec();
+        a.merge(&Trace::new());
+        assert_eq!(a.records(), before.as_slice());
+    }
+
+    #[test]
+    fn retain_filters_records() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            let r = record(&mut t, i, &format!("https://h.example/{i}"));
+            t.push(r);
+        }
+        t.retain(|r| r.time.as_secs() % 2 == 0);
+        assert_eq!(t.len(), 5);
+        // Tables are untouched.
+        assert_eq!(t.url_count(), 10);
+    }
+}

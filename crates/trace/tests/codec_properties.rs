@@ -1,0 +1,119 @@
+//! Property tests: the binary codec round-trips arbitrary traces and never
+//! panics on corrupted input.
+
+use bytes::Bytes;
+use jcdn_trace::codec::{decode, encode};
+use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimTime, Trace};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawRecord {
+    time_us: u64,
+    client: u64,
+    ua: Option<u8>,
+    url: u8,
+    method: u8,
+    mime: u8,
+    cache: u8,
+    status: u16,
+    bytes: u64,
+}
+
+fn arb_record() -> impl Strategy<Value = RawRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::option::of(0u8..5),
+        0u8..8,
+        0u8..5,
+        0u8..7,
+        0u8..3,
+        any::<u16>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(time_us, client, ua, url, method, mime, cache, status, bytes)| RawRecord {
+                // Keep times within i64 so delta encoding stays exact.
+                time_us: time_us % (i64::MAX as u64),
+                client,
+                ua,
+                url,
+                method,
+                mime,
+                cache,
+                status,
+                bytes,
+            },
+        )
+}
+
+fn build_trace(records: &[RawRecord]) -> Trace {
+    let mut t = Trace::new();
+    let urls: Vec<_> = (0..8)
+        .map(|i| t.intern_url(&format!("https://h{i}.example/obj/{i}")))
+        .collect();
+    let uas: Vec<_> = (0..5)
+        .map(|i| t.intern_ua(&format!("agent-{i}/1.0")))
+        .collect();
+    for r in records {
+        t.push(LogRecord {
+            time: SimTime::from_micros(r.time_us),
+            client: ClientId(r.client),
+            ua: r.ua.map(|i| uas[i as usize]),
+            url: urls[r.url as usize],
+            method: match r.method {
+                0 => Method::Get,
+                1 => Method::Post,
+                2 => Method::Head,
+                3 => Method::Put,
+                _ => Method::Delete,
+            },
+            mime: match r.mime {
+                0 => MimeType::Json,
+                1 => MimeType::Html,
+                2 => MimeType::Css,
+                3 => MimeType::JavaScript,
+                4 => MimeType::Image,
+                5 => MimeType::Video,
+                _ => MimeType::Other,
+            },
+            status: r.status,
+            response_bytes: r.bytes,
+            cache: match r.cache {
+                0 => CacheStatus::Hit,
+                1 => CacheStatus::Miss,
+                _ => CacheStatus::NotCacheable,
+            },
+        });
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_traces_round_trip(records in prop::collection::vec(arb_record(), 0..200)) {
+        let t = build_trace(&records);
+        let decoded = decode(encode(&t)).expect("round trip");
+        prop_assert_eq!(decoded.records(), t.records());
+        prop_assert_eq!(decoded.url_table(), t.url_table());
+        prop_assert_eq!(decoded.ua_table(), t.ua_table());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_random_bytes(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_bit_flipped_valid_traces(
+        records in prop::collection::vec(arb_record(), 1..50),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let t = build_trace(&records);
+        let mut data = encode(&t).to_vec();
+        let idx = flip_at.index(data.len());
+        data[idx] ^= 1 << flip_bit;
+        let _ = decode(Bytes::from(data)); // may fail, must not panic
+    }
+}

@@ -1,0 +1,286 @@
+//! The UA classifier (analysis side).
+
+use crate::browsers::{detect_browser, BrowserFamily};
+use crate::edc::EdcDatabase;
+use crate::types::{DeviceType, Platform};
+
+/// The traffic-source attributes extracted from one UA string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Classification {
+    /// Device category (Figure 3 of the paper).
+    pub device: DeviceType,
+    /// Operating platform.
+    pub platform: Platform,
+    /// True when the request came from a web browser.
+    pub is_browser: bool,
+    /// Browser family, when `is_browser`.
+    pub browser: Option<BrowserFamily>,
+    /// Leading product token for native apps/libraries (`NewsApp` from
+    /// `NewsApp/3.2.1 (…)`), used to group traffic by application.
+    pub app_family: Option<String>,
+}
+
+impl Classification {
+    fn unknown() -> Self {
+        Classification {
+            device: DeviceType::Unknown,
+            platform: Platform::Unknown,
+            is_browser: false,
+            browser: None,
+            app_family: None,
+        }
+    }
+}
+
+/// Classifies a UA header using the built-in EDC database.
+///
+/// `None` models a request with no `User-Agent` header — per §4 of the
+/// paper most *Unknown* traffic "does not contain a user agent".
+pub fn classify(ua: Option<&str>) -> Classification {
+    // The builtin EDC table is a static constant copied into a Vec; build it
+    // once.
+    thread_local! {
+        static EDC: EdcDatabase = EdcDatabase::builtin();
+    }
+    EDC.with(|edc| classify_with(ua, edc))
+}
+
+/// Classifies with a caller-provided device database.
+pub fn classify_with(ua: Option<&str>, edc: &EdcDatabase) -> Classification {
+    let Some(ua) = ua else {
+        return Classification::unknown();
+    };
+    let ua = ua.trim();
+    if ua.is_empty() {
+        return Classification::unknown();
+    }
+
+    // Stage 1: EDC lookup. Device-model tokens are the most specific signal
+    // and override system-token heuristics (an Android TV says "Android"
+    // but is an embedded device).
+    let edc_hit = edc.lookup(ua);
+
+    // Stage 2: system identifier tokens, mirroring §3.2's grouping.
+    let platform = edc_hit
+        .map(|r| r.platform)
+        .unwrap_or_else(|| platform_from_tokens(ua));
+    let device = edc_hit
+        .map(|r| r.device)
+        .unwrap_or_else(|| platform.device_type());
+
+    // Stage 3: browser detection via the browser UA database.
+    let browser = detect_browser(ua);
+
+    // Stage 4: app family for non-browser product-token UAs.
+    let app_family = if browser.is_none() {
+        leading_product_token(ua)
+    } else {
+        None
+    };
+
+    Classification {
+        device,
+        platform,
+        is_browser: browser.is_some(),
+        browser,
+        app_family,
+    }
+}
+
+fn platform_from_tokens(ua: &str) -> Platform {
+    // Ordered from most to least specific; embedded identifiers first since
+    // they often embed the desktop/mobile tokens they are derived from.
+    if ua.contains("PlayStation") {
+        return Platform::PlayStation;
+    }
+    if ua.contains("Xbox") {
+        return Platform::Xbox;
+    }
+    if ua.contains("Nintendo") {
+        return Platform::Nintendo;
+    }
+    if ua.contains("SmartTV")
+        || ua.contains("SMART-TV")
+        || ua.contains("GoogleTV")
+        || ua.contains("HbbTV")
+        || ua.contains("tvOS")
+    {
+        return Platform::SmartTv;
+    }
+    if ua.contains("watchOS") || ua.contains("Wear OS") {
+        return Platform::Watch;
+    }
+    if ua.contains("iPhone") || ua.contains("iPad") || ua.contains("iPod") {
+        return Platform::Ios;
+    }
+    // iOS apps using Apple's HTTP stack identify via CFNetwork/Darwin.
+    if ua.contains("CFNetwork") && ua.contains("Darwin") {
+        return Platform::Ios;
+    }
+    if ua.contains("Android") {
+        return Platform::Android;
+    }
+    // okhttp is the dominant Android-native HTTP client.
+    if ua.starts_with("okhttp/") {
+        return Platform::Android;
+    }
+    if ua.contains("Windows Phone") {
+        return Platform::Android; // grouped with mobile; extinct platform
+    }
+    if ua.contains("Windows NT") || ua.contains("Windows") {
+        return Platform::Windows;
+    }
+    if ua.contains("Macintosh") || ua.contains("Mac OS X") {
+        return Platform::MacOs;
+    }
+    if ua.contains("X11; Linux") || ua.contains("Ubuntu") {
+        return Platform::Linux;
+    }
+    if is_script_runtime(ua) {
+        return Platform::ScriptRuntime;
+    }
+    Platform::Unknown
+}
+
+fn is_script_runtime(ua: &str) -> bool {
+    const SCRIPTS: &[&str] = &[
+        "curl/",
+        "Wget/",
+        "python-requests/",
+        "Python-urllib/",
+        "Go-http-client/",
+        "Java/",
+        "Apache-HttpClient/",
+        "node-fetch/",
+        "axios/",
+        "libwww-perl/",
+        "Ruby",
+    ];
+    SCRIPTS.iter().any(|s| ua.starts_with(s))
+}
+
+/// Extracts `Name` from a `Name/version …` product token when it looks like
+/// an application identifier (alphanumeric, reasonable length).
+fn leading_product_token(ua: &str) -> Option<String> {
+    let first = ua.split_whitespace().next()?;
+    let (name, _version) = first.split_once('/')?;
+    let ok = !name.is_empty()
+        && name.len() <= 40
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+    // Mozilla/x.0 is a preamble, not an app; its presence without a browser
+    // match means a spoofing client we cannot name.
+    (ok && name != "Mozilla").then(|| name.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_or_empty_ua_is_unknown() {
+        assert_eq!(classify(None), Classification::unknown());
+        assert_eq!(classify(Some("")), Classification::unknown());
+        assert_eq!(classify(Some("   ")), Classification::unknown());
+    }
+
+    #[test]
+    fn mobile_browser() {
+        let c = classify(Some(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS 12_4 like Mac OS X) AppleWebKit/605.1.15 \
+             (KHTML, like Gecko) Version/12.1.2 Mobile/15E148 Safari/604.1",
+        ));
+        assert_eq!(c.device, DeviceType::Mobile);
+        assert_eq!(c.platform, Platform::Ios);
+        assert!(c.is_browser);
+        assert_eq!(c.browser, Some(BrowserFamily::Safari));
+        assert!(c.app_family.is_none());
+    }
+
+    #[test]
+    fn mobile_native_apps() {
+        let c = classify(Some("NewsApp/3.2.1 (iPhone; iOS 12.4; Scale/3.00)"));
+        assert_eq!(c.device, DeviceType::Mobile);
+        assert!(!c.is_browser);
+        assert_eq!(c.app_family.as_deref(), Some("NewsApp"));
+
+        let c = classify(Some("okhttp/3.12.1"));
+        assert_eq!(c.device, DeviceType::Mobile);
+        assert_eq!(c.platform, Platform::Android);
+        assert_eq!(c.app_family.as_deref(), Some("okhttp"));
+
+        let c = classify(Some("SportsScores/12.1 CFNetwork/978.0.7 Darwin/18.6.0"));
+        assert_eq!(c.device, DeviceType::Mobile);
+        assert_eq!(c.platform, Platform::Ios);
+        assert_eq!(c.app_family.as_deref(), Some("SportsScores"));
+    }
+
+    #[test]
+    fn desktop_browser() {
+        let c = classify(Some(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+             (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36",
+        ));
+        assert_eq!(c.device, DeviceType::Desktop);
+        assert_eq!(c.platform, Platform::Windows);
+        assert!(c.is_browser);
+    }
+
+    #[test]
+    fn embedded_devices_never_classify_as_browser_traffic_in_our_workload() {
+        // Consoles do ship browsers, but the paper observed none in JSON
+        // traffic; the classifier must still label the device correctly.
+        let c = classify(Some(
+            "Mozilla/5.0 (PlayStation 4 6.50) AppleWebKit/605.1.15",
+        ));
+        assert_eq!(c.device, DeviceType::Embedded);
+        assert_eq!(c.platform, Platform::PlayStation);
+
+        let c = classify(Some("Roku/DVP-9.10 (519.10E04111A)"));
+        assert_eq!(c.device, DeviceType::Embedded);
+        assert_eq!(c.platform, Platform::SmartTv);
+
+        let c = classify(Some("GameHub/2.4 (Nintendo Switch; HAC-001)"));
+        assert_eq!(c.device, DeviceType::Embedded);
+        assert_eq!(c.app_family.as_deref(), Some("GameHub"));
+    }
+
+    #[test]
+    fn android_tv_edc_override() {
+        let c = classify(Some(
+            "Mozilla/5.0 (Linux; Android 7.1; AFTB Build/LVY48F) AppleWebKit/537.36",
+        ));
+        // Token heuristics say Android/mobile; EDC corrects to embedded.
+        assert_eq!(c.device, DeviceType::Embedded);
+        assert_eq!(c.platform, Platform::SmartTv);
+    }
+
+    #[test]
+    fn scripts_are_unknown_device() {
+        for ua in [
+            "curl/7.64.0",
+            "python-requests/2.21.0",
+            "Go-http-client/1.1",
+        ] {
+            let c = classify(Some(ua));
+            assert_eq!(c.device, DeviceType::Unknown, "{ua}");
+            assert_eq!(c.platform, Platform::ScriptRuntime, "{ua}");
+            assert!(!c.is_browser);
+        }
+    }
+
+    #[test]
+    fn gibberish_is_unknown_without_app_family() {
+        let c = classify(Some("!!weird agent@@"));
+        assert_eq!(c.device, DeviceType::Unknown);
+        assert!(c.app_family.is_none());
+    }
+
+    #[test]
+    fn mozilla_preamble_without_browser_tokens_is_not_an_app() {
+        let c = classify(Some("Mozilla/5.0 (compatible; custom-internal)"));
+        assert!(!c.is_browser);
+        assert!(c.app_family.is_none());
+    }
+}

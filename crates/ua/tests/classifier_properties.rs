@@ -1,0 +1,63 @@
+//! Property tests: the classifier recovers the generator's ground truth
+//! for every spec and seed, and never panics on arbitrary byte soup.
+
+use jcdn_ua::gen::{EmbeddedKind, UaGenerator, UaSpec};
+use jcdn_ua::{classify, DeviceType};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = UaSpec> {
+    prop_oneof![
+        Just(UaSpec::MobileBrowser),
+        Just(UaSpec::MobileApp("NewsApp")),
+        Just(UaSpec::MobileApp("GameParty")),
+        Just(UaSpec::DesktopBrowser),
+        Just(UaSpec::Embedded(EmbeddedKind::Console)),
+        Just(UaSpec::Embedded(EmbeddedKind::Tv)),
+        Just(UaSpec::Embedded(EmbeddedKind::Watch)),
+        Just(UaSpec::Embedded(EmbeddedKind::Iot)),
+        Just(UaSpec::Script),
+        Just(UaSpec::Missing),
+        Just(UaSpec::Garbage),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn classification_matches_ground_truth(spec in arb_spec(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ua, truth) = UaGenerator::new().generate(&mut rng, spec);
+        let c = classify(ua.as_deref());
+        prop_assert_eq!(c.device, truth.device, "ua {:?}", ua);
+        prop_assert_eq!(c.is_browser, truth.is_browser, "ua {:?}", ua);
+    }
+
+    #[test]
+    fn classifier_never_panics_on_arbitrary_strings(ua in "\\PC{0,120}") {
+        let c = classify(Some(&ua));
+        // Whatever it is, browser classification requires the Mozilla
+        // preamble, so unprefixed noise is never a browser.
+        if !ua.starts_with("Mozilla/") {
+            prop_assert!(!c.is_browser);
+        }
+    }
+
+    #[test]
+    fn device_and_platform_agree(spec in arb_spec(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ua, _) = UaGenerator::new().generate(&mut rng, spec);
+        let c = classify(ua.as_deref());
+        // The platform's implied device type never contradicts the final
+        // device classification except when an EDC record overrides it —
+        // and overrides only move Android/unknown devices into Embedded.
+        let implied = c.platform.device_type();
+        prop_assert!(
+            c.device == implied || c.device == DeviceType::Embedded,
+            "device {:?} vs platform {:?} for {:?}",
+            c.device,
+            c.platform,
+            ua
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for URL parsing and clustering.
+
+use jcdn_url::cluster::Clusterer;
+use jcdn_url::Url;
+use proptest::prelude::*;
+
+/// Generates syntactically valid host names.
+fn arb_host() -> impl Strategy<Value = String> {
+    ("[a-z][a-z0-9-]{0,8}", "[a-z]{2,4}").prop_map(|(name, tld)| format!("{name}.{tld}"))
+}
+
+/// Generates path strings of URL-safe segments.
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9._~-]{1,10}", 0..5)
+        .prop_map(|segments| format!("/{}", segments.join("/")))
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    prop::collection::vec(("[a-z]{1,6}", "[a-zA-Z0-9]{0,8}"), 0..4).prop_map(|pairs| {
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "?{}",
+                pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join("&")
+            )
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_reparses_to_equal_url(
+        host in arb_host(),
+        path in arb_path(),
+        query in arb_query(),
+        scheme in prop_oneof![Just("http"), Just("https")],
+        port in prop::option::of(1u16..),
+    ) {
+        let port_part = port.map(|p| format!(":{p}")).unwrap_or_default();
+        let input = format!("{scheme}://{host}{port_part}{path}{query}");
+        let url = Url::parse(&input).expect("constructed URL must parse");
+        let round = Url::parse(&url.to_string()).expect("display must reparse");
+        prop_assert_eq!(url, round);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,60}") {
+        let _ = Url::parse(&s);
+    }
+
+    #[test]
+    fn object_key_is_scheme_invariant(host in arb_host(), path in arb_path(), query in arb_query()) {
+        let a = Url::parse(&format!("http://{host}{path}{query}")).unwrap();
+        let b = Url::parse(&format!("https://{host}{path}{query}")).unwrap();
+        prop_assert_eq!(a.object_key(), b.object_key());
+    }
+
+    #[test]
+    fn clustering_is_idempotent_on_ids(
+        host in arb_host(),
+        section in "[a-z]{3,8}",
+        id_a in 0u64..1_000_000,
+        id_b in 0u64..1_000_000,
+    ) {
+        let c = Clusterer::default();
+        let a = c.cluster(&Url::parse(&format!("https://{host}/{section}/{id_a}")).unwrap());
+        let b = c.cluster(&Url::parse(&format!("https://{host}/{section}/{id_b}")).unwrap());
+        // Same application step, different ids → same cluster key.
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_key_never_contains_raw_long_numbers(
+        host in arb_host(),
+        id in 100u64..u64::MAX,
+    ) {
+        let c = Clusterer::default();
+        let key = c.cluster(&Url::parse(&format!("https://{host}/x/{id}?u={id}")).unwrap());
+        prop_assert!(!key.contains(&id.to_string()), "key {key} leaks id {id}");
+    }
+
+    #[test]
+    fn join_of_rooted_path_preserves_host(host in arb_host(), path in arb_path()) {
+        let base = Url::parse(&format!("https://{host}/start")).unwrap();
+        let joined = base.join(&path).unwrap();
+        prop_assert_eq!(joined.host(), base.host());
+        prop_assert_eq!(joined.path(), path.as_str());
+    }
+}

@@ -1,0 +1,200 @@
+//! Workload configuration and the paper-calibrated population targets.
+
+use jcdn_trace::SimDuration;
+
+/// The population shares the generator is calibrated to — the numbers §4
+/// and §5 of the paper report. Tests and the reproduction harness compare
+/// the analyzed trace against these.
+#[derive(Clone, Debug)]
+pub struct PopulationTargets {
+    /// Share of requests from mobile devices (paper: ≥ 0.55).
+    pub mobile_request_share: f64,
+    /// Share of requests from embedded devices (paper: ≈ 0.12).
+    pub embedded_request_share: f64,
+    /// Share of requests from desktops (paper: ≈ 0.09, the remainder after
+    /// Unknown's 24%).
+    pub desktop_request_share: f64,
+    /// Share of all requests issued by browsers (paper: ≈ 0.12).
+    pub browser_share: f64,
+    /// Share of all requests issued by *mobile* browsers (paper: 0.025).
+    pub mobile_browser_share: f64,
+    /// Share of GET among JSON requests (paper: 0.84).
+    pub get_share: f64,
+    /// Share of JSON request volume that is uncacheable (paper: ≈ 0.55).
+    pub uncacheable_share: f64,
+    /// Share of JSON requests belonging to periodic flows (paper: 0.063).
+    pub periodic_share: f64,
+    /// Share of periodic requests that are uploads (paper: 0.78).
+    pub periodic_upload_share: f64,
+}
+
+impl Default for PopulationTargets {
+    fn default() -> Self {
+        PopulationTargets {
+            mobile_request_share: 0.55,
+            embedded_request_share: 0.12,
+            desktop_request_share: 0.09,
+            browser_share: 0.12,
+            mobile_browser_share: 0.025,
+            get_share: 0.84,
+            uncacheable_share: 0.55,
+            periodic_share: 0.063,
+            periodic_upload_share: 0.78,
+        }
+    }
+}
+
+/// Log-normal size models per content type, calibrated to §4: JSON is 24%
+/// smaller than HTML at the median and 87% smaller at the 75th percentile
+/// (JSON bodies are small and tight; HTML is heavy-tailed).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeModels {
+    /// (median bytes, σ) for JSON responses.
+    pub json: (f64, f64),
+    /// (median bytes, σ) for HTML responses.
+    pub html: (f64, f64),
+    /// (median bytes, σ) for images.
+    pub image: (f64, f64),
+}
+
+impl Default for SizeModels {
+    fn default() -> Self {
+        // median ratio 1800/2400 = 0.76 → 24% smaller at the median.
+        // p75 ratio = 0.76 · exp(0.6745·(σj − σh)) = 0.76 · e^{−1.72} ≈ 0.13
+        // → 87% smaller at p75.
+        SizeModels {
+            json: (1800.0, 0.55),
+            html: (2400.0, 3.10),
+            image: (24_000.0, 1.0),
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Dataset label (Table 2 row name).
+    pub name: String,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Simulated capture duration.
+    pub duration: SimDuration,
+    /// Number of customer domains.
+    pub domains: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Approximate total number of request events to generate.
+    pub target_events: usize,
+    /// Population shares to calibrate against.
+    pub targets: PopulationTargets,
+    /// Size models per content type.
+    pub sizes: SizeModels,
+}
+
+impl WorkloadConfig {
+    /// The short-term dataset: paper = 25M logs / 10 min / ~5K domains over
+    /// the whole network. Scaled 1:50 by default (see EXPERIMENTS.md).
+    pub fn short_term(seed: u64) -> Self {
+        WorkloadConfig {
+            name: "Short-term".into(),
+            seed,
+            duration: SimDuration::from_secs(600),
+            domains: 600,
+            clients: 12_000,
+            target_events: 500_000,
+            targets: PopulationTargets::default(),
+            sizes: SizeModels::default(),
+        }
+    }
+
+    /// The long-term dataset: paper = 10M logs / 24 h / ~170 domains from
+    /// three vantage points. Domain count kept paper-exact; volume scaled.
+    pub fn long_term(seed: u64) -> Self {
+        WorkloadConfig {
+            name: "Long-term".into(),
+            seed,
+            duration: SimDuration::DAY,
+            domains: 170,
+            clients: 3_000,
+            target_events: 400_000,
+            targets: PopulationTargets::default(),
+            sizes: SizeModels::default(),
+        }
+    }
+
+    /// A small configuration for unit/integration tests (seconds to build,
+    /// still statistically meaningful).
+    pub fn tiny(seed: u64) -> Self {
+        WorkloadConfig {
+            name: "Tiny".into(),
+            seed,
+            duration: SimDuration::from_secs(300),
+            domains: 40,
+            clients: 600,
+            target_events: 30_000,
+            targets: PopulationTargets::default(),
+            sizes: SizeModels::default(),
+        }
+    }
+
+    /// Returns a copy scaled by `factor` in volume (clients, events) while
+    /// keeping shares and duration fixed.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        self.clients = ((self.clients as f64 * factor).round() as usize).max(10);
+        self.target_events = ((self.target_events as f64 * factor).round() as usize).max(100);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_targets_match_paper() {
+        let t = PopulationTargets::default();
+        assert_eq!(t.get_share, 0.84);
+        assert_eq!(t.periodic_share, 0.063);
+        let unknown =
+            1.0 - t.mobile_request_share - t.embedded_request_share - t.desktop_request_share;
+        assert!((unknown - 0.24).abs() < 1e-9, "Unknown share {unknown}");
+    }
+
+    #[test]
+    fn size_models_encode_the_paper_ratios() {
+        let s = SizeModels::default();
+        let (jm, js) = s.json;
+        let (hm, hs) = s.html;
+        let median_ratio = jm / hm;
+        assert!(
+            (median_ratio - 0.76).abs() < 0.02,
+            "median ratio {median_ratio}"
+        );
+        // p75 of a log-normal = median · exp(0.6745σ).
+        let p75_ratio = (jm * (0.6745 * js).exp()) / (hm * (0.6745 * hs).exp());
+        assert!(
+            (0.10..0.17).contains(&p75_ratio),
+            "p75 ratio {p75_ratio} (paper: 0.13)"
+        );
+    }
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        let short = WorkloadConfig::short_term(1);
+        assert_eq!(short.duration.as_secs(), 600);
+        let long = WorkloadConfig::long_term(1);
+        assert_eq!(long.duration.as_secs(), 86_400);
+        assert_eq!(long.domains, 170);
+        assert!(short.domains > long.domains);
+    }
+
+    #[test]
+    fn scaling_changes_volume_not_shape() {
+        let base = WorkloadConfig::tiny(1);
+        let scaled = base.clone().scaled(0.5);
+        assert_eq!(scaled.clients, base.clients / 2);
+        assert_eq!(scaled.duration, base.duration);
+        assert_eq!(scaled.domains, base.domains);
+    }
+}

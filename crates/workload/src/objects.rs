@@ -1,0 +1,116 @@
+//! Domains and objects of the synthetic universe.
+
+use jcdn_trace::{MimeType, SimDuration};
+
+use crate::industry::{CachePolicy, IndustryCategory};
+
+/// One CDN customer domain.
+#[derive(Clone, Debug)]
+pub struct DomainInfo {
+    /// Hostname, e.g. `sports-17.example`.
+    pub host: String,
+    /// Ground-truth industry category.
+    pub industry: IndustryCategory,
+    /// Customer-configured cache policy.
+    pub cache_policy: CachePolicy,
+    /// Relative request-volume weight of this domain.
+    pub popularity: f64,
+}
+
+/// One addressable object (URL) in the universe.
+#[derive(Clone, Debug)]
+pub struct ObjectInfo {
+    /// Full URL.
+    pub url: String,
+    /// Owning domain (index into [`crate::Workload::domains`]).
+    pub domain: u32,
+    /// Response content type.
+    pub mime: MimeType,
+    /// Whether the customer configuration allows caching this object.
+    pub cacheable: bool,
+    /// Cache TTL when cacheable.
+    pub ttl: SimDuration,
+    /// Median response size in bytes.
+    pub size_median: f64,
+    /// Log-normal σ of the response size (0 ⇒ fixed size).
+    pub size_sigma: f64,
+    /// For manifest objects: the JSON body served, containing URL
+    /// references to follow-up objects (Table 1's pattern). `None` for
+    /// everything else (bodies are synthesized as opaque bytes).
+    pub body: Option<String>,
+}
+
+impl ObjectInfo {
+    /// Samples a concrete response size for one request.
+    ///
+    /// Static objects return their fixed size; dynamic objects draw
+    /// log-normally around the median. Never returns 0 — every response in
+    /// the logs carries at least a JSON `{}`.
+    pub fn sample_size<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if let Some(body) = &self.body {
+            return body.len() as u64;
+        }
+        let size = if self.size_sigma == 0.0 {
+            self.size_median
+        } else {
+            use jcdn_stats::dist::{LogNormal, Sample};
+            LogNormal::from_median(self.size_median.max(2.0), self.size_sigma).sample(rng)
+        };
+        (size.round() as u64).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn object(median: f64, sigma: f64, body: Option<String>) -> ObjectInfo {
+        ObjectInfo {
+            url: "https://h.example/x".into(),
+            domain: 0,
+            mime: MimeType::Json,
+            cacheable: true,
+            ttl: SimDuration::from_secs(60),
+            size_median: median,
+            size_sigma: sigma,
+            body,
+        }
+    }
+
+    #[test]
+    fn fixed_size_objects_are_deterministic() {
+        let o = object(500.0, 0.0, None);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(o.sample_size(&mut rng), 500);
+        assert_eq!(o.sample_size(&mut rng), 500);
+    }
+
+    #[test]
+    fn dynamic_sizes_vary_around_median() {
+        let o = object(1000.0, 0.5, None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sizes: Vec<u64> = (0..2000).map(|_| o.sample_size(&mut rng)).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((800..1200).contains(&median), "median {median}");
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "sizes must vary");
+    }
+
+    #[test]
+    fn manifest_bodies_pin_the_size() {
+        let body = r#"{"stories":[{"id":1}]}"#.to_owned();
+        let o = object(9999.0, 1.0, Some(body.clone()));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(o.sample_size(&mut rng), body.len() as u64);
+    }
+
+    #[test]
+    fn sizes_never_zero() {
+        let o = object(0.1, 0.0, None);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(o.sample_size(&mut rng) >= 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 1's manifest pattern, end to end: inspect a generated JSON
+//! manifest body, follow its references the way a mobile news app would,
+//! and show how the edge can prefetch them.
+//!
+//! ```sh
+//! cargo run --release --example manifest_pattern
+//! ```
+
+use jcdn::json;
+use jcdn::workload::{build, WorkloadConfig};
+
+fn main() {
+    let workload = build(&WorkloadConfig::tiny(7));
+
+    // Find a JSON manifest object the generator produced.
+    let (manifest_id, manifest) = workload
+        .objects
+        .iter()
+        .enumerate()
+        .find(|(_, o)| o.body.is_some())
+        .expect("the workload always contains manifest objects");
+    let body = manifest.body.as_ref().expect("checked");
+
+    println!("1. Request:  GET -> {}", manifest.url);
+    println!("   Response: <- \"application/json\"");
+    let doc = json::parse(body).expect("generated manifests are valid JSON");
+    // Print the first two stories, pretty-printed, like Table 1.
+    if let Some(stories) = doc.as_array() {
+        for story in stories.iter().take(2) {
+            println!("{}", indent(&json::to_string_pretty(story), 3));
+        }
+        if stories.len() > 2 {
+            println!("   ... ({} stories total)", stories.len());
+        }
+    }
+
+    // Follow the references like the app would.
+    let refs = json::extract_url_refs(&doc);
+    println!("\n2. The app now requests the referenced objects:");
+    for (i, reference) in refs.iter().take(4).enumerate() {
+        println!("   Request {}: GET -> {}", i + 2, reference);
+    }
+    if refs.len() > 4 {
+        println!("   ... ({} references total)", refs.len());
+    }
+
+    // The generator records the same dependency as ground truth; verify the
+    // two views agree.
+    let truth = &workload.truth.manifest_children[&(manifest_id as u32)];
+    let resolved = refs
+        .iter()
+        .filter(|r| {
+            workload
+                .objects
+                .iter()
+                .enumerate()
+                .any(|(id, o)| o.url == **r && truth.contains(&(id as u32)))
+        })
+        .count();
+    println!(
+        "\nGround truth: {} referenced objects, {} resolvable from the body — \
+         an edge server parsing this response can prefetch all of them.",
+        truth.len(),
+        resolved
+    );
+}
+
+fn indent(text: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    text.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

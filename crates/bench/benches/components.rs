@@ -4,14 +4,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jcdn_cdnsim::cache::LruCache;
+use jcdn_cdnsim::{run_default, FaultPlan, OriginOutage, SimConfig, Window};
 use jcdn_ngram::NgramModel;
 use jcdn_signal::acf::Autocorrelation;
 use jcdn_signal::fft::{fft_in_place, Complex};
 use jcdn_signal::spectrum::Periodogram;
 use jcdn_trace::codec::{decode, encode};
-use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimDuration, SimTime, Trace};
+use jcdn_trace::{
+    CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, SimDuration, SimTime, Trace,
+};
 use jcdn_url::cluster::Clusterer;
 use jcdn_url::Url;
+use jcdn_workload::{build, WorkloadConfig};
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
@@ -135,6 +139,8 @@ fn bench_codec(c: &mut Criterion) {
             status: 200,
             response_bytes: 500 + i % 1000,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     }
     c.bench_function("codec_encode_50k", |b| {
@@ -143,6 +149,30 @@ fn bench_codec(c: &mut Criterion) {
     let encoded = encode(&trace);
     c.bench_function("codec_decode_50k", |b| {
         b.iter(|| std::hint::black_box(decode(encoded.clone()).unwrap().len()))
+    });
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    // The resilience machinery (retries, serve-stale, negative cache,
+    // coalescing) all fire under an outage; this times that hot path
+    // against the fault-free baseline.
+    let workload = build(&WorkloadConfig::tiny(77).scaled(0.2));
+    let clean = SimConfig::default();
+    let faulted = SimConfig {
+        fault: FaultPlan {
+            outages: vec![OriginOutage {
+                domain: 0,
+                window: Window::from_secs(0, 600),
+            }],
+            ..FaultPlan::default()
+        },
+        ..SimConfig::default()
+    };
+    c.bench_function("sim_tiny_fault_free", |b| {
+        b.iter(|| std::hint::black_box(run_default(&workload, &clean).stats.requests))
+    });
+    c.bench_function("sim_tiny_outage_resilient", |b| {
+        b.iter(|| std::hint::black_box(run_default(&workload, &faulted).stats.end_user_failures))
     });
 }
 
@@ -155,5 +185,6 @@ criterion_group!(
     bench_url_cluster,
     bench_ngram,
     bench_codec,
+    bench_fault_sim,
 );
 criterion_main!(components);

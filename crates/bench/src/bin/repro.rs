@@ -27,6 +27,7 @@ const ALL: &[&str] = &[
     "table3",
     "ext_prefetch",
     "ext_depri",
+    "ext_outage",
     "abl_permutations",
     "abl_history",
     "abl_parent",
@@ -44,7 +45,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--markdown" => {
-                markdown = Some(args.next().unwrap_or_else(|| usage("--markdown needs a path")));
+                markdown = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--markdown needs a path")),
+                );
             }
             "--scale" => {
                 scale = args
@@ -112,6 +116,7 @@ fn main() -> ExitCode {
             "table3" => experiments::table3(ctx.expect("ctx")),
             "ext_prefetch" => experiments::ext_prefetch(ctx.expect("ctx")),
             "ext_depri" => experiments::ext_depri(ctx.expect("ctx")),
+            "ext_outage" => experiments::ext_outage(ctx.expect("ctx")),
             "abl_permutations" => experiments::abl_permutations(ctx.expect("ctx")),
             "abl_history" => experiments::abl_history(ctx.expect("ctx")),
             "abl_parent" => experiments::abl_parent_tier(ctx.expect("ctx")),

@@ -6,7 +6,9 @@
 //! roughly what factor, where the spikes fall). Absolute numbers differ
 //! from the paper (our substrate is a simulator; see DESIGN.md §2).
 
-use jcdn_cdnsim::{SimConfig, SimDuration};
+use jcdn_cdnsim::{
+    run_default, FaultPlan, OriginOutage, ResilienceConfig, SimConfig, SimDuration, Window,
+};
 use jcdn_core::characterize::{
     json_html_ratio, CacheabilityHeatmap, RequestTypeBreakdown, ResponseTypeBreakdown,
     TokenCategoryProvider, TrafficSourceBreakdown,
@@ -646,6 +648,86 @@ pub fn ext_depri(ctx: &Context) -> ExperimentResult {
     }
 }
 
+/// X-outage: a ten-minute origin outage on the busiest domain, with the
+/// client/edge resilience machinery on vs off. The countermeasures must
+/// strictly lower the end-user error rate.
+pub fn ext_outage(ctx: &Context) -> ExperimentResult {
+    let workload = &ctx.short_term.workload;
+    let mut counts = vec![0u64; workload.domains.len()];
+    for event in &workload.events {
+        counts[workload.objects[event.object as usize].domain as usize] += 1;
+    }
+    let busiest = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    // Two minutes of warm-up before the outage so the edge holds entries
+    // that can expire into the stale-if-error grace window.
+    let config = |resilient: bool| SimConfig {
+        fault: FaultPlan {
+            outages: vec![OriginOutage {
+                domain: busiest,
+                window: Window::from_secs(120, 720),
+            }],
+            ..FaultPlan::default()
+        },
+        resilience: if resilient {
+            ResilienceConfig::default()
+        } else {
+            ResilienceConfig::disabled()
+        },
+        ..SimConfig::default()
+    };
+    let with = run_default(workload, &config(true));
+    let without = run_default(workload, &config(false));
+
+    let rate = |stats: &jcdn_cdnsim::SimStats| stats.end_user_error_rate().unwrap_or(0.0);
+    let mut table = TextTable::new(&[
+        "resilience",
+        "end-user errors",
+        "retries",
+        "stale serves",
+        "neg-cache",
+    ]);
+    for (label, out) in [("on", &with), ("off", &without)] {
+        table.row(&[
+            format!("{label} ({})", pct(rate(&out.stats))),
+            out.stats.end_user_failures.to_string(),
+            out.stats.retries_issued.to_string(),
+            out.stats.stale_serves.to_string(),
+            out.stats.neg_cache_serves.to_string(),
+        ]);
+    }
+    let rendered = format!(
+        "10-minute outage on domain {busiest} ({} of {} events)\n\n{}",
+        pct(counts[busiest as usize] as f64 / workload.events.len().max(1) as f64),
+        workload.events.len(),
+        table.render()
+    );
+    ExperimentResult {
+        id: "ext_outage",
+        title: "Extension — origin outage with client/edge resilience",
+        rendered,
+        checks: vec![
+            (
+                "the outage produces failures".into(),
+                without.stats.end_user_failures > 0,
+            ),
+            (
+                "resilience strictly lowers the end-user error rate".into(),
+                rate(&with.stats) < rate(&without.stats),
+            ),
+            ("serve-stale fires".into(), with.stats.stale_serves > 0),
+            (
+                "retries amplify attempts".into(),
+                with.stats.retries_issued > 0 && without.stats.retries_issued == 0,
+            ),
+        ],
+    }
+}
+
 /// X3: ablation over the permutation count x (§5.1: "values of x greater
 /// than 100 do not produce significantly different results").
 pub fn abl_permutations(ctx: &Context) -> ExperimentResult {
@@ -861,7 +943,9 @@ pub fn ext_leadtime(ctx: &Context) -> ExperimentResult {
 
 /// X5: anomaly detection from the learned models.
 pub fn ext_anomaly(ctx: &Context) -> ExperimentResult {
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimTime, Trace};
+    use jcdn_trace::{
+        CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, SimTime, Trace,
+    };
 
     let detector = SequenceAnomalyDetector::train(&ctx.short_term.trace, 1, 1e-4);
 
@@ -891,6 +975,8 @@ pub fn ext_anomaly(ctx: &Context) -> ExperimentResult {
             status: 200,
             response_bytes: 64,
             cache: CacheStatus::NotCacheable,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     };
     push(&mut attack, 0, &manifest_url);

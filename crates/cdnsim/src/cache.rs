@@ -31,6 +31,21 @@ pub struct CacheStats {
     /// Hits whose entry was inserted by a prefetch and not yet touched by a
     /// demand request — the numerator of prefetch usefulness.
     pub prefetch_hits: u64,
+    /// Lookups answered with an expired entry inside the stale-if-error
+    /// grace window (neither a hit nor a miss).
+    pub stale_hits: u64,
+}
+
+/// Outcome of a grace-aware cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Entry resident and unexpired.
+    Fresh,
+    /// Entry expired, but still within the stale-if-error grace window; it
+    /// stays resident so a later lookup can serve it again.
+    Stale,
+    /// Entry absent, or expired beyond the grace window (and removed).
+    Miss,
 }
 
 /// A least-recently-used cache bounded by total bytes, with per-entry TTL.
@@ -99,17 +114,32 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
     /// Looks up `key` at time `now`, refreshing recency on hit. An expired
     /// entry is removed and counted as a miss (plus an expiration).
     pub fn get(&mut self, key: K, now: SimTime) -> bool {
+        self.get_with_grace(key, now, SimDuration::ZERO) == Lookup::Fresh
+    }
+
+    /// Looks up `key` at time `now`, tolerating entries that expired no more
+    /// than `grace` ago (stale-if-error). A stale entry stays resident — the
+    /// caller decides whether to serve it — while an entry expired beyond
+    /// the grace window is removed and counted as a miss. With
+    /// `grace == ZERO` this is exactly [`LruCache::get`].
+    pub fn get_with_grace(&mut self, key: K, now: SimTime, grace: SimDuration) -> Lookup {
         match self.map.get(&key).copied() {
             None => {
                 self.stats.misses += 1;
-                false
+                Lookup::Miss
             }
             Some(idx) => {
-                if self.slots[idx].expires <= now {
-                    self.remove_slot(idx);
-                    self.stats.expirations += 1;
-                    self.stats.misses += 1;
-                    return false;
+                let expires = self.slots[idx].expires;
+                if expires <= now {
+                    if expires.saturating_add(grace) <= now {
+                        self.remove_slot(idx);
+                        self.stats.expirations += 1;
+                        self.stats.misses += 1;
+                        return Lookup::Miss;
+                    }
+                    self.touch(idx);
+                    self.stats.stale_hits += 1;
+                    return Lookup::Stale;
                 }
                 if self.slots[idx].prefetched {
                     self.slots[idx].prefetched = false;
@@ -117,7 +147,7 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
                 }
                 self.touch(idx);
                 self.stats.hits += 1;
-                true
+                Lookup::Fresh
             }
         }
     }
@@ -346,6 +376,36 @@ mod tests {
         assert!(c.get(1, t(2)));
         assert_eq!(c.stats().prefetch_hits, 1);
         assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn grace_window_serves_stale_then_expires() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 10, SimDuration::from_secs(30), t(0), false);
+        let grace = SimDuration::from_secs(60);
+        assert_eq!(c.get_with_grace(1, t(29), grace), Lookup::Fresh);
+        // Expired at t=30; within the 60 s grace it is stale, not gone.
+        assert_eq!(c.get_with_grace(1, t(30), grace), Lookup::Stale);
+        assert_eq!(c.get_with_grace(1, t(89), grace), Lookup::Stale);
+        assert_eq!(c.len(), 1, "stale entries stay resident");
+        // Grace ends at expiry + 60 s.
+        assert_eq!(c.get_with_grace(1, t(90), grace), Lookup::Miss);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().stale_hits, 2);
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn zero_grace_matches_plain_get() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        c.insert(1, 10, SimDuration::from_secs(30), t(0), false);
+        assert_eq!(
+            c.get_with_grace(1, t(30), SimDuration::ZERO),
+            Lookup::Miss,
+            "zero grace keeps the old expire-at-ttl behaviour"
+        );
+        assert_eq!(c.stats().stale_hits, 0);
+        assert_eq!(c.stats().expirations, 1);
     }
 
     #[test]

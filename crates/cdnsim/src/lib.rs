@@ -21,6 +21,11 @@
 //! * a pluggable [`Policy`] hook consulted on every request — the prefetch
 //!   and deprioritization engines in `jcdn-prefetch` implement it.
 //!
+//! * a fault-injection plan ([`fault::FaultPlan`]) with client retries and
+//!   edge graceful degradation ([`fault::ResilienceConfig`]) for
+//!   availability experiments: origin outages, degraded origins, bursty
+//!   errors, edge flaps, serve-stale, negative caching, coalescing.
+//!
 //! ## Example
 //!
 //! ```
@@ -29,16 +34,25 @@
 //!
 //! let workload = build(&WorkloadConfig::tiny(42).scaled(0.1));
 //! let output = run_default(&workload, &SimConfig::default());
-//! assert_eq!(output.trace.len(), workload.events.len());
+//! // Failed attempts are retried as fresh events, so the trace holds one
+//! // record per attempt: the original events plus every retry issued.
+//! assert_eq!(
+//!     output.trace.len() as u64,
+//!     workload.events.len() as u64 + output.stats.retries_issued,
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 mod latency;
 mod sim;
 
+pub use fault::{
+    EdgeFlap, ErrorBursts, FaultPlan, OriginDegradation, OriginOutage, ResilienceConfig, Window,
+};
 pub use latency::LatencyModel;
 pub use sim::{
     run, run_default, NoopPolicy, Policy, PolicyOutcome, Priority, RequestCtx, SimConfig,

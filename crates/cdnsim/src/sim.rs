@@ -5,13 +5,17 @@ use std::collections::BinaryHeap;
 
 use jcdn_stats::Summary;
 use jcdn_trace::{
-    CacheStatus, ClientId, LogRecord, MimeType, SimDuration, SimTime, Trace, UaId, UrlId,
+    CacheStatus, ClientId, LogRecord, MimeType, RecordFlags, SimDuration, SimTime, Trace, UaId,
+    UrlId,
 };
 use jcdn_workload::{ClientInfo, ObjectInfo, Workload};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::cache::LruCache;
+use std::collections::HashMap;
+
+use crate::cache::{Lookup, LruCache};
+use crate::fault::{FaultPlan, FaultState, ResilienceConfig};
 use crate::latency::LatencyModel;
 
 /// Simulator configuration.
@@ -34,8 +38,13 @@ pub struct SimConfig {
     /// Additional CPU cost per KiB of response ("a large chunk of the total
     /// request cost is tied to CPU request processing", §4).
     pub service_per_kb: SimDuration,
-    /// Fraction of requests that fail at the origin (5xx).
+    /// Fraction of requests that fail with a 5xx, drawn independently per
+    /// attempt. Superseded by [`FaultPlan::errors`] when that is set.
     pub error_fraction: f64,
+    /// Injected faults: outages, degradations, edge flaps, error bursts.
+    pub fault: FaultPlan,
+    /// Client retry policy and edge graceful degradation.
+    pub resilience: ResilienceConfig,
     /// RNG seed (response sizes, latency jitter, errors).
     pub seed: u64,
 }
@@ -50,6 +59,8 @@ impl Default for SimConfig {
             service_base: SimDuration::from_micros(200),
             service_per_kb: SimDuration::from_micros(20),
             error_fraction: 0.004,
+            fault: FaultPlan::default(),
+            resilience: ResilienceConfig::default(),
             seed: 0x5eed,
         }
     }
@@ -152,6 +163,22 @@ pub struct SimStats {
     pub latency_normal: Summary,
     /// End-to-end latency of `Deprioritized` requests (seconds).
     pub latency_depri: Summary,
+    /// Retries scheduled by failed attempts (each adds one log record).
+    pub retries_issued: u64,
+    /// 5xx responses with no retry after them — failures the end user saw.
+    pub end_user_failures: u64,
+    /// Responses answered with an expired entry inside the stale-if-error
+    /// grace window because the origin was unavailable.
+    pub stale_serves: u64,
+    /// Lookups answered by the negative cache (fast 5xx or stale serve)
+    /// without re-contacting a known-bad origin.
+    pub neg_cache_serves: u64,
+    /// Cache hits that had to wait for an in-flight origin fetch of the
+    /// same object (request coalescing).
+    pub coalesced_waits: u64,
+    /// Origin attempts that failed: hard outage (503), degradation tripping
+    /// the origin timeout (504), or a stochastic error (500).
+    pub origin_errors: u64,
 }
 
 impl SimStats {
@@ -171,6 +198,24 @@ impl SimStats {
     pub fn json_uncacheable_share(&self) -> Option<f64> {
         (self.json_requests > 0).then(|| self.json_not_cacheable as f64 / self.json_requests as f64)
     }
+
+    /// Logical requests: attempts minus the retries that re-entered the
+    /// queue (i.e. the number of workload events served).
+    pub fn logical_requests(&self) -> u64 {
+        self.requests.saturating_sub(self.retries_issued)
+    }
+
+    /// Share of logical requests whose final answer was a 5xx.
+    pub fn end_user_error_rate(&self) -> Option<f64> {
+        let logical = self.logical_requests();
+        (logical > 0).then(|| self.end_user_failures as f64 / logical as f64)
+    }
+
+    /// Attempts per logical request (1.0 = no retrying).
+    pub fn retry_amplification(&self) -> Option<f64> {
+        let logical = self.logical_requests();
+        (logical > 0).then(|| self.requests as f64 / logical as f64)
+    }
 }
 
 /// The simulator's output: the edge logs and the aggregate stats.
@@ -188,21 +233,53 @@ enum InternalEvent {
     ServiceDone { edge: usize },
     /// A prefetch fetch returned from origin.
     PrefetchDone { edge: usize, object: u32 },
+    /// A client re-issues a failed request after backing off.
+    Retry {
+        widx: usize,
+        attempt: u8,
+        priority: Priority,
+    },
 }
+
+/// A queued request: (priority, arrival, seq, workload index, attempt).
+type QueuedRequest = (Priority, SimTime, u64, usize, u8);
 
 struct Edge {
     cache: LruCache<u32>,
     busy_until: SimTime,
-    /// Waiting requests: (priority, arrival, seq, workload index).
-    queue: BinaryHeap<Reverse<(Priority, SimTime, u64, usize)>>,
+    /// Waiting requests, served in priority-then-arrival order.
+    queue: BinaryHeap<Reverse<QueuedRequest>>,
     /// Request currently in service.
-    in_service: Option<(usize, SimTime, Priority)>,
+    in_service: Option<(usize, SimTime, Priority, u8)>,
+    /// Origin-unavailability verdicts: object → (valid until, status).
+    neg_cache: HashMap<u32, (SimTime, u16)>,
+    /// Outstanding origin fetches: object → completion time, for request
+    /// coalescing.
+    in_flight: HashMap<u32, SimTime>,
+}
+
+/// Routes a request to an edge, skipping edges that are flapped out of
+/// rotation at `t`. With no flaps this is the plain `hash % edges` of the
+/// original simulator; when every edge is down, routing falls back to it
+/// too (the request has to land somewhere).
+fn route_edge(fault: &FaultPlan, edges: usize, ip_hash: u64, t: SimTime) -> usize {
+    if fault.flaps.is_empty() {
+        return (ip_hash % edges as u64) as usize;
+    }
+    let up: Vec<usize> = (0..edges).filter(|&e| !fault.edge_down(e, t)).collect();
+    if up.is_empty() {
+        return (ip_hash % edges as u64) as usize;
+    }
+    up[(ip_hash % up.len() as u64) as usize]
 }
 
 /// Runs the workload through the simulated CDN with the given policy.
 pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> SimOutput {
     assert!(config.edges > 0, "need at least one edge");
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // The fault/error stream is separate from the main stream so enabling
+    // bursts or faults never perturbs size and latency draws.
+    let mut fault_state = FaultState::new(config.seed ^ 0xFAD7_5EED);
     let mut stats = SimStats::default();
     let mut parent: Option<LruCache<u32>> = config.parent_cache.map(LruCache::new);
     let mut edges: Vec<Edge> = (0..config.edges)
@@ -211,6 +288,8 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
             busy_until: SimTime::ZERO,
             queue: BinaryHeap::new(),
             in_service: None,
+            neg_cache: HashMap::new(),
+            in_flight: HashMap::new(),
         })
         .collect();
 
@@ -247,8 +326,12 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                 let widx = next_arrival;
                 next_arrival += 1;
                 let event = &workload.events[widx];
-                let edge_idx = (workload.clients[event.client as usize].ip_hash
-                    % config.edges as u64) as usize;
+                let edge_idx = route_edge(
+                    &config.fault,
+                    config.edges,
+                    workload.clients[event.client as usize].ip_hash,
+                    event.time,
+                );
                 let object = &workload.objects[event.object as usize];
 
                 let ctx = RequestCtx {
@@ -287,7 +370,7 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                 let _ = object;
                 edges[edge_idx]
                     .queue
-                    .push(Reverse((outcome.priority, event.time, seq, widx)));
+                    .push(Reverse((outcome.priority, event.time, seq, widx, 0)));
                 seq += 1;
                 dispatch(
                     &mut edges[edge_idx],
@@ -313,17 +396,46 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                             edges[edge].cache.insert(object, size, obj.ttl, now, true);
                         }
                     }
+                    InternalEvent::Retry {
+                        widx,
+                        attempt,
+                        priority,
+                    } => {
+                        // The client re-issues the request; routing happens
+                        // afresh (the original edge may have flapped out).
+                        let event = &workload.events[widx];
+                        let edge_idx = route_edge(
+                            &config.fault,
+                            config.edges,
+                            workload.clients[event.client as usize].ip_hash,
+                            now,
+                        );
+                        edges[edge_idx]
+                            .queue
+                            .push(Reverse((priority, now, seq, widx, attempt)));
+                        seq += 1;
+                        dispatch(
+                            &mut edges[edge_idx],
+                            edge_idx,
+                            now,
+                            workload,
+                            config,
+                            &mut rng,
+                            &mut heap,
+                            &mut seq,
+                        );
+                    }
                     InternalEvent::ServiceDone { edge } => {
-                        let (widx, arrival, priority) = edges[edge]
+                        let (widx, arrival, priority, attempt) = edges[edge]
                             .in_service
                             .take()
                             .expect("service completion without request");
                         complete_request(
                             widx,
+                            attempt,
                             arrival,
                             priority,
                             now,
-                            edge,
                             workload,
                             config,
                             &mut edges[edge],
@@ -333,6 +445,9 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                             &url_ids,
                             &ua_ids,
                             &mut rng,
+                            &mut fault_state,
+                            &mut heap,
+                            &mut seq,
                         );
                         dispatch(
                             &mut edges[edge],
@@ -378,7 +493,7 @@ fn dispatch(
     if edge.in_service.is_some() || now < edge.busy_until {
         return;
     }
-    let Some(Reverse((priority, arrival, _, widx))) = edge.queue.pop() else {
+    let Some(Reverse((priority, arrival, _, widx, attempt))) = edge.queue.pop() else {
         return;
     };
     let object = &workload.objects[workload.events[widx].object as usize];
@@ -388,7 +503,7 @@ fn dispatch(
         + SimDuration::from_micros(config.service_per_kb.as_micros() * kb.max(1));
     let done = now + service;
     edge.busy_until = done;
-    edge.in_service = Some((widx, arrival, priority));
+    edge.in_service = Some((widx, arrival, priority, attempt));
     *seq += 1;
     heap.push(Reverse((
         done,
@@ -398,13 +513,54 @@ fn dispatch(
     let _ = rng;
 }
 
+/// How one origin attempt went (only evaluated when the origin is needed).
+enum OriginAttempt {
+    /// The origin answered; the response took `network` end to end.
+    Reached { network: SimDuration },
+    /// The origin was unreachable (503) or too slow (504); discovering that
+    /// cost `latency`.
+    Unavailable { status: u16, latency: SimDuration },
+}
+
+/// Attempts to reach `domain`'s origin at `now`, applying outages and
+/// degradations from the fault plan. `nominal` is the healthy end-to-end
+/// network latency the caller already sampled.
+fn attempt_origin(
+    config: &SimConfig,
+    domain: u32,
+    now: SimTime,
+    nominal: SimDuration,
+) -> OriginAttempt {
+    if config.fault.outage_at(domain, now) {
+        // Connection refused after one full round trip to the origin.
+        return OriginAttempt::Unavailable {
+            status: 503,
+            latency: config.latency.client_edge_rtt + config.latency.edge_origin_rtt,
+        };
+    }
+    match config.fault.degradation_at(domain, now) {
+        None => OriginAttempt::Reached { network: nominal },
+        Some(factor) => {
+            let scaled = SimDuration::from_secs_f64(nominal.as_secs_f64() * factor);
+            if scaled > config.resilience.origin_timeout {
+                OriginAttempt::Unavailable {
+                    status: 504,
+                    latency: config.latency.client_edge_rtt + config.resilience.origin_timeout,
+                }
+            } else {
+                OriginAttempt::Reached { network: scaled }
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn complete_request(
     widx: usize,
+    attempt: u8,
     arrival: SimTime,
     priority: Priority,
     now: SimTime,
-    _edge_idx: usize,
     workload: &Workload,
     config: &SimConfig,
     edge: &mut Edge,
@@ -414,9 +570,13 @@ fn complete_request(
     url_ids: &[UrlId],
     ua_ids: &[Option<UaId>],
     rng: &mut StdRng,
+    fault_state: &mut FaultState,
+    heap: &mut BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>>,
+    seq: &mut u64,
 ) {
     let event = &workload.events[widx];
     let object = &workload.objects[event.object as usize];
+    let res = &config.resilience;
     let size = object.sample_size(rng);
     let is_json = object.mime == MimeType::Json;
 
@@ -425,52 +585,170 @@ fn complete_request(
         stats.json_requests += 1;
     }
 
-    let (cache_status, network) = if !object.cacheable {
+    let mut flags = RecordFlags::NONE;
+    let mut response_bytes = size;
+    // Draws the stochastic per-attempt status (bursty when configured,
+    // i.i.d. `error_fraction` otherwise). Only successful paths draw it —
+    // origin-unavailability failures already have their status.
+    let draw_status = |fs: &mut FaultState, stats: &mut SimStats| -> u16 {
+        if fs.error_draw(config.fault.errors.as_ref(), config.error_fraction) {
+            stats.origin_errors += 1;
+            500
+        } else {
+            200
+        }
+    };
+
+    let (cache_status, network, status) = if !object.cacheable {
         stats.not_cacheable += 1;
-        stats.origin_fetches += 1;
-        stats.bytes_origin += size;
         if is_json {
             stats.json_not_cacheable += 1;
         }
-        (
-            CacheStatus::NotCacheable,
-            config.latency.miss_latency(size, rng),
-        )
-    } else if edge.cache.get(event.object, now) {
-        stats.hits += 1;
-        stats.bytes_cache += size;
-        if is_json {
-            stats.json_hits += 1;
-        }
-        (CacheStatus::Hit, config.latency.hit_latency(size, rng))
-    } else {
-        stats.misses += 1;
-        if is_json {
-            stats.json_misses += 1;
-        }
-        edge.cache
-            .insert(event.object, size, object.ttl, now, false);
-        // Edge miss: consult the parent tier before the origin.
-        let network = match parent.as_mut() {
-            Some(parent_cache) => {
-                if parent_cache.get(event.object, now) {
-                    stats.parent_hits += 1;
-                    config.latency.parent_hit_latency(size, rng)
-                } else {
-                    stats.parent_misses += 1;
-                    stats.origin_fetches += 1;
-                    stats.bytes_origin += size;
-                    parent_cache.insert(event.object, size, object.ttl, now, false);
-                    config.latency.miss_latency(size, rng)
-                }
-            }
-            None => {
+        let nominal = config.latency.miss_latency(size, rng);
+        match attempt_origin(config, object.domain, now, nominal) {
+            OriginAttempt::Reached { network } => {
                 stats.origin_fetches += 1;
                 stats.bytes_origin += size;
-                config.latency.miss_latency(size, rng)
+                let status = draw_status(fault_state, stats);
+                (CacheStatus::NotCacheable, network, status)
             }
-        };
-        (CacheStatus::Miss, network)
+            OriginAttempt::Unavailable { status, latency } => {
+                stats.origin_errors += 1;
+                response_bytes = 0;
+                (CacheStatus::NotCacheable, latency, status)
+            }
+        }
+    } else {
+        match edge
+            .cache
+            .get_with_grace(event.object, now, res.stale_grace)
+        {
+            Lookup::Fresh => {
+                stats.hits += 1;
+                stats.bytes_cache += size;
+                if is_json {
+                    stats.json_hits += 1;
+                }
+                let mut network = config.latency.hit_latency(size, rng);
+                if res.coalesce {
+                    // The entry may have been inserted by a fetch that is
+                    // still on the wire; this request rides it and waits.
+                    if let Some(&done) = edge.in_flight.get(&event.object) {
+                        if done > now {
+                            flags.insert(RecordFlags::COALESCED);
+                            stats.coalesced_waits += 1;
+                            network = (done - now) + network;
+                        }
+                    }
+                }
+                let status = draw_status(fault_state, stats);
+                (CacheStatus::Hit, network, status)
+            }
+            lookup => {
+                let stale_available = lookup == Lookup::Stale;
+                let neg_status = edge
+                    .neg_cache
+                    .get(&event.object)
+                    .copied()
+                    .filter(|&(until, _)| until > now)
+                    .map(|(_, status)| status);
+                if let Some(neg_status) = neg_status {
+                    // The origin is known bad; answer without contacting it.
+                    stats.neg_cache_serves += 1;
+                    flags.insert(RecordFlags::NEG_CACHED);
+                    if stale_available {
+                        flags.insert(RecordFlags::SERVED_STALE);
+                        stats.hits += 1;
+                        stats.stale_serves += 1;
+                        stats.bytes_cache += size;
+                        if is_json {
+                            stats.json_hits += 1;
+                        }
+                        let network = config.latency.hit_latency(size, rng);
+                        (CacheStatus::Hit, network, 200)
+                    } else {
+                        stats.misses += 1;
+                        if is_json {
+                            stats.json_misses += 1;
+                        }
+                        response_bytes = 0;
+                        (
+                            CacheStatus::Miss,
+                            config.latency.client_edge_rtt,
+                            neg_status,
+                        )
+                    }
+                } else if parent.as_mut().is_some_and(|p| p.get(event.object, now)) {
+                    // Parent tier hit: the origin is never involved.
+                    stats.misses += 1;
+                    stats.parent_hits += 1;
+                    if is_json {
+                        stats.json_misses += 1;
+                    }
+                    edge.cache
+                        .insert(event.object, size, object.ttl, now, false);
+                    let network = config.latency.parent_hit_latency(size, rng);
+                    let status = draw_status(fault_state, stats);
+                    (CacheStatus::Miss, network, status)
+                } else {
+                    let parent_missed = parent.is_some();
+                    let nominal = config.latency.miss_latency(size, rng);
+                    match attempt_origin(config, object.domain, now, nominal) {
+                        OriginAttempt::Reached { network } => {
+                            stats.misses += 1;
+                            if parent_missed {
+                                stats.parent_misses += 1;
+                            }
+                            if is_json {
+                                stats.json_misses += 1;
+                            }
+                            stats.origin_fetches += 1;
+                            stats.bytes_origin += size;
+                            edge.cache
+                                .insert(event.object, size, object.ttl, now, false);
+                            if let Some(parent_cache) = parent.as_mut() {
+                                parent_cache.insert(event.object, size, object.ttl, now, false);
+                            }
+                            if res.coalesce {
+                                edge.in_flight.insert(event.object, now + network);
+                            }
+                            let status = draw_status(fault_state, stats);
+                            (CacheStatus::Miss, network, status)
+                        }
+                        OriginAttempt::Unavailable { status, latency } => {
+                            stats.origin_errors += 1;
+                            if res.negative_ttl > SimDuration::ZERO {
+                                edge.neg_cache
+                                    .insert(event.object, (now + res.negative_ttl, status));
+                            }
+                            if stale_available {
+                                // Stale-if-error: the expired copy beats a
+                                // 5xx.
+                                flags.insert(RecordFlags::SERVED_STALE);
+                                stats.hits += 1;
+                                stats.stale_serves += 1;
+                                stats.bytes_cache += size;
+                                if is_json {
+                                    stats.json_hits += 1;
+                                }
+                                let network = config.latency.hit_latency(size, rng);
+                                (CacheStatus::Hit, network, 200)
+                            } else {
+                                stats.misses += 1;
+                                if parent_missed {
+                                    stats.parent_misses += 1;
+                                }
+                                if is_json {
+                                    stats.json_misses += 1;
+                                }
+                                response_bytes = 0;
+                                (CacheStatus::Miss, latency, status)
+                            }
+                        }
+                    }
+                }
+            }
+        }
     };
 
     // End-to-end latency: queueing + service (now - arrival) + network.
@@ -480,21 +758,40 @@ fn complete_request(
         Priority::Deprioritized => stats.latency_depri.record(latency.as_secs_f64()),
     }
 
-    let status = if rng.gen_bool(config.error_fraction) {
-        500
-    } else {
-        200
-    };
+    // Client-side resilience: a failed attempt with retry budget left backs
+    // off and re-enters the event queue as a fresh timestamped arrival.
+    if status >= 500 {
+        if attempt < res.retry_budget {
+            flags.insert(RecordFlags::RETRIED);
+            stats.retries_issued += 1;
+            let delay = res.backoff(attempt + 1, widx as u64);
+            *seq += 1;
+            heap.push(Reverse((
+                now + delay,
+                *seq,
+                InternalEvent::Retry {
+                    widx,
+                    attempt: attempt + 1,
+                    priority,
+                },
+            )));
+        } else {
+            stats.end_user_failures += 1;
+        }
+    }
+
     trace.push(LogRecord {
-        time: event.time,
+        time: arrival,
         client: ClientId(workload.clients[event.client as usize].ip_hash),
         ua: ua_ids[event.client as usize],
         url: url_ids[event.object as usize],
         method: event.method,
         mime: object.mime,
         status,
-        response_bytes: size,
+        response_bytes,
         cache: cache_status,
+        retries: attempt,
+        flags,
     });
 }
 
@@ -512,8 +809,16 @@ mod tests {
     fn every_event_produces_exactly_one_log() {
         let w = build(&WorkloadConfig::tiny(1));
         let out = run_default(&w, &SimConfig::default());
-        assert_eq!(out.trace.len(), w.events.len());
-        assert_eq!(out.stats.requests, w.events.len() as u64);
+        // One record per attempt: original events plus retries of failures.
+        assert_eq!(
+            out.trace.len() as u64,
+            w.events.len() as u64 + out.stats.retries_issued
+        );
+        assert_eq!(
+            out.stats.requests,
+            w.events.len() as u64 + out.stats.retries_issued
+        );
+        assert_eq!(out.stats.logical_requests(), w.events.len() as u64);
         assert_eq!(
             out.stats.hits + out.stats.misses + out.stats.not_cacheable,
             out.stats.requests
@@ -674,7 +979,7 @@ mod tests {
                     ..SimConfig::default()
                 },
             );
-            assert_eq!(out.stats.requests, w.events.len() as u64);
+            assert_eq!(out.stats.logical_requests(), w.events.len() as u64);
         }
     }
 

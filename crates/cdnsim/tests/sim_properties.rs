@@ -1,10 +1,32 @@
 //! Property tests over the simulator: conservation laws that must hold for
 //! any seed and any topology.
 
-use jcdn_cdnsim::{run_default, SimConfig};
-use jcdn_trace::CacheStatus;
+use jcdn_cdnsim::{
+    run_default, ErrorBursts, FaultPlan, OriginOutage, ResilienceConfig, SimConfig, SimDuration,
+    Window,
+};
+use jcdn_trace::codec::encode;
+use jcdn_trace::{CacheStatus, RecordFlags};
 use jcdn_workload::{build, WorkloadConfig};
 use proptest::prelude::*;
+
+/// A plan that knocks out domain 0's origin for the whole run and makes
+/// errors bursty — exercises every resilience path at once.
+fn stress_plan() -> FaultPlan {
+    FaultPlan {
+        outages: vec![OriginOutage {
+            domain: 0,
+            window: Window::from_secs(0, 100_000),
+        }],
+        errors: Some(ErrorBursts {
+            quiet_error_fraction: 0.002,
+            burst_error_fraction: 0.25,
+            enter_burst: 0.01,
+            exit_burst: 0.2,
+        }),
+        ..FaultPlan::default()
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -20,10 +42,14 @@ proptest! {
         let out = run_default(&workload, &config);
         let stats = &out.stats;
 
-        // Every workload event becomes exactly one log record and one
-        // served request.
-        prop_assert_eq!(out.trace.len(), workload.events.len());
-        prop_assert_eq!(stats.requests as usize, workload.events.len());
+        // Every attempt becomes exactly one log record: the workload events
+        // plus the retries that failed attempts re-queued.
+        prop_assert_eq!(
+            out.trace.len() as u64,
+            workload.events.len() as u64 + stats.retries_issued
+        );
+        prop_assert_eq!(stats.requests, workload.events.len() as u64 + stats.retries_issued);
+        prop_assert_eq!(stats.logical_requests() as usize, workload.events.len());
 
         // The three dispositions partition the requests.
         prop_assert_eq!(stats.hits + stats.misses + stats.not_cacheable, stats.requests);
@@ -77,7 +103,84 @@ proptest! {
                     ..SimConfig::default()
                 },
             );
-            prop_assert_eq!(out.stats.requests as usize, workload.events.len());
+            prop_assert_eq!(out.stats.logical_requests() as usize, workload.events.len());
         }
+    }
+
+    #[test]
+    fn retry_counts_never_exceed_the_budget(seed in any::<u64>(), budget in 0u8..4) {
+        let workload = build(&WorkloadConfig::tiny(seed).scaled(0.2));
+        let config = SimConfig {
+            fault: stress_plan(),
+            resilience: ResilienceConfig {
+                retry_budget: budget,
+                ..ResilienceConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let out = run_default(&workload, &config);
+        for r in out.trace.records() {
+            prop_assert!(r.retries <= budget, "record retries {} > budget {budget}", r.retries);
+            // Any non-final attempt carries the RETRIED marker and failed.
+            if r.flags.contains(RecordFlags::RETRIED) {
+                prop_assert!(r.status >= 500);
+            }
+        }
+        let max_seen = out.trace.records().iter().map(|r| r.retries).max().unwrap_or(0);
+        prop_assert!(u64::from(max_seen) <= out.stats.retries_issued);
+    }
+
+    #[test]
+    fn identical_seed_and_fault_plan_give_byte_identical_traces(seed in any::<u64>()) {
+        let workload = build(&WorkloadConfig::tiny(seed).scaled(0.2));
+        let config = SimConfig {
+            fault: stress_plan(),
+            ..SimConfig::default()
+        };
+        let a = run_default(&workload, &config);
+        let b = run_default(&workload, &config);
+        prop_assert_eq!(encode(&a.trace), encode(&b.trace));
+        prop_assert_eq!(a.stats.requests, b.stats.requests);
+        prop_assert_eq!(a.stats.end_user_failures, b.stats.end_user_failures);
+        prop_assert_eq!(a.stats.stale_serves, b.stats.stale_serves);
+    }
+
+    #[test]
+    fn serve_stale_requires_a_grace_window(seed in any::<u64>()) {
+        let workload = build(&WorkloadConfig::tiny(seed).scaled(0.2));
+        // Zero grace: stale rescue is impossible, no record may carry the flag.
+        let no_grace = run_default(
+            &workload,
+            &SimConfig {
+                fault: stress_plan(),
+                resilience: ResilienceConfig {
+                    stale_grace: SimDuration::ZERO,
+                    ..ResilienceConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        prop_assert_eq!(no_grace.stats.stale_serves, 0);
+        for r in no_grace.trace.records() {
+            prop_assert!(!r.flags.contains(RecordFlags::SERVED_STALE));
+        }
+
+        // With a grace window, every stale serve is a 200 logged as a hit.
+        let graced = run_default(
+            &workload,
+            &SimConfig {
+                fault: stress_plan(),
+                ..SimConfig::default()
+            },
+        );
+        let mut stale_records = 0u64;
+        for r in graced.trace.records() {
+            if r.flags.contains(RecordFlags::SERVED_STALE) {
+                stale_records += 1;
+                prop_assert_eq!(r.status, 200);
+                prop_assert_eq!(r.cache, CacheStatus::Hit);
+            }
+        }
+        prop_assert_eq!(stale_records, graced.stats.stale_serves);
     }
 }

@@ -18,9 +18,20 @@ commands:
                   --seed N                   (default 42)
                   --scale F                  (default 1.0)
                   --out PATH                 (required)
+                fault injection (comma-separate multiple windows):
+                  --outage DOMAIN:START:END          origin hard-down [s]
+                  --degrade DOMAIN:START:END:FACTOR  slow origin (xFACTOR)
+                  --flap EDGE:START:END              edge leaves rotation
+                  --error-burst QUIET:BURST:ENTER:EXIT  bursty 5xx process
+                resilience (defaults in parentheses):
+                  --retries N                client retry budget (2)
+                  --stale-grace SECS         serve-stale window (600)
+                  --negative-ttl SECS        negative-cache TTL (2)
+                  --origin-timeout SECS      degraded-origin timeout (3)
+                  --resilience on|off        all countermeasures (on)
   inspect       summarize a trace file
                   <trace>                    positional path
-  characterize  run the §4 analyses on a trace
+  characterize  run the §4 analyses on a trace, incl. availability
                   <trace>
   periodicity   run the §5.1 periodicity study
                   <trace> [--permutations N] [--max-bins N]

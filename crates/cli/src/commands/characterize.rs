@@ -1,10 +1,10 @@
 //! `jcdn characterize` — the §4 analyses over a trace file.
 
 use jcdn_core::characterize::{
-    json_html_ratio, CacheabilityHeatmap, RequestTypeBreakdown, ResponseTypeBreakdown,
-    TokenCategoryProvider, TrafficSourceBreakdown,
+    json_html_ratio, AvailabilityBreakdown, CacheabilityHeatmap, RequestTypeBreakdown,
+    ResponseTypeBreakdown, TokenCategoryProvider, TrafficSourceBreakdown,
 };
-use jcdn_core::report::{pct, TextTable};
+use jcdn_core::report::{availability_section, pct, TextTable};
 use jcdn_ua::DeviceType;
 use jcdn_workload::IndustryCategory;
 
@@ -70,5 +70,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         pct(heatmap.always_cacheable_share()),
         heatmap.uncategorized
     );
+
+    let availability = AvailabilityBreakdown::compute(&trace, &TokenCategoryProvider);
+    println!("\n{}", availability_section(&availability));
     Ok(())
 }

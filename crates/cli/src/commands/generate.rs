@@ -3,13 +3,16 @@
 use std::path::Path;
 
 use jcdn_cdnsim::SimConfig;
-use jcdn_core::dataset::simulate_with;
-use jcdn_workload::WorkloadConfig;
+use jcdn_core::dataset::simulate_workload;
+use jcdn_workload::{build, WorkloadConfig};
 
 use crate::args::Args;
+use crate::fault_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["preset", "seed", "scale", "out", "edges"])?;
+    let mut allowed = vec!["preset", "seed", "scale", "out", "edges"];
+    allowed.extend_from_slice(fault_args::FAULT_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
     let seed: u64 = args.number("seed", 42)?;
     let scale: f64 = args.number("scale", 1.0)?;
     if !(scale > 0.0 && scale.is_finite()) {
@@ -26,16 +29,21 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     .scaled(scale);
 
-    let sim = SimConfig {
-        edges: args.number("edges", 3usize)?,
-        ..SimConfig::default()
-    };
-
     eprintln!(
         "generating `{}` (~{} events, {} clients, {} domains)...",
         config.name, config.target_events, config.clients, config.domains
     );
-    let data = simulate_with(&config, &sim);
+    // Fault windows may name domains, so the workload is built before the
+    // simulator configuration is finalized.
+    let workload = build(&config);
+    let sim = SimConfig {
+        edges: args.number("edges", 3usize)?,
+        fault: fault_args::fault_plan(&args, &workload)?,
+        resilience: fault_args::resilience(&args)?,
+        ..SimConfig::default()
+    };
+
+    let data = simulate_workload(workload, &sim);
     jcdn_trace::codec::write_file(&data.trace, Path::new(out))
         .map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
@@ -44,6 +52,16 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         data.trace.url_count(),
         data.trace.ua_count()
     );
+    if !sim.fault.is_empty() {
+        eprintln!(
+            "faults: {} end-user failures ({} origin errors, {} retries, \
+             {} stale serves)",
+            data.stats.end_user_failures,
+            data.stats.origin_errors,
+            data.stats.retries_issued,
+            data.stats.stale_serves
+        );
+    }
     println!("{}", data.summary().table_row());
     Ok(())
 }

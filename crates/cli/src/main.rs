@@ -21,6 +21,7 @@
 
 mod args;
 mod commands;
+mod fault_args;
 
 use std::process::ExitCode;
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use jcdn_stats::ExactQuantiles;
-use jcdn_trace::{MimeType, Trace};
+use jcdn_trace::{MimeType, RecordFlags, Trace};
 use jcdn_ua::{classify, DeviceType};
 use jcdn_workload::IndustryCategory;
 
@@ -319,6 +319,128 @@ impl CacheabilityHeatmap {
     }
 }
 
+/// Availability under faults: what fraction of requests ultimately failed,
+/// how hard clients retried, and how often the edge's graceful-degradation
+/// machinery (serve-stale, negative caching, coalescing) fired.
+///
+/// Works on any trace; fault-free traces simply report near-perfect
+/// availability. Counts cover *all* records, not just JSON — availability
+/// is a service-level property.
+#[derive(Clone, Debug, Default)]
+pub struct AvailabilityBreakdown {
+    /// Log records, i.e. delivery attempts (retries included).
+    pub attempts: u64,
+    /// Attempts that failed and were retried (non-final attempts).
+    pub retried_attempts: u64,
+    /// 5xx responses with no retry behind them — what the end user saw.
+    pub end_user_failures: u64,
+    /// All 5xx attempts, retried or not (the origin-side error count).
+    pub attempt_failures: u64,
+    /// Responses rescued by serve-stale.
+    pub stale_serves: u64,
+    /// Responses answered out of the negative cache.
+    pub neg_cached: u64,
+    /// Cache hits that waited on a coalesced in-flight fetch.
+    pub coalesced: u64,
+    /// Per-industry `(end-user failures, logical requests)` tallies.
+    pub per_industry: HashMap<IndustryCategory, (u64, u64)>,
+    /// Logical requests on hosts with no category.
+    pub uncategorized: u64,
+}
+
+impl AvailabilityBreakdown {
+    /// Computes the breakdown over every record in the trace.
+    pub fn compute(trace: &Trace, provider: &dyn CategoryProvider) -> Self {
+        let mut out = AvailabilityBreakdown::default();
+        for r in trace.records() {
+            out.attempts += 1;
+            let retried = r.flags.contains(RecordFlags::RETRIED);
+            let failed = r.status >= 500;
+            if retried {
+                out.retried_attempts += 1;
+            }
+            if failed {
+                out.attempt_failures += 1;
+            }
+            if r.flags.contains(RecordFlags::SERVED_STALE) {
+                out.stale_serves += 1;
+            }
+            if r.flags.contains(RecordFlags::NEG_CACHED) {
+                out.neg_cached += 1;
+            }
+            if r.flags.contains(RecordFlags::COALESCED) {
+                out.coalesced += 1;
+            }
+            // Final attempts are the logical requests; a failed final
+            // attempt is an end-user failure.
+            if !retried {
+                if failed {
+                    out.end_user_failures += 1;
+                }
+                match provider.category(trace.host_of(r.url)) {
+                    Some(category) => {
+                        let entry = out.per_industry.entry(category).or_default();
+                        entry.1 += 1;
+                        if failed {
+                            entry.0 += 1;
+                        }
+                    }
+                    None => out.uncategorized += 1,
+                }
+            }
+        }
+        out
+    }
+
+    /// Logical requests: final attempts (attempts minus retried ones).
+    pub fn logical_requests(&self) -> u64 {
+        self.attempts - self.retried_attempts
+    }
+
+    /// Share of logical requests that ultimately failed.
+    pub fn end_user_error_rate(&self) -> f64 {
+        let logical = self.logical_requests();
+        if logical == 0 {
+            return 0.0;
+        }
+        self.end_user_failures as f64 / logical as f64
+    }
+
+    /// Share of *attempts* that failed — the origin-side error rate the
+    /// retry layer hides from end users.
+    pub fn attempt_error_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.attempt_failures as f64 / self.attempts as f64
+    }
+
+    /// Attempts per logical request (`1.0` when nothing was retried).
+    pub fn retry_amplification(&self) -> f64 {
+        let logical = self.logical_requests();
+        if logical == 0 {
+            return 1.0;
+        }
+        self.attempts as f64 / logical as f64
+    }
+
+    /// Share of logical requests rescued by serve-stale.
+    pub fn stale_serve_share(&self) -> f64 {
+        let logical = self.logical_requests();
+        if logical == 0 {
+            return 0.0;
+        }
+        self.stale_serves as f64 / logical as f64
+    }
+
+    /// Availability (`1 - error rate`) for one industry category, or
+    /// `None` when no logical request hit that category.
+    pub fn industry_availability(&self, category: IndustryCategory) -> Option<f64> {
+        let &(failures, logical) = self.per_industry.get(&category)?;
+        (logical > 0).then(|| 1.0 - failures as f64 / logical as f64)
+    }
+}
+
 /// Figure 1 support: the JSON:HTML request-count ratio of a trace.
 pub fn json_html_ratio(trace: &Trace) -> Option<f64> {
     let mut json = 0u64;
@@ -336,7 +458,7 @@ pub fn json_html_ratio(trace: &Trace) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, SimTime, UaId};
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, SimTime, UaId};
 
     fn push(
         trace: &mut Trace,
@@ -358,6 +480,8 @@ mod tests {
             status: 200,
             response_bytes: bytes,
             cache,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     }
 
@@ -593,5 +717,56 @@ mod tests {
             );
         }
         assert_eq!(json_html_ratio(&t), Some(4.0));
+    }
+
+    #[test]
+    fn availability_separates_end_user_from_attempt_failures() {
+        let mut t = Trace::new();
+        let mut push_attempt = |url: &str, status: u16, retries: u8, flags: RecordFlags| {
+            let url = t.intern_url(url);
+            t.push(LogRecord {
+                time: SimTime::ZERO,
+                client: ClientId(1),
+                ua: None,
+                url,
+                method: Method::Get,
+                mime: MimeType::Json,
+                status,
+                response_bytes: 1,
+                cache: CacheStatus::Miss,
+                retries,
+                flags,
+            });
+        };
+        // Request A on a sports domain: fails, retried, then succeeds.
+        push_attempt("https://sports-1.example/a", 503, 0, RecordFlags::RETRIED);
+        push_attempt("https://sports-1.example/a", 200, 1, RecordFlags::NONE);
+        // Request B on a news domain: fails outright.
+        push_attempt("https://news-1.example/b", 500, 0, RecordFlags::NONE);
+        // Request C: rescued by serve-stale (a success from the user's view).
+        push_attempt(
+            "https://news-1.example/c",
+            200,
+            0,
+            RecordFlags::SERVED_STALE.with(RecordFlags::NEG_CACHED),
+        );
+
+        let a = AvailabilityBreakdown::compute(&t, &TokenCategoryProvider);
+        assert_eq!(a.attempts, 4);
+        assert_eq!(a.retried_attempts, 1);
+        assert_eq!(a.logical_requests(), 3);
+        assert_eq!(a.attempt_failures, 2);
+        assert_eq!(a.end_user_failures, 1, "the retried 503 is not end-user");
+        assert!((a.end_user_error_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.attempt_error_rate() - 0.5).abs() < 1e-12);
+        assert!((a.retry_amplification() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.stale_serves, 1);
+        assert_eq!(a.neg_cached, 1);
+
+        assert_eq!(a.industry_availability(IndustryCategory::Sports), Some(1.0));
+        assert_eq!(
+            a.industry_availability(IndustryCategory::NewsMedia),
+            Some(0.5)
+        );
     }
 }

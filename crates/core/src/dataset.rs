@@ -32,7 +32,13 @@ pub fn simulate(config: &WorkloadConfig) -> Dataset {
 
 /// Generates and simulates with an explicit simulator configuration.
 pub fn simulate_with(config: &WorkloadConfig, sim: &SimConfig) -> Dataset {
-    let workload = build(config);
+    simulate_workload(build(config), sim)
+}
+
+/// Simulates an already-built workload. Useful when the simulator config
+/// refers to the workload itself — e.g. fault windows targeting a domain
+/// that must first be resolved to its index.
+pub fn simulate_workload(workload: Workload, sim: &SimConfig) -> Dataset {
     let SimOutput { trace, stats } = run_default(&workload, sim);
     Dataset {
         workload,
@@ -60,6 +66,10 @@ mod tests {
     fn stats_and_trace_agree_on_request_count() {
         let data = simulate(&WorkloadConfig::tiny(4).scaled(0.2));
         assert_eq!(data.stats.requests as usize, data.trace.len());
-        assert_eq!(data.workload.events.len(), data.trace.len());
+        // Retried attempts add extra records beyond the workload events.
+        assert_eq!(
+            data.workload.events.len() as u64 + data.stats.retries_issued,
+            data.trace.len() as u64
+        );
     }
 }

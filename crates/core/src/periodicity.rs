@@ -253,7 +253,7 @@ fn client_matches_object(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, SimTime};
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, SimTime};
 
     /// Builds a trace with one planted periodic object (12 clients polling
     /// every 30s), one noise object, and background traffic.
@@ -272,6 +272,8 @@ mod tests {
                 status: 200,
                 response_bytes: 100,
                 cache,
+                retries: 0,
+                flags: RecordFlags::NONE,
             });
         };
         // 12 periodic clients, 30s period, irregular phases (evenly spaced
@@ -377,6 +379,8 @@ mod tests {
                     status: 200,
                     response_bytes: 1,
                     cache: CacheStatus::Hit,
+                    retries: 0,
+                    flags: RecordFlags::NONE,
                 });
             }
         }

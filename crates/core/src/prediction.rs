@@ -180,7 +180,7 @@ pub fn run_study(trace: &Trace, config: &PredictionStudyConfig) -> PredictionRep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, SimTime};
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, SimTime};
 
     /// Clients repeat an app pattern: manifest → article/{client-specific
     /// id} → detail. Clustered URLs can generalize across clients; raw URLs
@@ -208,6 +208,8 @@ mod tests {
                         status: 200,
                         response_bytes: 100,
                         cache: CacheStatus::Hit,
+                        retries: 0,
+                        flags: RecordFlags::NONE,
                     });
                 }
             }
@@ -304,6 +306,8 @@ mod tests {
                     status: 200,
                     response_bytes: 10,
                     cache: CacheStatus::Hit,
+                    retries: 0,
+                    flags: RecordFlags::NONE,
                 });
             }
         }

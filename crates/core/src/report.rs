@@ -100,6 +100,61 @@ pub fn paper_vs_measured(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<44} paper: {paper:>8}   measured: {measured:>8}")
 }
 
+/// Renders the availability section of a characterization report: headline
+/// error rates, the resilience counters, and the per-industry table.
+pub fn availability_section(a: &crate::characterize::AvailabilityBreakdown) -> String {
+    use jcdn_workload::IndustryCategory;
+
+    let mut out = String::new();
+    out.push_str("== Availability ==\n");
+    let _ = writeln!(out, "logical requests        {}", a.logical_requests());
+    let _ = writeln!(out, "attempts (with retries) {}", a.attempts);
+    let _ = writeln!(
+        out,
+        "end-user error rate     {}",
+        pct(a.end_user_error_rate())
+    );
+    let _ = writeln!(
+        out,
+        "attempt error rate      {}",
+        pct(a.attempt_error_rate())
+    );
+    let _ = writeln!(
+        out,
+        "retry amplification     {}",
+        ratio(a.retry_amplification())
+    );
+    let _ = writeln!(
+        out,
+        "served stale            {} ({})",
+        a.stale_serves,
+        pct(a.stale_serve_share())
+    );
+    let _ = writeln!(out, "negative-cache serves   {}", a.neg_cached);
+    let _ = writeln!(out, "coalesced waits         {}", a.coalesced);
+
+    let mut table = TextTable::new(&["Industry", "Requests", "Failures", "Availability"]);
+    let mut categories: Vec<_> = a.per_industry.keys().copied().collect();
+    categories.sort_by_key(|c| IndustryCategory::ALL.iter().position(|x| x == c));
+    for category in categories {
+        let (failures, logical) = a.per_industry[&category];
+        let availability = a
+            .industry_availability(category)
+            .map_or_else(|| "-".to_string(), pct);
+        table.row(&[
+            category.label().to_string(),
+            logical.to_string(),
+            failures.to_string(),
+            availability,
+        ]);
+    }
+    if !table.is_empty() {
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -192,7 +192,7 @@ impl TaxonomyCrossTab {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, MimeType, SimTime, Trace};
+    use jcdn_trace::{CacheStatus, ClientId, MimeType, RecordFlags, SimTime, Trace};
 
     #[test]
     fn request_type_mapping() {
@@ -221,6 +221,8 @@ mod tests {
             status: 200,
             response_bytes: 512,
             cache: CacheStatus::NotCacheable,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
         let view = t.iter().next().unwrap();
         let cell = TaxonomyCell::classify(&view);
@@ -247,6 +249,8 @@ mod tests {
                 status: 200,
                 response_bytes: 100,
                 cache,
+                retries: 0,
+                flags: RecordFlags::NONE,
             });
         };
         push(Some(app), Method::Get, CacheStatus::Hit);
@@ -291,6 +295,8 @@ mod tests {
             status: 200,
             response_bytes: 10,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
         let tab = TaxonomyCrossTab::compute(&t);
         assert_eq!(tab.total, 0);
@@ -309,6 +315,8 @@ mod tests {
             status: 200,
             response_bytes: 1,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         };
         let cell = TaxonomyCell::classify_raw(&record, None);
         assert_eq!(cell.source.device, DeviceType::Unknown);

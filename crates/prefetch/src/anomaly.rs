@@ -169,7 +169,7 @@ impl PeriodAnomalyDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method};
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags};
 
     fn record(trace: &mut Trace, time: u64, client: u64, url: &str) -> LogRecord {
         let url = trace.intern_url(url);
@@ -183,6 +183,8 @@ mod tests {
             status: 200,
             response_bytes: 64,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         }
     }
 

@@ -129,7 +129,7 @@ pub fn analyze(trace: &Trace, config: &LeadTimeConfig) -> LeadTimeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, SimTime};
+    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, SimTime};
 
     /// Clients walk a fixed chain with 8-second think times.
     fn chain_trace() -> Trace {
@@ -149,6 +149,8 @@ mod tests {
                         status: 200,
                         response_bytes: 64,
                         cache: CacheStatus::Hit,
+                        retries: 0,
+                        flags: RecordFlags::NONE,
                     });
                 }
             }

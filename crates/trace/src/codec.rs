@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic  b"JCDN"            4 bytes
-//! version u16               (currently 1)
+//! version u16               (currently 2)
 //! url table: varint count, then per string: varint len + UTF-8 bytes
 //! ua  table: same
 //! record count: varint
@@ -18,9 +18,14 @@
 //!   ua     varint (0 = absent, else UaId + 1)
 //!   url    varint (UrlId)
 //!   method u8, mime u8, cache u8
+//!   retry  u8  (version ≥ 2: attempt number, 0 = first try)
+//!   flags  u8  (version ≥ 2: RecordFlags bit set)
 //!   status varint
 //!   bytes  varint
 //! ```
+//!
+//! Version 1 traces (no retry/flags bytes) still decode; the missing fields
+//! come back as `0` / [`RecordFlags::NONE`].
 //!
 //! Time is delta-encoded, so traces must be time-sorted before encoding for
 //! best size — but unsorted traces still round-trip (the delta is signed
@@ -28,12 +33,14 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, UaId};
+use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags};
 use crate::time::SimTime;
 use crate::trace::Trace;
 
 const MAGIC: &[u8; 4] = b"JCDN";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Oldest version [`decode`] still accepts.
+const MIN_VERSION: u16 = 1;
 
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +156,8 @@ pub fn encode(trace: &Trace) -> Bytes {
         buf.put_u8(method_tag(r.method));
         buf.put_u8(mime_tag(r.mime));
         buf.put_u8(cache_tag(r.cache));
+        buf.put_u8(r.retries);
+        buf.put_u8(r.flags.bits());
         put_varint(&mut buf, u64::from(r.status));
         put_varint(&mut buf, r.response_bytes);
     }
@@ -166,7 +175,7 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::BadVersion(version));
     }
 
@@ -211,12 +220,22 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
             Some(&mapped) => mapped,
             None => return Err(DecodeError::DanglingId),
         };
-        if buf.remaining() < 3 {
+        let tag_bytes = if version >= 2 { 5 } else { 3 };
+        if buf.remaining() < tag_bytes {
             return Err(DecodeError::Truncated);
         }
         let method = untag_method(buf.get_u8())?;
         let mime = untag_mime(buf.get_u8())?;
         let cache = untag_cache(buf.get_u8())?;
+        let (retries, flags) = if version >= 2 {
+            let retries = buf.get_u8();
+            let raw = buf.get_u8();
+            let flags =
+                RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
+            (retries, flags)
+        } else {
+            (0, RecordFlags::NONE)
+        };
         let status = get_varint(&mut buf)? as u16;
         let response_bytes = get_varint(&mut buf)?;
         trace.push(LogRecord {
@@ -229,6 +248,8 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
             status,
             response_bytes,
             cache,
+            retries,
+            flags,
         });
     }
     Ok(trace)
@@ -332,6 +353,8 @@ pub fn record_to_json(trace: &Trace, record: &LogRecord) -> jcdn_json::Value {
             CacheStatus::NotCacheable => "no-store",
         }),
     );
+    obj.insert("retries", jcdn_json::Value::from(u64::from(record.retries)));
+    obj.insert("flags", jcdn_json::Value::from(record.flags.to_string()));
     jcdn_json::Value::Object(obj)
 }
 
@@ -372,6 +395,12 @@ mod tests {
                     0 => CacheStatus::Hit,
                     1 => CacheStatus::Miss,
                     _ => CacheStatus::NotCacheable,
+                },
+                retries: (i % 4) as u8,
+                flags: if i % 11 == 0 {
+                    RecordFlags::SERVED_STALE.with(RecordFlags::RETRIED)
+                } else {
+                    RecordFlags::NONE
                 },
             });
         }
@@ -414,6 +443,64 @@ mod tests {
     }
 
     #[test]
+    fn version_1_traces_decode_with_zeroed_resilience_fields() {
+        // Hand-build a version-1 payload: one URL, no UAs, one record laid
+        // out without the retry/flags bytes that version 2 added.
+        let mut buf = BytesMut::with_capacity(128);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(1);
+        put_varint(&mut buf, 1); // url table
+        put_string(&mut buf, "https://legacy.example/v1");
+        put_varint(&mut buf, 0); // ua table
+        put_varint(&mut buf, 1); // record count
+        put_varint(&mut buf, zigzag(1_500_000)); // time delta
+        put_varint(&mut buf, 42); // client
+        put_varint(&mut buf, 0); // ua absent
+        put_varint(&mut buf, 0); // url id
+        buf.put_u8(0); // method = GET
+        buf.put_u8(0); // mime = JSON
+        buf.put_u8(1); // cache = Miss
+        put_varint(&mut buf, 503); // status
+        put_varint(&mut buf, 2048); // bytes
+        let decoded = decode(buf.freeze()).expect("v1 payload decodes");
+        assert_eq!(decoded.len(), 1);
+        let r = decoded.records()[0];
+        assert_eq!(r.time, SimTime::from_micros(1_500_000));
+        assert_eq!(r.client, ClientId(42));
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retries, 0, "v1 records carry no retry count");
+        assert_eq!(r.flags, RecordFlags::NONE, "v1 records carry no flags");
+    }
+
+    #[test]
+    fn rejects_unknown_flag_bits() {
+        let mut t = Trace::new();
+        let u = t.intern_url("https://h.example/x");
+        t.push(LogRecord {
+            time: SimTime::from_secs(1),
+            client: ClientId(0),
+            ua: None,
+            url: u,
+            method: Method::Get,
+            mime: MimeType::Json,
+            status: 200,
+            response_bytes: 1,
+            cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
+        });
+        let mut data = encode(&t).to_vec();
+        // The flags byte is the last byte before the status and bytes
+        // varints (200 → 2 bytes, 1 → 1 byte).
+        let flags_at = data.len() - 4;
+        data[flags_at] = 0xF0;
+        assert_eq!(
+            decode(Bytes::from(data)).unwrap_err(),
+            DecodeError::BadDiscriminant("flags", 0xF0)
+        );
+    }
+
+    #[test]
     fn rejects_truncation_anywhere() {
         let full = encode(&sample_trace());
         // Chop at a few byte positions spread across the buffer; every
@@ -441,6 +528,9 @@ mod tests {
         assert_eq!(v.get("cache").unwrap().as_str(), Some("hit"));
         // Record 0 has i % 3 == 0 → UA absent.
         assert!(v.get("ua").unwrap().is_null());
+        // Record 0 has i % 11 == 0 → stale+retried flags, retries = 0.
+        assert_eq!(v.get("retries").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("flags").unwrap().as_str(), Some("stale,retried"));
     }
 
     #[test]
@@ -476,6 +566,8 @@ mod tests {
                 status: 200,
                 response_bytes: 1,
                 cache: CacheStatus::Hit,
+                retries: 0,
+                flags: RecordFlags::NONE,
             });
         }
         let decoded = decode(encode(&t)).unwrap();

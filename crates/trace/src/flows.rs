@@ -185,7 +185,7 @@ pub fn client_sequences(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{CacheStatus, Method, MimeType};
+    use crate::record::{CacheStatus, Method, MimeType, RecordFlags};
 
     fn push(trace: &mut Trace, t: u64, client: u64, url: &str) {
         let url = trace.intern_url(url);
@@ -199,6 +199,8 @@ mod tests {
             status: 200,
             response_bytes: 10,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     }
 
@@ -238,6 +240,8 @@ mod tests {
             status: 200,
             response_bytes: 10,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
         let flows = FlowSet::build(&t, |_| true);
         // Same IP, different UA → two client-object flows (§5.1).

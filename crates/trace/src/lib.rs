@@ -30,7 +30,7 @@ pub mod summary;
 mod time;
 mod trace;
 
-pub use record::{CacheStatus, ClientId, LogRecord, Method, MimeType, UaId, UrlId};
+pub use record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, UaId, UrlId};
 pub use time::{SimDuration, SimTime};
 pub use trace::{RecordView, Trace};
 

@@ -150,7 +150,92 @@ impl CacheStatus {
     }
 }
 
-/// One edge-server request log line (§3.1 field list).
+/// Resilience annotations on a log record, packed as a bit set.
+///
+/// Real edge logs mark how a response was produced when the origin was
+/// unhealthy; the fault-injection subsystem (`cdnsim::fault`) sets these so
+/// availability analyses can separate end-user failures from retried or
+/// gracefully degraded responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecordFlags(u8);
+
+impl RecordFlags {
+    /// No annotations.
+    pub const NONE: RecordFlags = RecordFlags(0);
+    /// The edge answered with an expired cache entry (stale-if-error).
+    pub const SERVED_STALE: RecordFlags = RecordFlags(1);
+    /// The request rode an already in-flight origin fetch for the same
+    /// object instead of issuing its own.
+    pub const COALESCED: RecordFlags = RecordFlags(1 << 1);
+    /// This attempt failed and a retry was scheduled; a later record with a
+    /// higher retry count continues the request.
+    pub const RETRIED: RecordFlags = RecordFlags(1 << 2);
+    /// Answered from the negative cache (a recent origin 5xx for this
+    /// object), without contacting the origin.
+    pub const NEG_CACHED: RecordFlags = RecordFlags(1 << 3);
+
+    /// All bits that are currently defined.
+    const ALL: u8 = 0b1111;
+
+    /// Reconstructs flags from their wire byte; unknown bits are an error.
+    pub fn from_bits(bits: u8) -> Option<RecordFlags> {
+        (bits & !Self::ALL == 0).then_some(RecordFlags(bits))
+    }
+
+    /// The wire byte.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True when every bit of `other` is set in `self`.
+    pub fn contains(self, other: RecordFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `self` with the bits of `other` added.
+    #[must_use]
+    pub fn with(self, other: RecordFlags) -> RecordFlags {
+        RecordFlags(self.0 | other.0)
+    }
+
+    /// Adds the bits of `other` in place.
+    pub fn insert(&mut self, other: RecordFlags) {
+        self.0 |= other.0;
+    }
+
+    /// True when no annotation is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for RecordFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (flag, name) in [
+            (RecordFlags::SERVED_STALE, "stale"),
+            (RecordFlags::COALESCED, "coalesced"),
+            (RecordFlags::RETRIED, "retried"),
+            (RecordFlags::NEG_CACHED, "neg-cached"),
+        ] {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str(",")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// One edge-server request log line (§3.1 field list, plus the resilience
+/// columns real CDN logs carry: status, retry attempt, and degradation
+/// flags).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LogRecord {
     /// Request arrival time at the edge.
@@ -171,6 +256,23 @@ pub struct LogRecord {
     pub response_bytes: u64,
     /// Edge cache disposition.
     pub cache: CacheStatus,
+    /// Which attempt of the logical request this record is (0 = first try).
+    pub retries: u8,
+    /// Resilience annotations (stale serve, coalesced fetch, …).
+    pub flags: RecordFlags,
+}
+
+impl LogRecord {
+    /// True when the response was an error (HTTP 5xx).
+    pub fn is_error(&self) -> bool {
+        self.status >= 500
+    }
+
+    /// True when this attempt failed *and* no retry follows it — i.e. the
+    /// failure reached the end user.
+    pub fn is_end_user_failure(&self) -> bool {
+        self.is_error() && !self.flags.contains(RecordFlags::RETRIED)
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +329,21 @@ mod tests {
         ] {
             assert_eq!(MimeType::from_header(mime.as_header()), mime);
         }
+    }
+
+    #[test]
+    fn record_flags_round_trip_bits() {
+        let mut flags = RecordFlags::NONE;
+        assert!(flags.is_empty());
+        flags.insert(RecordFlags::SERVED_STALE);
+        flags.insert(RecordFlags::RETRIED);
+        assert!(flags.contains(RecordFlags::SERVED_STALE));
+        assert!(flags.contains(RecordFlags::RETRIED));
+        assert!(!flags.contains(RecordFlags::COALESCED));
+        assert_eq!(RecordFlags::from_bits(flags.bits()), Some(flags));
+        assert_eq!(RecordFlags::from_bits(0xF0), None, "unknown bits rejected");
+        assert_eq!(flags.to_string(), "stale,retried");
+        assert_eq!(RecordFlags::NONE.to_string(), "-");
     }
 
     #[test]

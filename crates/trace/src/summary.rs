@@ -75,7 +75,7 @@ impl DatasetSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{CacheStatus, ClientId, LogRecord, Method, UaId};
+    use crate::record::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, UaId};
     use crate::time::SimTime;
 
     fn push(trace: &mut Trace, t: u64, client: u64, url: &str, mime: MimeType, ua: Option<UaId>) {
@@ -90,6 +90,8 @@ mod tests {
             status: 200,
             response_bytes: 10,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     }
 

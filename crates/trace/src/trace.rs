@@ -213,7 +213,7 @@ pub(crate) fn host_of_url(url: &str) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{CacheStatus, ClientId, Method, MimeType};
+    use crate::record::{CacheStatus, ClientId, Method, MimeType, RecordFlags};
 
     fn record(trace: &mut Trace, t: u64, url: &str) -> LogRecord {
         let url = trace.intern_url(url);
@@ -227,6 +227,8 @@ mod tests {
             status: 200,
             response_bytes: 100,
             cache: CacheStatus::Hit,
+            retries: 0,
+            flags: RecordFlags::NONE,
         }
     }
 

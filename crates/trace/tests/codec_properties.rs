@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use jcdn_trace::codec::{decode, encode};
-use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimTime, Trace};
+use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, SimTime, Trace};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -17,6 +17,8 @@ struct RawRecord {
     cache: u8,
     status: u16,
     bytes: u64,
+    retries: u8,
+    flags: u8,
 }
 
 fn arb_record() -> impl Strategy<Value = RawRecord> {
@@ -30,19 +32,25 @@ fn arb_record() -> impl Strategy<Value = RawRecord> {
         0u8..3,
         any::<u16>(),
         any::<u64>(),
+        any::<u8>(),
+        0u8..16,
     )
         .prop_map(
-            |(time_us, client, ua, url, method, mime, cache, status, bytes)| RawRecord {
-                // Keep times within i64 so delta encoding stays exact.
-                time_us: time_us % (i64::MAX as u64),
-                client,
-                ua,
-                url,
-                method,
-                mime,
-                cache,
-                status,
-                bytes,
+            |(time_us, client, ua, url, method, mime, cache, status, bytes, retries, flags)| {
+                RawRecord {
+                    // Keep times within i64 so delta encoding stays exact.
+                    time_us: time_us % (i64::MAX as u64),
+                    client,
+                    ua,
+                    url,
+                    method,
+                    mime,
+                    cache,
+                    status,
+                    bytes,
+                    retries,
+                    flags,
+                }
             },
         )
 }
@@ -84,9 +92,79 @@ fn build_trace(records: &[RawRecord]) -> Trace {
                 1 => CacheStatus::Miss,
                 _ => CacheStatus::NotCacheable,
             },
+            retries: r.retries,
+            flags: RecordFlags::from_bits(r.flags).expect("arb flags stay within defined bits"),
         });
     }
     t
+}
+
+/// Independent version-1 encoder (the format before the retry/flags bytes),
+/// so the decoder's backward compatibility is exercised against arbitrary
+/// traces and not just one hand-written sample.
+fn encode_v1(t: &Trace) -> Vec<u8> {
+    fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+    fn put_string(out: &mut Vec<u8>, s: &str) {
+        put_varint(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    let zigzag = |v: i64| ((v << 1) ^ (v >> 63)) as u64;
+
+    let mut out = Vec::new();
+    out.extend_from_slice(b"JCDN");
+    out.extend_from_slice(&1u16.to_le_bytes());
+    put_varint(&mut out, t.url_table().len() as u64);
+    for url in t.url_table() {
+        put_string(&mut out, url);
+    }
+    put_varint(&mut out, t.ua_table().len() as u64);
+    for ua in t.ua_table() {
+        put_string(&mut out, ua);
+    }
+    put_varint(&mut out, t.len() as u64);
+    let mut prev_time: i64 = 0;
+    for r in t.records() {
+        let time = r.time.as_micros() as i64;
+        put_varint(&mut out, zigzag(time - prev_time));
+        prev_time = time;
+        put_varint(&mut out, r.client.0);
+        put_varint(&mut out, r.ua.map_or(0, |ua| u64::from(ua.0) + 1));
+        put_varint(&mut out, u64::from(r.url.0));
+        out.push(match r.method {
+            Method::Get => 0,
+            Method::Post => 1,
+            Method::Head => 2,
+            Method::Put => 3,
+            Method::Delete => 4,
+        });
+        out.push(match r.mime {
+            MimeType::Json => 0,
+            MimeType::Html => 1,
+            MimeType::Css => 2,
+            MimeType::JavaScript => 3,
+            MimeType::Image => 4,
+            MimeType::Video => 5,
+            MimeType::Other => 6,
+        });
+        out.push(match r.cache {
+            CacheStatus::Hit => 0,
+            CacheStatus::Miss => 1,
+            CacheStatus::NotCacheable => 2,
+        });
+        put_varint(&mut out, u64::from(r.status));
+        put_varint(&mut out, r.response_bytes);
+    }
+    out
 }
 
 proptest! {
@@ -97,6 +175,25 @@ proptest! {
         prop_assert_eq!(decoded.records(), t.records());
         prop_assert_eq!(decoded.url_table(), t.url_table());
         prop_assert_eq!(decoded.ua_table(), t.ua_table());
+    }
+
+    #[test]
+    fn version_1_payloads_decode_with_default_resilience_fields(
+        records in prop::collection::vec(arb_record(), 0..100),
+    ) {
+        let t = build_trace(&records);
+        let decoded = decode(Bytes::from(encode_v1(&t))).expect("v1 payload decodes");
+        prop_assert_eq!(decoded.len(), t.len());
+        prop_assert_eq!(decoded.url_table(), t.url_table());
+        for (d, orig) in decoded.records().iter().zip(t.records()) {
+            prop_assert_eq!(d.retries, 0, "v1 records decode with zero retries");
+            prop_assert_eq!(d.flags, RecordFlags::NONE, "v1 records decode with empty flags");
+            prop_assert_eq!(
+                LogRecord { retries: orig.retries, flags: orig.flags, ..*d },
+                *orig,
+                "all pre-existing fields survive"
+            );
+        }
     }
 
     #[test]

@@ -71,6 +71,15 @@ impl Workload {
         self.events.is_empty()
     }
 
+    /// Index of the domain with the given host name, for targeting fault
+    /// windows at a specific customer (e.g. `--outage host:start:end`).
+    pub fn domain_index(&self, host: &str) -> Option<u32> {
+        self.domains
+            .iter()
+            .position(|d| d.host == host)
+            .map(|i| i as u32)
+    }
+
     /// Share of events whose object serves JSON.
     pub fn json_share(&self) -> f64 {
         if self.events.is_empty() {
@@ -1007,21 +1016,24 @@ mod tests {
 
     #[test]
     fn uncacheable_share_is_majority() {
-        let w = tiny();
-        let json_events: Vec<_> = w
-            .events
-            .iter()
-            .filter(|e| w.objects[e.object as usize].mime == MimeType::Json)
-            .collect();
-        let uncacheable = json_events
-            .iter()
-            .filter(|e| !w.objects[e.object as usize].cacheable)
-            .count();
-        let share = uncacheable as f64 / json_events.len() as f64;
         // The tiny universe has only 40 domains, so domain-level cache
-        // policy luck swings this share by ±10pp across seeds; the tight
-        // calibration check against the paper's 55% runs in the repro
-        // harness over the 600-domain short-term dataset.
+        // policy luck swings this share by ±10pp for any single seed;
+        // average a few seeds here and leave the tight calibration check
+        // against the paper's 55% to the repro harness, which runs over
+        // the 600-domain short-term dataset.
+        let mut total_json = 0usize;
+        let mut total_uncacheable = 0usize;
+        for seed in [0xFEED, 0xBEEF, 0xACE5] {
+            let w = build(&WorkloadConfig::tiny(seed));
+            for e in &w.events {
+                let o = &w.objects[e.object as usize];
+                if o.mime == MimeType::Json {
+                    total_json += 1;
+                    total_uncacheable += usize::from(!o.cacheable);
+                }
+            }
+        }
+        let share = total_uncacheable as f64 / total_json as f64;
         assert!((0.45..0.78).contains(&share), "uncacheable share {share}");
     }
 

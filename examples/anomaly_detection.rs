@@ -8,7 +8,9 @@
 
 use jcdn::core::dataset;
 use jcdn::prefetch::anomaly::{AnomalyKind, PeriodAnomalyDetector, SequenceAnomalyDetector};
-use jcdn::trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, SimTime, Trace};
+use jcdn::trace::{
+    CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, SimTime, Trace,
+};
 use jcdn::workload::WorkloadConfig;
 
 fn main() {
@@ -39,6 +41,8 @@ fn main() {
             status: 200,
             response_bytes: 64,
             cache: CacheStatus::NotCacheable,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     };
     push(&mut attack, 0, &manifest_url);
@@ -79,6 +83,8 @@ fn main() {
             status: 200,
             response_bytes: 32,
             cache: CacheStatus::NotCacheable,
+            retries: 0,
+            flags: RecordFlags::NONE,
         });
     }
     let url = flow.find_url(beat).expect("interned");

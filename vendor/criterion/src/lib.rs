@@ -1,0 +1,169 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Provides the API subset the jcdn benches use (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `criterion_group!`,
+//! `criterion_main!`) with a simple median-of-samples timer instead of
+//! criterion's full statistical machinery. `cargo bench -- --test` runs each
+//! benchmark body once, which is what CI uses to smoke-test the bench paths.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    test_mode: bool,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.test_mode {
+            std::hint::black_box(body());
+            self.nanos_per_iter = 0.0;
+            return;
+        }
+        // Warm up and size the batch so the measured window is ~20ms.
+        let warmup = Instant::now();
+        std::hint::black_box(body());
+        let once = warmup.elapsed().as_nanos().max(1);
+        let batch = (20_000_000 / once).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(body());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+    }
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Times `f` and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(self.test_mode, name, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    test_mode: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes batches by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(self.test_mode, &format!("{}/{}", self.name, name), f);
+    }
+
+    /// Times `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.test_mode, &format!("{}/{}", self.name, id.id), |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        nanos_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else {
+        println!("{name}: {:.1} ns/iter", bencher.nanos_per_iter);
+    }
+}
+
+/// Re-export of the standard black box, for API compatibility.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_times_a_body() {
+        let mut ran = 0u64;
+        super::run_one(false, "smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

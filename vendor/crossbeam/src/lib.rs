@@ -1,0 +1,58 @@
+//! Workspace-local stand-in for `crossbeam`, built on `std::thread::scope`
+//! (stable since Rust 1.63, below the workspace MSRV). Only the
+//! `crossbeam::thread::scope` entry point jcdn uses is provided.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to the scope closure; spawns scoped worker threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Token handed to spawned closures (crossbeam passes a nested scope; the
+    /// workspace never uses it, so this carries no operations).
+    pub struct NestedScope(());
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing `scope` call.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope(())))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data can be sent to threads;
+    /// all spawned threads are joined before this returns. A panicking worker
+    /// propagates its panic (upstream crossbeam reports it as `Err` instead —
+    /// jcdn immediately `.expect`s that result, so the observable behaviour
+    /// matches).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &x) in results.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+}

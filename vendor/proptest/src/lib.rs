@@ -1,0 +1,948 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest API its test-suites use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_filter`/`prop_filter_map`/`prop_recursive`,
+//! `prop_oneof!`, `Just`, `any`, regex-literal string strategies, ranges as
+//! strategies, `prop::collection::vec`, `prop::option::of`, and
+//! `prop::sample::Index`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - No shrinking: a failing case reports its panic directly.
+//! - No `proptest-regressions` persistence; runs are seeded deterministically
+//!   from the test name, so every CI run explores the same cases.
+//! - Integer `any` is bit-width biased rather than shrink-order biased.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG and per-test configuration.
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic test RNG (xoshiro256++ seeded from the test name).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a over the bytes).
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Seeds the generator from a raw integer via splitmix64.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (regenerating otherwise).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Maps values through `f`, regenerating whenever `f` returns `None`.
+        fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy behind a cheap-to-clone handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                f: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+
+        /// Builds recursive structures: `self` is the leaf strategy and
+        /// `branch` wraps an inner strategy into the next level. The tree is
+        /// unrolled eagerly to `depth` levels (no lazy recursion, which keeps
+        /// the stub simple; `_size`/`_items` are accepted for signature
+        /// compatibility).
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _items: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                current = branch(current).boxed();
+            }
+            current
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        f: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    const FILTER_ATTEMPTS: u32 = 10_000;
+
+    /// `prop_filter` adapter.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_ATTEMPTS {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?}: predicate rejected every candidate",
+                self.reason
+            );
+        }
+    }
+
+    /// `prop_filter_map` adapter.
+    #[derive(Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..FILTER_ATTEMPTS {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map {:?}: mapper rejected every candidate",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            start + (end - start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! A tiny regex-subset interpreter for string-literal strategies.
+    //!
+    //! Supports what the workspace's patterns use: character classes with
+    //! ranges and escapes (`[a-z0-9._~-]`), the printable-character escape
+    //! `\PC`, literal characters, and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers.
+
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    struct CharSet {
+        ranges: Vec<(u32, u32)>,
+        total: u64,
+    }
+
+    impl CharSet {
+        fn new(mut ranges: Vec<(u32, u32)>) -> Self {
+            ranges.retain(|(lo, hi)| lo <= hi);
+            let total = ranges.iter().map(|(lo, hi)| u64::from(hi - lo) + 1).sum();
+            CharSet { ranges, total }
+        }
+
+        fn pick(&self, rng: &mut TestRng) -> char {
+            assert!(self.total > 0, "empty character class");
+            let mut idx = rng.below(self.total);
+            for &(lo, hi) in &self.ranges {
+                let span = u64::from(hi - lo) + 1;
+                if idx < span {
+                    return char::from_u32(lo + idx as u32).expect("valid scalar");
+                }
+                idx -= span;
+            }
+            unreachable!("index within total")
+        }
+    }
+
+    /// Printable characters (`\PC`): ASCII printable plus a few Latin-1,
+    /// Latin Extended, Greek, and CJK ranges. A practical slice of "not a
+    /// control character" that still exercises multi-byte UTF-8 paths.
+    fn printable() -> CharSet {
+        CharSet::new(vec![
+            (0x20, 0x7e),
+            (0xa1, 0xff),
+            (0x100, 0x17f),
+            (0x391, 0x3a9),
+            (0x3b1, 0x3c9),
+            (0x4e00, 0x4e2f),
+        ])
+    }
+
+    #[derive(Clone, Debug)]
+    struct Element {
+        set: CharSet,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+        let mut ranges = Vec::new();
+        let mut pending: Vec<char> = Vec::new();
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => break,
+                '\\' => pending.push(chars.next().expect("dangling escape in class")),
+                '-' => {
+                    // A dash is a range operator only between two chars.
+                    match (pending.pop(), chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            let hi = match chars.next() {
+                                Some('\\') => chars.next().expect("dangling escape in class"),
+                                Some(other) => other,
+                                None => panic!("unterminated character class"),
+                            };
+                            ranges.push((lo as u32, hi as u32));
+                        }
+                        (prev, _) => {
+                            if let Some(p) = prev {
+                                pending.push(p);
+                            }
+                            pending.push('-');
+                        }
+                    }
+                }
+                other => pending.push(other),
+            }
+        }
+        for c in pending {
+            ranges.push((c as u32, c as u32));
+        }
+        CharSet::new(ranges)
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier min"),
+                        n.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let exact = spec.trim().parse().expect("quantifier count");
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        let class = chars.next().expect("\\P needs a class letter");
+                        assert_eq!(class, 'C', "only \\PC is supported");
+                        printable()
+                    }
+                    'd' => CharSet::new(vec![('0' as u32, '9' as u32)]),
+                    'w' => CharSet::new(vec![
+                        ('a' as u32, 'z' as u32),
+                        ('A' as u32, 'Z' as u32),
+                        ('0' as u32, '9' as u32),
+                        ('_' as u32, '_' as u32),
+                    ]),
+                    literal => CharSet::new(vec![(literal as u32, literal as u32)]),
+                },
+                '.' => printable(),
+                literal => CharSet::new(vec![(literal as u32, literal as u32)]),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            elements.push(Element { set, min, max });
+        }
+        elements
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for element in parse(pattern) {
+            let count = if element.max > element.min {
+                element.min + rng.below(u64::from(element.max - element.min) + 1) as u32
+            } else {
+                element.min
+            };
+            for _ in 0..count {
+                out.push(element.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait and `any`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyStrategy<A> {
+        _marker: std::marker::PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Draws a bit-width first so small and large magnitudes both appear
+    /// (mirrors upstream proptest's bias toward edge-ish values).
+    fn biased_u64(rng: &mut TestRng) -> u64 {
+        let bits = rng.below(65) as u32;
+        if bits == 0 {
+            0
+        } else {
+            rng.next_u64() >> (64 - bits)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    biased_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    let magnitude = biased_u64(rng) as $t;
+                    if rng.below(2) == 0 { magnitude } else { magnitude.wrapping_neg() }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix plain uniform values with raw bit patterns so NaN and
+            // infinities appear, as they do under upstream `any::<f64>()`.
+            match rng.below(4) {
+                0 => f64::from_bits(rng.next_u64()),
+                1 => (rng.unit_f64() - 0.5) * 2e12,
+                _ => rng.unit_f64(),
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::string::generate_from_pattern("\\PC", rng)
+                .chars()
+                .next()
+                .unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.below(17);
+            let mut out = String::new();
+            for _ in 0..len {
+                out.push(char::arbitrary(rng));
+            }
+            out
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise (upstream's default).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    /// An index into a collection whose length is unknown at generation time.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Wraps a raw draw.
+        pub fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Projects onto `0..len`. Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use super::test_runner::{ProptestConfig, TestRng};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[test] fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts within a property (panics with context, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::for_test("string_patterns");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z][a-z0-9-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = crate::string::generate_from_pattern("[ -~]{0,20}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let p = crate::string::generate_from_pattern("\\PC{0,60}", &mut rng);
+            assert!(p.chars().count() <= 60);
+            assert!(p.chars().all(|c| !c.is_control()));
+            let cls = crate::string::generate_from_pattern(
+                "[\\[\\]{}:,\"0-9a-z\\\\ .eE+-]{0,64}",
+                &mut rng,
+            );
+            for c in cls.chars() {
+                assert!(
+                    "[]{}:,\"\\ .eE+-".contains(c) || c.is_ascii_digit() || c.is_ascii_lowercase(),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 10u64..=20, f in -1.5f64..1.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u32..100, 0..10),
+            o in prop::option::of(1u16..),
+            idx in any::<prop::sample::Index>(),
+            choice in prop_oneof![Just("http"), Just("https")],
+        ) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            if let Some(p) = o {
+                prop_assert!(p >= 1);
+            }
+            prop_assert!(idx.index(7) < 7);
+            prop_assert!(choice == "http" || choice == "https");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! jcdn derives `Serialize`/`Deserialize` on its public data types so that
+//! downstream users can plug in a real serializer, but the workspace itself
+//! never serializes through serde (the trace codec is hand-rolled, JSON export
+//! is hand-rolled). Since the build environment has no network access, the
+//! traits are vendored as markers: deriving them compiles and records intent,
+//! and nothing in-tree depends on their methods.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

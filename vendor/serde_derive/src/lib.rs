@@ -1,0 +1,59 @@
+//! Derive macros for the workspace-local serde stand-in.
+//!
+//! The vendored `serde` traits are pure markers, so the derives only need to
+//! find the type's name and emit empty impls. No `syn`/`quote`: the input is
+//! scanned token-by-token for the `struct`/`enum` keyword. Generic types are
+//! rejected with a compile error (nothing in jcdn derives serde on generics).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier that follows `struct` or `enum`, checking that no
+/// generic parameter list follows it.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the vendored serde derive does not support generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct or enum found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => render(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

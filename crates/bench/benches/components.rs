@@ -144,9 +144,9 @@ fn bench_codec(c: &mut Criterion) {
         });
     }
     c.bench_function("codec_encode_50k", |b| {
-        b.iter(|| std::hint::black_box(encode(&trace).len()))
+        b.iter(|| std::hint::black_box(encode(&trace).expect("time-sorted").len()))
     });
-    let encoded = encode(&trace);
+    let encoded = encode(&trace).expect("time-sorted");
     c.bench_function("codec_decode_50k", |b| {
         b.iter(|| std::hint::black_box(decode(encoded.clone()).unwrap().len()))
     });

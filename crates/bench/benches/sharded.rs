@@ -1,0 +1,85 @@
+//! Scatter–gather pipeline benchmarks: the same generate and characterize
+//! work at one worker versus the full pool. The shard-invariance tests
+//! prove the outputs are identical for every thread count; these benches
+//! time the two paths so the speedup is measurable (expect ≥2× at 8
+//! threads on an 8-core machine for the 1M-record workload).
+//!
+//! Under `cargo bench -- --test` (the CI smoke mode, which runs each body
+//! exactly once) the workload is scaled down so the smoke stays fast; a
+//! full `cargo bench` uses the ≥1M-record configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jcdn_cdnsim::SimConfig;
+use jcdn_core::characterize::TokenCategoryProvider;
+use jcdn_core::dataset::simulate_workload_parallel;
+use jcdn_core::pipeline::CharacterizationReport;
+use jcdn_trace::{ShardedTrace, SimDuration};
+use jcdn_workload::{build_parallel, WorkloadConfig};
+
+const THREAD_COUNTS: &[usize] = &[1, 8];
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// The benchmark workload: ~1M request events (50K in smoke mode).
+fn pipeline_config() -> WorkloadConfig {
+    let mut config = WorkloadConfig::short_term(4242);
+    config.duration = SimDuration::from_secs(3_600);
+    if smoke_mode() {
+        config.target_events = 50_000;
+        config.clients = 1_200;
+    } else {
+        config.target_events = 1_000_000;
+        config.clients = 24_000;
+    }
+    config
+}
+
+/// Eight edges so the per-edge simulation fan-out has work to scatter.
+fn sim_config() -> SimConfig {
+    SimConfig {
+        edges: 8,
+        ..SimConfig::default()
+    }
+}
+
+fn sharded_generate(c: &mut Criterion) {
+    let config = pipeline_config();
+    let sim = sim_config();
+    let mut group = c.benchmark_group("sharded_generate_1m");
+    group.sample_size(10);
+    for &threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let workload = build_parallel(&config, t);
+                std::hint::black_box(simulate_workload_parallel(workload, &sim, t).trace.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sharded_characterize(c: &mut Criterion) {
+    let config = pipeline_config();
+    let workload = build_parallel(&config, 8);
+    let data = simulate_workload_parallel(workload, &sim_config(), 8);
+    let sharded = ShardedTrace::from_trace(data.trace, 8);
+    let mut group = c.benchmark_group("sharded_characterize_1m");
+    group.sample_size(10);
+    for &threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::hint::black_box(CharacterizationReport::compute_sharded(
+                    &sharded,
+                    &TokenCategoryProvider,
+                    t,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sharded, sharded_generate, sharded_characterize);
+criterion_main!(sharded);

@@ -55,8 +55,8 @@ pub use fault::{
 };
 pub use latency::LatencyModel;
 pub use sim::{
-    run, run_default, NoopPolicy, Policy, PolicyOutcome, Priority, RequestCtx, SimConfig,
-    SimOutput, SimStats,
+    run, run_default, run_sharded, NoopPolicy, Policy, PolicyOutcome, Priority, RequestCtx,
+    SimConfig, SimOutput, SimStats,
 };
 
 // Re-exported for implementors of [`Policy`].

@@ -216,6 +216,36 @@ impl SimStats {
         let logical = self.logical_requests();
         (logical > 0).then(|| self.requests as f64 / logical as f64)
     }
+
+    /// Adds `other`'s counters and latency summaries into `self`. Every
+    /// integer counter merges exactly; the latency [`Summary`]s combine
+    /// via their own merge (counts exact, moments to float precision).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.not_cacheable += other.not_cacheable;
+        self.origin_fetches += other.origin_fetches;
+        self.parent_hits += other.parent_hits;
+        self.parent_misses += other.parent_misses;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_completed += other.prefetch_completed;
+        self.prefetch_useful += other.prefetch_useful;
+        self.bytes_cache += other.bytes_cache;
+        self.bytes_origin += other.bytes_origin;
+        self.json_requests += other.json_requests;
+        self.json_hits += other.json_hits;
+        self.json_misses += other.json_misses;
+        self.json_not_cacheable += other.json_not_cacheable;
+        self.latency_normal.merge(&other.latency_normal);
+        self.latency_depri.merge(&other.latency_depri);
+        self.retries_issued += other.retries_issued;
+        self.end_user_failures += other.end_user_failures;
+        self.stale_serves += other.stale_serves;
+        self.neg_cache_serves += other.neg_cache_serves;
+        self.coalesced_waits += other.coalesced_waits;
+        self.origin_errors += other.origin_errors;
+    }
 }
 
 /// The simulator's output: the edge logs and the aggregate stats.
@@ -273,13 +303,43 @@ fn route_edge(fault: &FaultPlan, edges: usize, ip_hash: u64, t: SimTime) -> usiz
     up[(ip_hash % up.len() as u64) as usize]
 }
 
+/// Derives a statistically independent per-edge stream seed from the base
+/// seed (SplitMix64 finalizer over a golden-ratio stride).
+fn edge_seed(seed: u64, edge: usize) -> u64 {
+    let mut z = seed.wrapping_add((edge as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs the workload through the simulated CDN with the given policy.
 pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> SimOutput {
+    run_inner(workload, config, policy, None)
+}
+
+/// The engine behind [`run`] and [`run_sharded`]: when `only_edge` is set,
+/// arrivals routed to any other edge are skipped, so the run simulates one
+/// edge's subset of the workload.
+///
+/// Every stochastic stream (sizes, latency jitter, errors/faults) is
+/// **per-edge**, derived from [`edge_seed`], and the final log sort is the
+/// canonical total order — so simulating edges one subset at a time yields
+/// the same records the combined run produces.
+fn run_inner(
+    workload: &Workload,
+    config: &SimConfig,
+    policy: &mut dyn Policy,
+    only_edge: Option<usize>,
+) -> SimOutput {
     assert!(config.edges > 0, "need at least one edge");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // The fault/error stream is separate from the main stream so enabling
+    let mut rngs: Vec<StdRng> = (0..config.edges)
+        .map(|e| StdRng::seed_from_u64(edge_seed(config.seed, e)))
+        .collect();
+    // The fault/error stream is separate from the main streams so enabling
     // bursts or faults never perturbs size and latency draws.
-    let mut fault_state = FaultState::new(config.seed ^ 0xFAD7_5EED);
+    let mut fault_states: Vec<FaultState> = (0..config.edges)
+        .map(|e| FaultState::new(edge_seed(config.seed ^ 0xFAD7_5EED, e)))
+        .collect();
     let mut stats = SimStats::default();
     let mut parent: Option<LruCache<u32>> = config.parent_cache.map(LruCache::new);
     let mut edges: Vec<Edge> = (0..config.edges)
@@ -332,6 +392,9 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                     workload.clients[event.client as usize].ip_hash,
                     event.time,
                 );
+                if only_edge.is_some_and(|e| e != edge_idx) {
+                    continue;
+                }
                 let object = &workload.objects[event.object as usize];
 
                 let ctx = RequestCtx {
@@ -352,10 +415,10 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                         continue;
                     }
                     stats.prefetch_issued += 1;
-                    let size = tobj.sample_size(&mut rng);
+                    let size = tobj.sample_size(&mut rngs[edge_idx]);
                     stats.bytes_origin += size;
                     stats.origin_fetches += 1;
-                    let done = event.time + config.latency.origin_fetch(size, &mut rng);
+                    let done = event.time + config.latency.origin_fetch(size, &mut rngs[edge_idx]);
                     seq += 1;
                     heap.push(Reverse((
                         done,
@@ -378,7 +441,7 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                     event.time,
                     workload,
                     config,
-                    &mut rng,
+                    &mut rngs[edge_idx],
                     &mut heap,
                     &mut seq,
                 );
@@ -392,7 +455,7 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                         // Insert only if still absent — a demand miss may
                         // have populated it meanwhile.
                         if !edges[edge].cache.peek(object, now) {
-                            let size = obj.sample_size(&mut rng);
+                            let size = obj.sample_size(&mut rngs[edge]);
                             edges[edge].cache.insert(object, size, obj.ttl, now, true);
                         }
                     }
@@ -420,7 +483,7 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                             now,
                             workload,
                             config,
-                            &mut rng,
+                            &mut rngs[edge_idx],
                             &mut heap,
                             &mut seq,
                         );
@@ -444,8 +507,8 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                             &mut trace,
                             &url_ids,
                             &ua_ids,
-                            &mut rng,
-                            &mut fault_state,
+                            &mut rngs[edge],
+                            &mut fault_states[edge],
                             &mut heap,
                             &mut seq,
                         );
@@ -455,7 +518,7 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
                             now,
                             workload,
                             config,
-                            &mut rng,
+                            &mut rngs[edge],
                             &mut heap,
                             &mut seq,
                         );
@@ -470,13 +533,52 @@ pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> 
         stats.prefetch_useful += edge.cache.stats().prefetch_hits;
     }
 
-    trace.sort_by_time();
+    // Canonical total-order sort: the log is time-sorted and the order of
+    // equal-time records never depends on edge interleaving, so per-edge
+    // subset runs concatenate to exactly this log.
+    trace.sort_canonical();
     SimOutput { trace, stats }
 }
 
 /// Runs with the no-op policy.
 pub fn run_default(workload: &Workload, config: &SimConfig) -> SimOutput {
     run(workload, config, &mut NoopPolicy)
+}
+
+/// Runs the simulation with per-edge subsets fanned out over a
+/// `threads`-wide worker pool, producing the same trace records and
+/// integer counters as [`run_default`] (latency summaries match to float
+/// merge precision).
+///
+/// Per-edge subsets are only independent when routing is static and no
+/// state is shared across edges; configurations with edge flaps (dynamic
+/// routing) or a parent tier (shared cache) fall back to the sequential
+/// [`run_default`], as do single-edge or single-thread runs.
+pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> SimOutput {
+    if threads <= 1
+        || config.edges <= 1
+        || !config.fault.flaps.is_empty()
+        || config.parent_cache.is_some()
+    {
+        return run_default(workload, config);
+    }
+    let outputs = jcdn_exec::scatter_gather(config.edges, threads, |e| {
+        run_inner(workload, config, &mut NoopPolicy, Some(e))
+    });
+
+    let mut outputs = outputs.into_iter();
+    let first = outputs.next().expect("at least one edge");
+    let mut stats = first.stats;
+    // Every per-edge run pre-interns the full object and client tables, so
+    // the interners are identical and records concatenate directly.
+    let (interner, mut records) = first.trace.into_parts();
+    for out in outputs {
+        stats.merge(&out.stats);
+        records.extend(out.trace.into_parts().1);
+    }
+    let mut trace = Trace::from_parts(interner, records);
+    trace.sort_canonical();
+    SimOutput { trace, stats }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -881,6 +983,55 @@ mod tests {
         let b = run_default(&w, &SimConfig::default());
         assert_eq!(a.trace.records(), b.trace.records());
         assert_eq!(a.stats.hits, b.stats.hits);
+    }
+
+    #[test]
+    fn sharded_run_matches_the_sequential_run() {
+        let w = build(&WorkloadConfig::tiny(21));
+        let config = SimConfig {
+            edges: 4,
+            error_fraction: 0.02, // exercise the retry path too
+            ..SimConfig::default()
+        };
+        let sequential = run_default(&w, &config);
+        for threads in [2, 4] {
+            let sharded = run_sharded(&w, &config, threads);
+            assert_eq!(
+                sequential.trace.records(),
+                sharded.trace.records(),
+                "{threads} threads"
+            );
+            assert_eq!(sequential.stats.requests, sharded.stats.requests);
+            assert_eq!(sequential.stats.hits, sharded.stats.hits);
+            assert_eq!(sequential.stats.misses, sharded.stats.misses);
+            assert_eq!(
+                sequential.stats.retries_issued,
+                sharded.stats.retries_issued
+            );
+            assert_eq!(
+                sequential.stats.end_user_failures,
+                sharded.stats.end_user_failures
+            );
+            assert_eq!(
+                sequential.stats.latency_normal.count(),
+                sharded.stats.latency_normal.count()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_falls_back_when_edges_share_state() {
+        let w = build(&WorkloadConfig::tiny(23));
+        // A parent tier couples the edges; run_sharded must produce the
+        // sequential result (by falling back), not a diverging one.
+        let config = SimConfig {
+            parent_cache: Some(1 << 30),
+            ..SimConfig::default()
+        };
+        let sequential = run_default(&w, &config);
+        let sharded = run_sharded(&w, &config, 4);
+        assert_eq!(sequential.trace.records(), sharded.trace.records());
+        assert_eq!(sequential.stats.parent_hits, sharded.stats.parent_hits);
     }
 
     #[test]

@@ -18,6 +18,9 @@ commands:
                   --seed N                   (default 42)
                   --scale F                  (default 1.0)
                   --out PATH                 (required)
+                  --shards N                 codec-v3 shard frames (default 1)
+                  --threads N                worker pool width; output is
+                                             identical for any value (default 1)
                 fault injection (comma-separate multiple windows):
                   --outage DOMAIN:START:END          origin hard-down [s]
                   --degrade DOMAIN:START:END:FACTOR  slow origin (xFACTOR)
@@ -32,7 +35,9 @@ commands:
   inspect       summarize a trace file
                   <trace>                    positional path
   characterize  run the §4 analyses on a trace, incl. availability
-                  <trace>
+                  <trace> [--shards N] [--threads N]
+                  (per-shard partial statistics merge exactly, so every
+                   shard/thread combination prints the same report)
   periodicity   run the §5.1 periodicity study
                   <trace> [--permutations N] [--max-bins N]
   predict       run the §5.2 prediction study (Table 3)

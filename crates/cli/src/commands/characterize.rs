@@ -1,21 +1,35 @@
 //! `jcdn characterize` — the §4 analyses over a trace file.
 
-use jcdn_core::characterize::{
-    json_html_ratio, AvailabilityBreakdown, CacheabilityHeatmap, RequestTypeBreakdown,
-    ResponseTypeBreakdown, TokenCategoryProvider, TrafficSourceBreakdown,
-};
+use std::path::Path;
+
+use jcdn_core::characterize::TokenCategoryProvider;
+use jcdn_core::pipeline::CharacterizationReport;
 use jcdn_core::report::{availability_section, pct, TextTable};
+use jcdn_trace::ShardedTrace;
 use jcdn_ua::DeviceType;
 use jcdn_workload::IndustryCategory;
 
 use crate::args::Args;
-use crate::commands::load_trace;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let trace = load_trace(args.positional("trace path")?)?;
+    let args = Args::parse(argv, &["shards", "threads"])?;
+    let path = args.positional("trace path")?;
+    let threads: usize = args.number("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
-    let sources = TrafficSourceBreakdown::compute(&trace);
+    // The file's own shard frames are the default partitioning; --shards
+    // re-partitions (e.g. a v1/v2 single-frame file analyzed on 8 threads).
+    let mut sharded = jcdn_trace::codec::read_file_sharded(Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let shards: usize = args.number("shards", 0)?; // 0 = keep the file's framing
+    if shards > 0 && shards != sharded.shard_count() {
+        sharded = ShardedTrace::from_trace(sharded.into_trace(), shards);
+    }
+    let report = CharacterizationReport::compute_sharded(&sharded, &TokenCategoryProvider, threads);
+
+    let sources = &report.sources;
     let mut table = TextTable::new(&["Device", "Requests", "UA strings"]);
     for device in DeviceType::ALL {
         table.row(&[
@@ -27,14 +41,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     println!("traffic source (JSON requests):\n{}", table.render());
     println!("non-browser: {}\n", pct(sources.non_browser_share()));
 
-    let requests = RequestTypeBreakdown::compute(&trace);
+    let requests = &report.requests;
     println!(
         "request type: GET {}   POST-of-rest {}",
         pct(requests.download_share()),
         pct(requests.upload_share_of_rest())
     );
 
-    let mut responses = ResponseTypeBreakdown::compute(&trace);
+    let mut responses = report.responses.clone();
     println!("uncacheable JSON: {}", pct(responses.uncacheable_share()));
     for q in [0.5, 0.75] {
         if let Some(gap) = responses.json_smaller_than_html_at(q) {
@@ -45,11 +59,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             );
         }
     }
-    if let Some(ratio) = json_html_ratio(&trace) {
+    if let Some(ratio) = report.json_html_ratio() {
         println!("JSON:HTML request ratio: {ratio:.2}x");
     }
 
-    let heatmap = CacheabilityHeatmap::compute(&trace, &TokenCategoryProvider, 10);
+    let heatmap = &report.heatmap;
     let mut table = TextTable::new(&["Industry", "Never", "Always", "Mean cacheable"]);
     for category in IndustryCategory::ALL {
         let Some(row) = heatmap.rows.get(&category) else {
@@ -71,7 +85,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         heatmap.uncategorized
     );
 
-    let availability = AvailabilityBreakdown::compute(&trace, &TokenCategoryProvider);
-    println!("\n{}", availability_section(&availability));
+    println!("\n{}", availability_section(&report.availability));
     Ok(())
 }

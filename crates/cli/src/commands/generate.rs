@@ -3,14 +3,17 @@
 use std::path::Path;
 
 use jcdn_cdnsim::SimConfig;
-use jcdn_core::dataset::simulate_workload;
-use jcdn_workload::{build, WorkloadConfig};
+use jcdn_core::dataset::simulate_workload_parallel;
+use jcdn_trace::ShardedTrace;
+use jcdn_workload::{build_parallel, WorkloadConfig};
 
 use crate::args::Args;
 use crate::fault_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let mut allowed = vec!["preset", "seed", "scale", "out", "edges"];
+    let mut allowed = vec![
+        "preset", "seed", "scale", "out", "edges", "shards", "threads",
+    ];
     allowed.extend_from_slice(fault_args::FAULT_FLAGS);
     let args = Args::parse(argv, &allowed)?;
     let seed: u64 = args.number("seed", 42)?;
@@ -20,6 +23,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     let preset = args.get_or("preset", "tiny");
     let out = args.require("out")?;
+    let shards: usize = args.number("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let threads: usize = args.number("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
     let config = match preset {
         "short" => WorkloadConfig::short_term(seed),
@@ -34,8 +45,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         config.name, config.target_events, config.clients, config.domains
     );
     // Fault windows may name domains, so the workload is built before the
-    // simulator configuration is finalized.
-    let workload = build(&config);
+    // simulator configuration is finalized. Thread count never changes the
+    // output — generation and simulation are shard-invariant by design.
+    let workload = build_parallel(&config, threads);
     let sim = SimConfig {
         edges: args.number("edges", 3usize)?,
         fault: fault_args::fault_plan(&args, &workload)?,
@@ -43,15 +55,26 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ..SimConfig::default()
     };
 
-    let data = simulate_workload(workload, &sim);
-    jcdn_trace::codec::write_file(&data.trace, Path::new(out))
-        .map_err(|e| format!("{out}: {e}"))?;
-    eprintln!(
-        "wrote {} records ({} distinct URLs, {} UAs) to {out}",
+    let data = simulate_workload_parallel(workload, &sim, threads);
+    let (records, urls, uas) = (
         data.trace.len(),
         data.trace.url_count(),
-        data.trace.ua_count()
+        data.trace.ua_count(),
     );
+    let summary_row = data.summary().table_row();
+    if shards > 1 {
+        let sharded = ShardedTrace::from_trace(data.trace, shards);
+        jcdn_trace::codec::write_file_sharded(&sharded, Path::new(out))
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!(
+            "wrote {records} records in {} shard frames ({urls} distinct URLs, {uas} UAs) to {out}",
+            sharded.shard_count()
+        );
+    } else {
+        jcdn_trace::codec::write_file(&data.trace, Path::new(out))
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {records} records ({urls} distinct URLs, {uas} UAs) to {out}");
+    }
     if !sim.fault.is_empty() {
         eprintln!(
             "faults: {} end-user failures ({} origin errors, {} retries, \
@@ -62,6 +85,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             data.stats.stale_serves
         );
     }
-    println!("{}", data.summary().table_row());
+    println!("{summary_row}");
     Ok(())
 }

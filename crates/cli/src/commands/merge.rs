@@ -17,7 +17,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let next = load_trace(path)?;
         merged.merge(&next);
     }
-    merged.sort_by_time();
+    merged.sort_canonical();
     jcdn_trace::codec::write_file(&merged, Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
         "merged {} traces into {out} ({} records, {} URLs)",

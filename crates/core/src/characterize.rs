@@ -1,23 +1,70 @@
 //! §4 — characterizing JSON traffic.
+//!
+//! Every breakdown here follows the sharded-pipeline accumulator shape:
+//! `accumulate` folds a [`RecordStream`] (a whole trace, one shard, or any
+//! record subset) into partial counts, `merge` combines partials exactly
+//! (associative and commutative), and the original `compute(&Trace)`
+//! constructors remain as single-shard conveniences. Per-shard results
+//! therefore equal the single-pass result bit-for-bit, which the
+//! `shard_invariance` integration tests assert.
 
 use std::collections::HashMap;
 
 use jcdn_stats::ExactQuantiles;
-use jcdn_trace::{MimeType, RecordFlags, Trace};
-use jcdn_ua::{classify, DeviceType};
+use jcdn_trace::{Interner, MimeType, RecordFlags, RecordStream, Trace, UaId};
+use jcdn_ua::{classify, Classification, DeviceType};
 use jcdn_workload::IndustryCategory;
 
 use crate::taxonomy::RequestType;
 
+/// Pre-classified user-agent table: each distinct UA string classified
+/// once, shared by every shard's accumulation pass (records reference UAs
+/// by id, so classification cost is per-string, not per-record).
+#[derive(Clone, Debug)]
+pub struct UaClassTable {
+    classes: Vec<Classification>,
+    missing: Classification,
+}
+
+impl UaClassTable {
+    /// Classifies every UA in the interner's table.
+    pub fn build(interner: &Interner) -> Self {
+        UaClassTable {
+            classes: interner
+                .ua_table()
+                .iter()
+                .map(|ua| classify(Some(ua.as_ref())))
+                .collect(),
+            missing: classify(None),
+        }
+    }
+
+    /// The classification for a record's UA id (`None` ⇒ header absent).
+    pub fn class(&self, ua: Option<UaId>) -> &Classification {
+        match ua {
+            Some(ua) => &self.classes[ua.0 as usize],
+            None => &self.missing,
+        }
+    }
+
+    /// Iterates the classifications of all distinct UA strings.
+    pub fn classes(&self) -> impl Iterator<Item = &Classification> {
+        self.classes.iter()
+    }
+}
+
 /// Figure 3: the breakdown of JSON requests by device type, plus the
 /// browser/non-browser and UA-string-level shares §4 reports.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficSourceBreakdown {
     /// JSON request counts per device type.
     pub requests_by_device: HashMap<DeviceType, u64>,
     /// Distinct UA strings per device type (the paper's "distribution of
     /// user agent strings": 73% Mobile / 17% Embedded / 3% Desktop / 7%
-    /// Unknown).
+    /// Unknown). Filled by [`count_ua_strings`][Self::count_ua_strings],
+    /// not by record accumulation — it is a property of the shared UA
+    /// table, so per-shard partials leave it empty and the merged result
+    /// counts it once.
     pub ua_strings_by_device: HashMap<DeviceType, u64>,
     /// JSON requests issued by browsers.
     pub browser_requests: u64,
@@ -32,41 +79,56 @@ pub struct TrafficSourceBreakdown {
 impl TrafficSourceBreakdown {
     /// Computes the breakdown over the trace's JSON records.
     pub fn compute(trace: &Trace) -> Self {
+        let classes = UaClassTable::build(trace.interner());
         let mut out = TrafficSourceBreakdown::default();
+        out.accumulate(&trace.stream(), &classes);
+        out.count_ua_strings(&classes);
+        out
+    }
 
-        // Classify each distinct UA once; records reference them by id.
-        let ua_classes: Vec<_> = trace
-            .ua_table()
-            .iter()
-            .map(|ua| classify(Some(ua)))
-            .collect();
-        let missing_class = classify(None);
-
-        for r in trace.records() {
+    /// Folds one record stream into the request counters.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>, classes: &UaClassTable) {
+        for r in stream.iter() {
             if r.mime != MimeType::Json {
                 continue;
             }
-            let c = match r.ua {
-                Some(ua) => &ua_classes[ua.0 as usize],
-                None => &missing_class,
-            };
-            out.total += 1;
-            *out.requests_by_device.entry(c.device).or_default() += 1;
+            let c = classes.class(r.ua);
+            self.total += 1;
+            *self.requests_by_device.entry(c.device).or_default() += 1;
             if c.is_browser {
-                out.browser_requests += 1;
+                self.browser_requests += 1;
                 match c.device {
-                    DeviceType::Mobile => out.mobile_browser_requests += 1,
-                    DeviceType::Embedded => out.embedded_browser_requests += 1,
+                    DeviceType::Mobile => self.mobile_browser_requests += 1,
+                    DeviceType::Embedded => self.embedded_browser_requests += 1,
                     _ => {}
                 }
             }
         }
+    }
 
-        // UA-string distribution counts distinct strings, not requests.
-        for c in &ua_classes {
-            *out.ua_strings_by_device.entry(c.device).or_default() += 1;
+    /// Adds `other`'s request counters into `self`. Call on per-shard
+    /// partials (whose `ua_strings_by_device` is still empty), then
+    /// [`count_ua_strings`][Self::count_ua_strings] once on the total.
+    pub fn merge(&mut self, other: &TrafficSourceBreakdown) {
+        for (&device, &count) in &other.requests_by_device {
+            *self.requests_by_device.entry(device).or_default() += count;
         }
-        out
+        for (&device, &count) in &other.ua_strings_by_device {
+            *self.ua_strings_by_device.entry(device).or_default() += count;
+        }
+        self.browser_requests += other.browser_requests;
+        self.mobile_browser_requests += other.mobile_browser_requests;
+        self.embedded_browser_requests += other.embedded_browser_requests;
+        self.total += other.total;
+    }
+
+    /// Fills the distinct-UA-string distribution from the shared UA table.
+    /// The UA table is global to all shards, so this runs once per report,
+    /// not once per shard.
+    pub fn count_ua_strings(&mut self, classes: &UaClassTable) {
+        for c in classes.classes() {
+            *self.ua_strings_by_device.entry(c.device).or_default() += 1;
+        }
     }
 
     /// Request share of a device type in `[0, 1]`.
@@ -96,7 +158,7 @@ impl TrafficSourceBreakdown {
 }
 
 /// §4's request-type split: GET/downloads vs POST/uploads.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RequestTypeBreakdown {
     /// JSON download (GET/HEAD) requests.
     pub downloads: u64,
@@ -110,17 +172,29 @@ impl RequestTypeBreakdown {
     /// Computes the split over JSON records.
     pub fn compute(trace: &Trace) -> Self {
         let mut out = RequestTypeBreakdown::default();
-        for r in trace.records() {
+        out.accumulate(&trace.stream());
+        out
+    }
+
+    /// Folds one record stream into the counters.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>) {
+        for r in stream.iter() {
             if r.mime != MimeType::Json {
                 continue;
             }
             match RequestType::from_method(r.method) {
-                RequestType::Download => out.downloads += 1,
-                RequestType::Upload => out.uploads += 1,
-                RequestType::Other => out.other += 1,
+                RequestType::Download => self.downloads += 1,
+                RequestType::Upload => self.uploads += 1,
+                RequestType::Other => self.other += 1,
             }
         }
-        out
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &RequestTypeBreakdown) {
+        self.downloads += other.downloads;
+        self.uploads += other.uploads;
+        self.other += other.other;
     }
 
     /// Total JSON requests.
@@ -147,7 +221,7 @@ impl RequestTypeBreakdown {
 }
 
 /// §4's response-type characterization: cacheability and sizes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ResponseTypeBreakdown {
     /// JSON requests marked uncacheable.
     pub json_uncacheable: u64,
@@ -162,29 +236,36 @@ pub struct ResponseTypeBreakdown {
 impl ResponseTypeBreakdown {
     /// Computes cacheability and size distributions.
     pub fn compute(trace: &Trace) -> Self {
-        let mut json_uncacheable = 0;
-        let mut json_total = 0;
-        let mut json_sizes = ExactQuantiles::new();
-        let mut html_sizes = ExactQuantiles::new();
-        for r in trace.records() {
+        let mut out = ResponseTypeBreakdown::default();
+        out.accumulate(&trace.stream());
+        out
+    }
+
+    /// Folds one record stream into the counters and size samples.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>) {
+        for r in stream.iter() {
             match r.mime {
                 MimeType::Json => {
-                    json_total += 1;
+                    self.json_total += 1;
                     if !r.cache.is_cacheable() {
-                        json_uncacheable += 1;
+                        self.json_uncacheable += 1;
                     }
-                    json_sizes.record(r.response_bytes as f64);
+                    self.json_sizes.record(r.response_bytes as f64);
                 }
-                MimeType::Html => html_sizes.record(r.response_bytes as f64),
+                MimeType::Html => self.html_sizes.record(r.response_bytes as f64),
                 _ => {}
             }
         }
-        ResponseTypeBreakdown {
-            json_uncacheable,
-            json_total,
-            json_sizes,
-            html_sizes,
-        }
+    }
+
+    /// Absorbs `other`'s counters and size samples. Quantile queries over
+    /// the merged breakdown equal single-pass queries (order statistics
+    /// are insertion-order-insensitive).
+    pub fn merge(&mut self, other: &ResponseTypeBreakdown) {
+        self.json_uncacheable += other.json_uncacheable;
+        self.json_total += other.json_total;
+        self.json_sizes.merge(&other.json_sizes);
+        self.html_sizes.merge(&other.html_sizes);
     }
 
     /// Uncacheable share of JSON traffic (paper: ~55%).
@@ -202,6 +283,46 @@ impl ResponseTypeBreakdown {
         let json = self.json_sizes.quantile(q)?;
         let html = self.html_sizes.quantile(q)?;
         (html > 0.0).then(|| 1.0 - json / html)
+    }
+}
+
+/// Figure 1 support: JSON and HTML request counts, and their ratio.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContentMix {
+    /// JSON responses.
+    pub json: u64,
+    /// HTML responses.
+    pub html: u64,
+}
+
+impl ContentMix {
+    /// Counts JSON/HTML responses over the trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut out = ContentMix::default();
+        out.accumulate(&trace.stream());
+        out
+    }
+
+    /// Folds one record stream into the counters.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>) {
+        for r in stream.iter() {
+            match r.mime {
+                MimeType::Json => self.json += 1,
+                MimeType::Html => self.html += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &ContentMix) {
+        self.json += other.json;
+        self.html += other.html;
+    }
+
+    /// The JSON:HTML request-count ratio, or `None` without HTML traffic.
+    pub fn ratio(&self) -> Option<f64> {
+        (self.html > 0).then(|| self.json as f64 / self.html as f64)
     }
 }
 
@@ -231,41 +352,58 @@ impl CategoryProvider for TokenCategoryProvider {
     }
 }
 
-/// Figure 4: the heatmap of per-domain cacheability by industry category.
+/// Mergeable per-domain cacheability counts — the accumulator behind
+/// [`CacheabilityHeatmap`].
 ///
-/// Each domain's *cacheable request fraction* is computed from its JSON
-/// records, then bucketed into `buckets` equal-width cells; the heatmap
-/// row for a category is the distribution of its domains over those cells.
-#[derive(Clone, Debug)]
-pub struct CacheabilityHeatmap {
-    /// Number of cacheability buckets (columns).
-    pub buckets: usize,
-    /// `rows[category] = domain counts per bucket`.
-    pub rows: HashMap<IndustryCategory, Vec<u64>>,
-    /// Domains whose host had no category.
-    pub uncategorized: u64,
+/// The heatmap buckets each domain's cacheable *fraction*, and fractions
+/// from partial streams cannot be combined after bucketing (a domain split
+/// across shards would be counted twice). Partials therefore carry the raw
+/// `(cacheable, total)` counts per domain and bucket only at
+/// [`finalize`][Self::finalize].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DomainCacheability {
+    /// `host → (cacheable JSON requests, total JSON requests)`.
+    pub per_domain: HashMap<String, (u64, u64)>,
 }
 
-impl CacheabilityHeatmap {
-    /// Computes the heatmap over JSON records.
-    pub fn compute(trace: &Trace, provider: &dyn CategoryProvider, buckets: usize) -> Self {
-        assert!(buckets >= 2, "need at least two buckets");
-        // Per-domain cacheable/total counts.
-        let mut per_domain: HashMap<&str, (u64, u64)> = HashMap::new();
-        for r in trace.records() {
+impl DomainCacheability {
+    /// Folds one record stream into the per-domain counts.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>) {
+        for r in stream.iter() {
             if r.mime != MimeType::Json {
                 continue;
             }
-            let host = trace.host_of(r.url);
-            let entry = per_domain.entry(host).or_default();
+            let host = stream.host_of(r.url);
+            // Look up by &str first so only new hosts allocate a key.
+            let entry = match self.per_domain.get_mut(host) {
+                Some(entry) => entry,
+                None => self.per_domain.entry(host.to_owned()).or_default(),
+            };
             entry.1 += 1;
             if r.cache.is_cacheable() {
                 entry.0 += 1;
             }
         }
+    }
+
+    /// Adds `other`'s counts into `self`, summing per-domain pairs.
+    pub fn merge(&mut self, other: &DomainCacheability) {
+        for (host, &(cacheable, total)) in &other.per_domain {
+            let entry = match self.per_domain.get_mut(host.as_str()) {
+                Some(entry) => entry,
+                None => self.per_domain.entry(host.clone()).or_default(),
+            };
+            entry.0 += cacheable;
+            entry.1 += total;
+        }
+    }
+
+    /// Buckets the per-domain fractions into a heatmap.
+    pub fn finalize(&self, provider: &dyn CategoryProvider, buckets: usize) -> CacheabilityHeatmap {
+        assert!(buckets >= 2, "need at least two buckets");
         let mut rows: HashMap<IndustryCategory, Vec<u64>> = HashMap::new();
         let mut uncategorized = 0;
-        for (host, (cacheable, total)) in per_domain {
+        for (host, &(cacheable, total)) in &self.per_domain {
             let Some(category) = provider.category(host) else {
                 uncategorized += 1;
                 continue;
@@ -279,6 +417,30 @@ impl CacheabilityHeatmap {
             rows,
             uncategorized,
         }
+    }
+}
+
+/// Figure 4: the heatmap of per-domain cacheability by industry category.
+///
+/// Each domain's *cacheable request fraction* is computed from its JSON
+/// records, then bucketed into `buckets` equal-width cells; the heatmap
+/// row for a category is the distribution of its domains over those cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheabilityHeatmap {
+    /// Number of cacheability buckets (columns).
+    pub buckets: usize,
+    /// `rows[category] = domain counts per bucket`.
+    pub rows: HashMap<IndustryCategory, Vec<u64>>,
+    /// Domains whose host had no category.
+    pub uncategorized: u64,
+}
+
+impl CacheabilityHeatmap {
+    /// Computes the heatmap over JSON records.
+    pub fn compute(trace: &Trace, provider: &dyn CategoryProvider, buckets: usize) -> Self {
+        let mut counts = DomainCacheability::default();
+        counts.accumulate(&trace.stream());
+        counts.finalize(provider, buckets)
     }
 
     /// Fraction of all categorized domains in the lowest bucket ("never
@@ -326,7 +488,7 @@ impl CacheabilityHeatmap {
 /// Works on any trace; fault-free traces simply report near-perfect
 /// availability. Counts cover *all* records, not just JSON — availability
 /// is a service-level property.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AvailabilityBreakdown {
     /// Log records, i.e. delivery attempts (retries included).
     pub attempts: u64,
@@ -352,44 +514,66 @@ impl AvailabilityBreakdown {
     /// Computes the breakdown over every record in the trace.
     pub fn compute(trace: &Trace, provider: &dyn CategoryProvider) -> Self {
         let mut out = AvailabilityBreakdown::default();
-        for r in trace.records() {
-            out.attempts += 1;
+        out.accumulate(&trace.stream(), provider);
+        out
+    }
+
+    /// Folds one record stream into the counters.
+    pub fn accumulate(&mut self, stream: &RecordStream<'_>, provider: &dyn CategoryProvider) {
+        for r in stream.iter() {
+            self.attempts += 1;
             let retried = r.flags.contains(RecordFlags::RETRIED);
             let failed = r.status >= 500;
             if retried {
-                out.retried_attempts += 1;
+                self.retried_attempts += 1;
             }
             if failed {
-                out.attempt_failures += 1;
+                self.attempt_failures += 1;
             }
             if r.flags.contains(RecordFlags::SERVED_STALE) {
-                out.stale_serves += 1;
+                self.stale_serves += 1;
             }
             if r.flags.contains(RecordFlags::NEG_CACHED) {
-                out.neg_cached += 1;
+                self.neg_cached += 1;
             }
             if r.flags.contains(RecordFlags::COALESCED) {
-                out.coalesced += 1;
+                self.coalesced += 1;
             }
             // Final attempts are the logical requests; a failed final
             // attempt is an end-user failure.
             if !retried {
                 if failed {
-                    out.end_user_failures += 1;
+                    self.end_user_failures += 1;
                 }
-                match provider.category(trace.host_of(r.url)) {
+                match provider.category(stream.host_of(r.url)) {
                     Some(category) => {
-                        let entry = out.per_industry.entry(category).or_default();
+                        let entry = self.per_industry.entry(category).or_default();
                         entry.1 += 1;
                         if failed {
                             entry.0 += 1;
                         }
                     }
-                    None => out.uncategorized += 1,
+                    None => self.uncategorized += 1,
                 }
             }
         }
-        out
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &AvailabilityBreakdown) {
+        self.attempts += other.attempts;
+        self.retried_attempts += other.retried_attempts;
+        self.end_user_failures += other.end_user_failures;
+        self.attempt_failures += other.attempt_failures;
+        self.stale_serves += other.stale_serves;
+        self.neg_cached += other.neg_cached;
+        self.coalesced += other.coalesced;
+        for (&category, &(failures, logical)) in &other.per_industry {
+            let entry = self.per_industry.entry(category).or_default();
+            entry.0 += failures;
+            entry.1 += logical;
+        }
+        self.uncategorized += other.uncategorized;
     }
 
     /// Logical requests: final attempts (attempts minus retried ones).
@@ -443,22 +627,15 @@ impl AvailabilityBreakdown {
 
 /// Figure 1 support: the JSON:HTML request-count ratio of a trace.
 pub fn json_html_ratio(trace: &Trace) -> Option<f64> {
-    let mut json = 0u64;
-    let mut html = 0u64;
-    for r in trace.records() {
-        match r.mime {
-            MimeType::Json => json += 1,
-            MimeType::Html => html += 1,
-            _ => {}
-        }
-    }
-    (html > 0).then(|| json as f64 / html as f64)
+    ContentMix::compute(trace).ratio()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, RecordFlags, SimTime, UaId};
+    use jcdn_trace::{
+        CacheStatus, ClientId, LogRecord, Method, RecordFlags, ShardedTrace, SimTime, UaId,
+    };
 
     fn push(
         trace: &mut Trace,
@@ -768,5 +945,131 @@ mod tests {
             a.industry_availability(IndustryCategory::NewsMedia),
             Some(0.5)
         );
+    }
+
+    /// A trace with varied mimes, UAs, hosts, statuses, and flags spread
+    /// over distinct timestamps, for shard-merge equivalence checks.
+    fn varied_trace() -> Trace {
+        let mut t = Trace::new();
+        let uas: Vec<UaId> = [
+            "NewsApp/1.0 (iPhone; iOS 12.4)",
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+             (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36",
+            "okhttp/3.12.1",
+        ]
+        .iter()
+        .map(|ua| t.intern_ua(ua))
+        .collect();
+        for i in 0..200u64 {
+            let host = match i % 4 {
+                0 => "news-1.example",
+                1 => "bank-2.example",
+                2 => "game-3.example",
+                _ => "mystery.example",
+            };
+            let url = t.intern_url(&format!("https://{host}/api/{}", i % 9));
+            t.push(LogRecord {
+                time: SimTime::from_millis(i * 11),
+                client: ClientId(i % 13),
+                ua: (i % 5 != 0).then(|| uas[(i % 3) as usize]),
+                url,
+                method: if i % 6 == 0 {
+                    Method::Post
+                } else {
+                    Method::Get
+                },
+                mime: match i % 3 {
+                    0 => MimeType::Json,
+                    1 => MimeType::Html,
+                    _ => MimeType::Json,
+                },
+                status: if i % 17 == 0 { 503 } else { 200 },
+                response_bytes: (i * 37) % 5000,
+                cache: match i % 3 {
+                    0 => CacheStatus::Hit,
+                    1 => CacheStatus::Miss,
+                    _ => CacheStatus::NotCacheable,
+                },
+                retries: 0,
+                flags: if i % 23 == 0 {
+                    RecordFlags::RETRIED
+                } else {
+                    RecordFlags::NONE
+                },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn sharded_accumulation_merges_to_the_single_pass_result() {
+        let whole = varied_trace();
+        let classes = UaClassTable::build(whole.interner());
+
+        let single_sources = TrafficSourceBreakdown::compute(&whole);
+        let single_requests = RequestTypeBreakdown::compute(&whole);
+        let mut single_responses = ResponseTypeBreakdown::compute(&whole);
+        let single_heatmap = CacheabilityHeatmap::compute(&whole, &TokenCategoryProvider, 10);
+        let single_avail = AvailabilityBreakdown::compute(&whole, &TokenCategoryProvider);
+        let single_mix = ContentMix::compute(&whole);
+
+        for shard_count in [1usize, 2, 3, 8] {
+            let sharded = ShardedTrace::from_trace(varied_trace(), shard_count);
+            let mut sources = TrafficSourceBreakdown::default();
+            let mut requests = RequestTypeBreakdown::default();
+            let mut responses = ResponseTypeBreakdown::default();
+            let mut domains = DomainCacheability::default();
+            let mut avail = AvailabilityBreakdown::default();
+            let mut mix = ContentMix::default();
+            for i in 0..sharded.shard_count() {
+                let stream = sharded.shard_stream(i);
+                let mut s = TrafficSourceBreakdown::default();
+                s.accumulate(&stream, &classes);
+                sources.merge(&s);
+                let mut q = RequestTypeBreakdown::default();
+                q.accumulate(&stream);
+                requests.merge(&q);
+                let mut r = ResponseTypeBreakdown::default();
+                r.accumulate(&stream);
+                responses.merge(&r);
+                let mut d = DomainCacheability::default();
+                d.accumulate(&stream);
+                domains.merge(&d);
+                let mut a = AvailabilityBreakdown::default();
+                a.accumulate(&stream, &TokenCategoryProvider);
+                avail.merge(&a);
+                let mut m = ContentMix::default();
+                m.accumulate(&stream);
+                mix.merge(&m);
+            }
+            sources.count_ua_strings(&classes);
+
+            assert_eq!(sources, single_sources, "{shard_count} shards");
+            assert_eq!(requests, single_requests, "{shard_count} shards");
+            assert_eq!(avail, single_avail, "{shard_count} shards");
+            assert_eq!(mix, single_mix, "{shard_count} shards");
+            assert_eq!(
+                domains.finalize(&TokenCategoryProvider, 10),
+                single_heatmap,
+                "{shard_count} shards"
+            );
+            assert_eq!(responses.json_total, single_responses.json_total);
+            assert_eq!(
+                responses.json_uncacheable,
+                single_responses.json_uncacheable
+            );
+            for q in [0.1, 0.5, 0.75, 0.99] {
+                assert_eq!(
+                    responses.json_sizes.quantile(q),
+                    single_responses.json_sizes.quantile(q),
+                    "{shard_count} shards, q={q}"
+                );
+                assert_eq!(
+                    responses.html_sizes.quantile(q),
+                    single_responses.html_sizes.quantile(q),
+                    "{shard_count} shards, q={q}"
+                );
+            }
+        }
     }
 }

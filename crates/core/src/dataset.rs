@@ -1,6 +1,6 @@
 //! Dataset assembly: workload generation → CDN simulation → trace.
 
-use jcdn_cdnsim::{run_default, SimConfig, SimOutput, SimStats};
+use jcdn_cdnsim::{run_default, run_sharded, SimConfig, SimOutput, SimStats};
 use jcdn_trace::summary::DatasetSummary;
 use jcdn_trace::Trace;
 use jcdn_workload::{build, Workload, WorkloadConfig};
@@ -40,6 +40,19 @@ pub fn simulate_with(config: &WorkloadConfig, sim: &SimConfig) -> Dataset {
 /// that must first be resolved to its index.
 pub fn simulate_workload(workload: Workload, sim: &SimConfig) -> Dataset {
     let SimOutput { trace, stats } = run_default(&workload, sim);
+    Dataset {
+        workload,
+        trace,
+        stats,
+    }
+}
+
+/// [`simulate_workload`] with per-edge simulation fanned out over a
+/// `threads`-wide pool (see [`jcdn_cdnsim::run_sharded`] for when the
+/// parallel path applies). Trace records are identical to the sequential
+/// run for any thread count.
+pub fn simulate_workload_parallel(workload: Workload, sim: &SimConfig, threads: usize) -> Dataset {
+    let SimOutput { trace, stats } = run_sharded(&workload, sim, threads);
     Dataset {
         workload,
         trace,

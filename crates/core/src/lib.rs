@@ -12,6 +12,9 @@
 //!   permutation-thresholded detection (Figures 5 and 6),
 //! * [`prediction`] — §5.2: backoff n-gram next-request prediction on raw
 //!   and clustered URLs (Table 3),
+//! * [`pipeline`] — the sharded scatter–gather characterization pipeline:
+//!   per-shard partial reports merged exactly into one
+//!   [`pipeline::CharacterizationReport`],
 //! * [`dataset`] — glue that generates a synthetic dataset (workload →
 //!   CDN simulation → trace) in one call,
 //! * [`report`] — plain-text table/figure rendering used by the `repro`
@@ -40,6 +43,7 @@
 pub mod characterize;
 pub mod dataset;
 pub mod periodicity;
+pub mod pipeline;
 pub mod prediction;
 pub mod report;
 pub mod taxonomy;

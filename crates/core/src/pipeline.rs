@@ -1,0 +1,207 @@
+//! Sharded characterization pipeline: scatter per-shard accumulation over
+//! a worker pool, gather, and merge into one exact report.
+//!
+//! [`CharacterizationReport`] bundles every §4 breakdown. Three entry
+//! points produce one:
+//!
+//! * [`CharacterizationReport::compute`] — single pass over a [`Trace`],
+//! * [`CharacterizationReport::compute_sharded`] — per-shard partials of a
+//!   [`ShardedTrace`], accumulated on a [`jcdn_exec::scatter_gather`] pool
+//!   and merged in shard order,
+//! * the manual route: [`CharacterizationReport::accumulate`] partials
+//!   yourself, [`merge`][CharacterizationReport::merge] them, then
+//!   [`finalize`][CharacterizationReport::finalize].
+//!
+//! Because every accumulator merge is exact (integer counts, pooled order
+//! statistics, per-domain counts bucketed only at finalize), all three
+//! routes yield identical reports for the same records — for any shard
+//! count and thread count. The `shard_invariance` integration test holds
+//! the pipeline to that.
+
+use jcdn_trace::{RecordStream, ShardedTrace, Trace};
+
+use crate::characterize::{
+    AvailabilityBreakdown, CacheabilityHeatmap, CategoryProvider, ContentMix, DomainCacheability,
+    RequestTypeBreakdown, ResponseTypeBreakdown, TrafficSourceBreakdown, UaClassTable,
+};
+
+/// Default bucket count for the cacheability heatmap (Figure 4 uses ten
+/// 10%-wide cells).
+pub const HEATMAP_BUCKETS: usize = 10;
+
+/// Partial characterization state for one record subset. Merge partials
+/// with [`merge`][Self::merge], then [`finalize`][Self::finalize] into a
+/// [`CharacterizationReport`].
+#[derive(Clone, Debug, Default)]
+pub struct PartialReport {
+    /// Figure 3 traffic sources (request counters only until finalize).
+    pub sources: TrafficSourceBreakdown,
+    /// GET/POST split.
+    pub requests: RequestTypeBreakdown,
+    /// Cacheability counters and size samples.
+    pub responses: ResponseTypeBreakdown,
+    /// Per-domain cacheable/total counts (bucketed at finalize).
+    pub domains: DomainCacheability,
+    /// Availability and resilience counters.
+    pub availability: AvailabilityBreakdown,
+    /// JSON/HTML request counts.
+    pub mix: ContentMix,
+}
+
+impl PartialReport {
+    /// Folds one record stream into every accumulator.
+    pub fn accumulate(
+        &mut self,
+        stream: &RecordStream<'_>,
+        classes: &UaClassTable,
+        provider: &dyn CategoryProvider,
+    ) {
+        self.sources.accumulate(stream, classes);
+        self.requests.accumulate(stream);
+        self.responses.accumulate(stream);
+        self.domains.accumulate(stream);
+        self.availability.accumulate(stream, provider);
+        self.mix.accumulate(stream);
+    }
+
+    /// Adds `other`'s partial state into `self` (associative, exact).
+    pub fn merge(&mut self, other: &PartialReport) {
+        self.sources.merge(&other.sources);
+        self.requests.merge(&other.requests);
+        self.responses.merge(&other.responses);
+        self.domains.merge(&other.domains);
+        self.availability.merge(&other.availability);
+        self.mix.merge(&other.mix);
+    }
+
+    /// Runs the once-per-report steps (distinct-UA counts from the shared
+    /// table, heatmap bucketing) and produces the final report.
+    pub fn finalize(
+        mut self,
+        classes: &UaClassTable,
+        provider: &dyn CategoryProvider,
+        heatmap_buckets: usize,
+    ) -> CharacterizationReport {
+        self.sources.count_ua_strings(classes);
+        let heatmap = self.domains.finalize(provider, heatmap_buckets);
+        CharacterizationReport {
+            sources: self.sources,
+            requests: self.requests,
+            responses: self.responses,
+            heatmap,
+            availability: self.availability,
+            mix: self.mix,
+        }
+    }
+}
+
+/// Every §4 breakdown of one trace, computed in a single pass or merged
+/// from per-shard partials — identically either way.
+#[derive(Clone, Debug)]
+pub struct CharacterizationReport {
+    /// Figure 3: JSON traffic by device type / browser share.
+    pub sources: TrafficSourceBreakdown,
+    /// GET/POST split.
+    pub requests: RequestTypeBreakdown,
+    /// Cacheability share and JSON-vs-HTML size quantiles.
+    pub responses: ResponseTypeBreakdown,
+    /// Figure 4: per-industry domain cacheability heatmap.
+    pub heatmap: CacheabilityHeatmap,
+    /// Availability under faults.
+    pub availability: AvailabilityBreakdown,
+    /// Figure 1: JSON/HTML request mix.
+    pub mix: ContentMix,
+}
+
+impl CharacterizationReport {
+    /// Single-pass characterization of a whole trace.
+    pub fn compute(trace: &Trace, provider: &dyn CategoryProvider) -> Self {
+        let classes = UaClassTable::build(trace.interner());
+        let mut partial = PartialReport::default();
+        partial.accumulate(&trace.stream(), &classes, provider);
+        partial.finalize(&classes, provider, HEATMAP_BUCKETS)
+    }
+
+    /// Characterizes a sharded trace: one partial per shard, accumulated
+    /// on a `threads`-wide [`jcdn_exec::scatter_gather`] pool, merged in
+    /// shard order, finalized once. `threads <= 1` runs sequentially.
+    pub fn compute_sharded(
+        sharded: &ShardedTrace,
+        provider: &(dyn CategoryProvider + Sync),
+        threads: usize,
+    ) -> Self {
+        let classes = UaClassTable::build(sharded.interner());
+        let partials = jcdn_exec::scatter_gather(sharded.shard_count(), threads, |i| {
+            let mut partial = PartialReport::default();
+            partial.accumulate(&sharded.shard_stream(i), &classes, provider);
+            partial
+        });
+        let mut total = PartialReport::default();
+        for partial in &partials {
+            total.merge(partial);
+        }
+        total.finalize(&classes, provider, HEATMAP_BUCKETS)
+    }
+
+    /// The JSON:HTML request-count ratio, when the trace has HTML traffic.
+    pub fn json_html_ratio(&self) -> Option<f64> {
+        self.mix.ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::TokenCategoryProvider;
+    use jcdn_workload::WorkloadConfig;
+
+    fn sample_trace() -> Trace {
+        let data = crate::dataset::simulate(&WorkloadConfig::tiny(7).scaled(0.3));
+        data.trace
+    }
+
+    #[test]
+    fn sharded_report_matches_single_pass_for_any_shard_and_thread_count() {
+        let whole = sample_trace();
+        let single = CharacterizationReport::compute(&whole, &TokenCategoryProvider);
+
+        for shard_count in [1usize, 2, 8] {
+            for threads in [1usize, 4] {
+                let sharded = ShardedTrace::from_trace(sample_trace(), shard_count);
+                let report = CharacterizationReport::compute_sharded(
+                    &sharded,
+                    &TokenCategoryProvider,
+                    threads,
+                );
+
+                assert_eq!(report.sources, single.sources, "{shard_count}x{threads}");
+                assert_eq!(report.requests, single.requests, "{shard_count}x{threads}");
+                assert_eq!(report.heatmap, single.heatmap, "{shard_count}x{threads}");
+                assert_eq!(
+                    report.availability, single.availability,
+                    "{shard_count}x{threads}"
+                );
+                assert_eq!(report.mix, single.mix, "{shard_count}x{threads}");
+                assert_eq!(report.responses.json_total, single.responses.json_total);
+                let mut merged = report.responses.clone();
+                let mut pooled = single.responses.clone();
+                for q in [0.25, 0.5, 0.75, 0.95] {
+                    assert_eq!(
+                        merged.json_sizes.quantile(q),
+                        pooled.json_sizes.quantile(q),
+                        "{shard_count}x{threads} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_reports_cleanly() {
+        let report = CharacterizationReport::compute(&Trace::new(), &TokenCategoryProvider);
+        assert_eq!(report.sources.total, 0);
+        assert_eq!(report.requests.total(), 0);
+        assert!(report.json_html_ratio().is_none());
+        assert_eq!(report.availability.end_user_error_rate(), 0.0);
+    }
+}

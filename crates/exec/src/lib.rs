@@ -1,0 +1,158 @@
+//! # jcdn-exec — scatter–gather execution for sharded pipelines
+//!
+//! The sharded trace pipeline follows one parallelism shape everywhere:
+//! split work into independent items (workload client blocks, trace
+//! shards, edge partitions), farm the items out to a bounded worker pool,
+//! and gather the results back **in item order** so downstream merging is
+//! deterministic regardless of worker count or scheduling.
+//!
+//! [`scatter_gather`] is that shape: `std::thread::scope` for borrowing
+//! worker closures, crossbeam MPMC channels as the job queue, and an
+//! index-tagged result channel so out-of-order completion never reorders
+//! results. With `threads <= 1` it degrades to a plain sequential map —
+//! callers need no separate serial path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runs `f(0..items)` on a pool of `threads` workers and returns the
+/// results indexed by item, exactly as `(0..items).map(f).collect()`
+/// would. Items are pulled from a shared queue, so uneven item costs
+/// balance across workers. A panicking worker propagates the panic.
+pub fn scatter_gather<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(items);
+    if threads <= 1 {
+        return (0..items).map(f).collect();
+    }
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    for i in 0..items {
+        job_tx.send(i).expect("job receiver alive");
+    }
+    drop(job_tx);
+
+    let f = &f;
+    let slots = crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let jobs = job_rx.clone();
+            let results = result_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(i) = jobs.recv() {
+                    if results.send((i, f(i))).is_err() {
+                        // Gatherer gone (a sibling panicked); stop early.
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        drop(job_rx);
+
+        let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
+        while let Ok((i, value)) = result_rx.recv() {
+            slots[i] = Some(value);
+        }
+        slots
+    })
+    .expect("worker pool joined");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item produced a result"))
+        .collect()
+}
+
+/// Splits `len` items into at most `parts` contiguous index ranges of
+/// near-equal size (the first `len % parts` ranges get one extra item).
+/// Empty ranges are never returned, so fewer than `parts` ranges come back
+/// when `len < parts`.
+pub fn partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_any_thread_count() {
+        let expected: Vec<u64> = (0..37).map(|i| (i as u64) * (i as u64)).collect();
+        for threads in [0, 1, 2, 4, 16] {
+            let got = scatter_gather(37, threads, |i| (i as u64) * (i as u64));
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums = scatter_gather(4, 2, |i| data[i * 25..(i + 1) * 25].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        let out: Vec<u8> = scatter_gather(0, 4, |_| unreachable!("no items"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_item_costs_still_return_in_order() {
+        let got = scatter_gather(16, 4, |i| {
+            // Early items sleep longest, so completion order inverts
+            // submission order if the pool doesn't re-index results.
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+            i
+        });
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (8, 1), (100, 7)] {
+            let ranges = partition(len, parts);
+            let mut covered = 0;
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous");
+                assert!(!r.is_empty(), "no empty ranges");
+                covered += r.len();
+                next = r.end;
+            }
+            assert_eq!(covered, len, "len={len} parts={parts}");
+            assert!(ranges.len() <= parts.max(1));
+        }
+        // Near-equal sizes: 10 into 3 → 4,3,3.
+        let sizes: Vec<usize> = partition(10, 3).iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        scatter_gather(8, 2, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use jcdn_cdnsim::{Policy, PolicyOutcome, RequestCtx};
 use jcdn_ngram::{NgramModel, Vocab};
-use jcdn_trace::{MimeType, Trace};
+use jcdn_trace::{MimeType, RecordStream, Trace};
 
 /// A [`Policy`] that predicts each client's next requests with a backoff
 /// n-gram model and prefetches the top-K predictions.
@@ -35,14 +35,24 @@ impl NgramPrefetcher {
     /// the same traffic). `history` is the n-gram order N, `k` the number
     /// of predictions prefetched per request.
     pub fn train_from_trace(trace: &Trace, history: usize, k: usize) -> Self {
+        Self::train_from_stream(&trace.stream(), history, k)
+    }
+
+    /// Trains from any record stream — a whole trace, one shard of a
+    /// [`jcdn_trace::ShardedTrace`], or a multi-shard view — without
+    /// materializing a combined trace.
+    pub fn train_from_stream(stream: &RecordStream<'_>, history: usize, k: usize) -> Self {
         let mut vocab = Vocab::raw();
-        let tokens: Vec<u32> = trace
+        let tokens: Vec<u32> = stream
+            .interner()
             .url_table()
             .iter()
             .map(|url| vocab.intern(url))
             .collect();
         let mut model = NgramModel::new(history);
-        for (_, seq) in jcdn_trace::flows::client_sequences(trace, |r| r.mime == MimeType::Json) {
+        for (_, seq) in
+            jcdn_trace::flows::client_sequences_stream(stream, |r| r.mime == MimeType::Json)
+        {
             let toks: Vec<u32> = seq.iter().map(|&(_, url)| tokens[url.0 as usize]).collect();
             model.train_sequence(&toks);
         }
@@ -140,6 +150,16 @@ mod tests {
         let mut p = NgramPrefetcher::train_from_trace(&data.trace, 1, 5);
         p.bind_universe(&data.workload.objects);
         assert!(p.bound_objects() > 0, "vocabulary must cover the universe");
+    }
+
+    #[test]
+    fn stream_training_over_shards_matches_whole_trace_training() {
+        let data = simulate(&WorkloadConfig::tiny(21).scaled(0.3));
+        let sharded = jcdn_trace::ShardedTrace::from_trace(data.trace, 4);
+        let from_shards = NgramPrefetcher::train_from_stream(&sharded.stream(), 1, 5);
+        let whole = sharded.into_trace();
+        let from_trace = NgramPrefetcher::train_from_trace(&whole, 1, 5);
+        assert_eq!(from_shards.to_bytes(), from_trace.to_bytes());
     }
 
     #[test]

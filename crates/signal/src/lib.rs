@@ -12,8 +12,8 @@
 //! * [`acf`] — circular autocorrelation via the Wiener–Khinchin theorem,
 //! * [`periodicity`] — the paper's four-step detection algorithm with
 //!   permutation-derived significance thresholds (x = 100 by default) and a
-//!   1-second sampling grid, parallelized across permutations with
-//!   `crossbeam`.
+//!   1-second sampling grid, parallelized across permutations on the
+//!   `jcdn-exec` scatter–gather pool.
 //!
 //! ## Example: recover a planted 30-second period
 //!

@@ -338,11 +338,16 @@ fn permutation_thresholds(series: &[f64], cfg: &PeriodicityConfig) -> Option<(f6
         (max_power, max_acf)
     };
 
-    let results: Vec<(f64, f64)> = if cfg.parallel && cfg.permutations >= 8 {
-        parallel_map(cfg.permutations, one)
+    let threads = if cfg.parallel && cfg.permutations >= 8 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
-        (0..cfg.permutations).map(one).collect()
+        1
     };
+    // Per-permutation derived RNGs make the output independent of thread
+    // count, so the pool width is purely a throughput knob.
+    let results: Vec<(f64, f64)> = jcdn_exec::scatter_gather(cfg.permutations, threads, one);
 
     let mut powers: Vec<f64> = results.iter().map(|&(p, _)| p).collect();
     let mut acfs: Vec<f64> = results.iter().map(|&(_, a)| a).collect();
@@ -351,30 +356,6 @@ fn permutation_thresholds(series: &[f64], cfg: &PeriodicityConfig) -> Option<(f6
     let idx = (((1.0 - cfg.significance_quantile) * cfg.permutations as f64).floor() as usize)
         .min(cfg.permutations - 1);
     Some((powers[idx], acfs[idx]))
-}
-
-/// Maps `f` over `0..n` on up to `available_parallelism` threads, preserving
-/// index order in the output.
-fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + j));
-                }
-            });
-        }
-    })
-    .expect("permutation worker panicked");
-    results.into_iter().map(|x| x.expect("filled")).collect()
 }
 
 fn splitmix(mut x: u64) -> u64 {

@@ -49,6 +49,25 @@ impl Histogram {
         }
     }
 
+    /// Adds every count of `other` into `self`. Merging is associative and
+    /// commutative, so per-shard histograms combine into exactly the
+    /// histogram a single pass would have produced.
+    ///
+    /// # Panics
+    /// Panics when the two histograms have different bounds or bin counts —
+    /// merging incompatible binnings is a programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binnings"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Per-bin counts (excluding under/overflow).
     pub fn counts(&self) -> &[u64] {
         &self.bins
@@ -142,6 +161,24 @@ impl LogHistogram {
         } else {
             self.bins[idx] += 1;
         }
+    }
+
+    /// Adds every count of `other` into `self`; see [`Histogram::merge`].
+    ///
+    /// # Panics
+    /// Panics when `base`, `ratio`, or bin count differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.base == other.base
+                && self.ratio == other.ratio
+                && self.bins.len() == other.bins.len(),
+            "cannot merge log histograms with different binnings"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 
     /// Per-bin counts.
@@ -288,5 +325,53 @@ mod tests {
     fn render_empty() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert!(h.render(10).contains("empty"));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut whole = Histogram::new(0.0, 10.0, 10);
+        let mut left = Histogram::new(0.0, 10.0, 10);
+        let mut right = Histogram::new(0.0, 10.0, 10);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 2 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.underflow(), whole.underflow());
+        assert_eq!(left.overflow(), whole.overflow());
+        assert_eq!(left.total(), whole.total());
+    }
+
+    #[test]
+    fn log_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..60).map(|i| 0.5 * 1.4f64.powi(i % 20)).collect();
+        let mut whole = LogHistogram::new(1.0, 2.0, 8);
+        let mut left = LogHistogram::new(1.0, 2.0, 8);
+        let mut right = LogHistogram::new(1.0, 2.0, 8);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 3 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.total(), whole.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "different binnings")]
+    fn merge_rejects_incompatible_binnings() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 5);
+        a.merge(&b);
     }
 }

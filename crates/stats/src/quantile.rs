@@ -37,6 +37,17 @@ impl ExactQuantiles {
         }
     }
 
+    /// Absorbs all samples of `other`. Quantile queries over the merged
+    /// collector equal queries over a single collector fed both sample
+    /// streams (order statistics are order-insensitive).
+    pub fn merge(&mut self, other: &ExactQuantiles) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> usize {
         self.samples.len()
@@ -147,5 +158,22 @@ mod tests {
         assert_eq!(q.median(), Some(2.0));
         q.record(5.0);
         assert_eq!(q.median(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_equals_pooled_samples() {
+        let xs = [9.0, 2.0, 7.0, 1.0, 5.0, 5.0, 3.0];
+        let mut whole: ExactQuantiles = xs.into_iter().collect();
+        let mut left: ExactQuantiles = xs[..4].iter().copied().collect();
+        let right: ExactQuantiles = xs[4..].iter().copied().collect();
+        // Querying before the merge must not poison later results.
+        let _ = left.median();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+        left.merge(&ExactQuantiles::new());
+        assert_eq!(left.count(), whole.count());
     }
 }

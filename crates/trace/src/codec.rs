@@ -4,43 +4,84 @@
 //! written once and re-analyzed cheaply; JSONL exists for interop with
 //! external tooling (and is, fittingly for this paper, JSON).
 //!
-//! Binary layout (all integers little-endian or LEB128 varint):
+//! Version 3 layout (integers little-endian or LEB128 varint):
 //!
 //! ```text
 //! magic  b"JCDN"            4 bytes
-//! version u16               (currently 2)
+//! version u16               (currently 3)
 //! url table: varint count, then per string: varint len + UTF-8 bytes
 //! ua  table: same
-//! record count: varint
-//! records, each:
-//!   time   varint (delta from previous record's time, µs)
-//!   client varint
-//!   ua     varint (0 = absent, else UaId + 1)
-//!   url    varint (UrlId)
-//!   method u8, mime u8, cache u8
-//!   retry  u8  (version ≥ 2: attempt number, 0 = first try)
-//!   flags  u8  (version ≥ 2: RecordFlags bit set)
-//!   status varint
-//!   bytes  varint
+//! shard count: varint
+//! shard frames, each:
+//!   payload length u32 LE   (bytes of record data in this frame)
+//!   record count  varint
+//!   crc32         u32 LE    (IEEE CRC-32 of the payload bytes)
+//!   payload: records, each:
+//!     time   varint (delta from previous record in the SAME frame, µs;
+//!                    the delta base resets to 0 at every frame start)
+//!     client varint
+//!     ua     varint (0 = absent, else UaId + 1)
+//!     url    varint (UrlId)
+//!     method u8, mime u8, cache u8
+//!     retry  u8  (attempt number, 0 = first try)
+//!     flags  u8  (RecordFlags bit set)
+//!     status varint
+//!     bytes  varint
 //! ```
 //!
-//! Version 1 traces (no retry/flags bytes) still decode; the missing fields
-//! come back as `0` / [`RecordFlags::NONE`].
+//! Length-prefixed frames let a reader skip or hand whole shards to worker
+//! threads without parsing records, and the per-frame CRC localizes
+//! corruption to one shard. Version 1 (no retry/flags bytes) and version 2
+//! (unframed record stream) payloads still decode — into a single shard.
 //!
-//! Time is delta-encoded, so traces must be time-sorted before encoding for
-//! best size — but unsorted traces still round-trip (the delta is signed
-//! zig-zag).
+//! Time is delta-encoded, so **traces must be time-sorted before
+//! encoding**; [`encode`] returns [`EncodeError::OutOfOrder`] on a record
+//! whose timestamp precedes its predecessor's.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags};
+use crate::interner::Interner;
+use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, UaId, UrlId};
+use crate::sharded::ShardedTrace;
 use crate::time::SimTime;
 use crate::trace::Trace;
 
 const MAGIC: &[u8; 4] = b"JCDN";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Oldest version [`decode`] still accepts.
 const MIN_VERSION: u16 = 1;
+
+/// Encoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A record's timestamp precedes its predecessor's. The format
+    /// delta-encodes time, and shard frames are contiguous time ranges, so
+    /// encoding requires time-sorted input (see
+    /// [`Trace::sort_by_time`] / [`Trace::sort_canonical`]).
+    OutOfOrder {
+        /// Index of the offending record (across all shards, in frame order).
+        index: usize,
+        /// The predecessor's timestamp.
+        prev: SimTime,
+        /// The offending record's timestamp.
+        next: SimTime,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::OutOfOrder { index, prev, next } => write!(
+                f,
+                "records not time-sorted: record {index} at {}µs follows {}µs",
+                next.as_micros(),
+                prev.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,6 +102,15 @@ pub enum DecodeError {
     DanglingId,
     /// A delta-encoded timestamp overflowed the time axis.
     TimeOverflow,
+    /// A shard frame's payload did not match its stored CRC-32.
+    BadChecksum {
+        /// Index of the corrupt shard frame.
+        shard: usize,
+    },
+    /// A shard frame's record data and payload length disagree.
+    FrameMismatch,
+    /// A string table overflowed the 32-bit id space.
+    TableOverflow,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -74,11 +124,47 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadDiscriminant(what, v) => write!(f, "bad {what} discriminant {v}"),
             DecodeError::DanglingId => write!(f, "record references missing table entry"),
             DecodeError::TimeOverflow => write!(f, "timestamp delta overflow"),
+            DecodeError::BadChecksum { shard } => {
+                write!(f, "shard frame {shard} failed its CRC-32 check")
+            }
+            DecodeError::FrameMismatch => write!(f, "shard frame length and records disagree"),
+            DecodeError::TableOverflow => write!(f, "string table overflows 32-bit id space"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+// IEEE CRC-32 (the polynomial used by zip/png/ethernet), table-driven.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -129,43 +215,153 @@ fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
 }
 
-/// Encodes a trace into the binary format.
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(trace.len() * 16 + 1024);
+fn put_record(buf: &mut BytesMut, r: &LogRecord, prev_time: &mut i64) {
+    let t = r.time.as_micros() as i64;
+    put_varint(buf, zigzag(t - *prev_time));
+    *prev_time = t;
+    put_varint(buf, r.client.0);
+    put_varint(buf, r.ua.map_or(0, |ua| u64::from(ua.0) + 1));
+    put_varint(buf, u64::from(r.url.0));
+    buf.put_u8(method_tag(r.method));
+    buf.put_u8(mime_tag(r.mime));
+    buf.put_u8(cache_tag(r.cache));
+    buf.put_u8(r.retries);
+    buf.put_u8(r.flags.bits());
+    put_varint(buf, u64::from(r.status));
+    put_varint(buf, r.response_bytes);
+}
+
+fn get_record(
+    buf: &mut Bytes,
+    version: u16,
+    prev_time: &mut i64,
+    url_map: &[UrlId],
+    ua_map: &[UaId],
+) -> Result<LogRecord, DecodeError> {
+    let delta = unzigzag(get_varint(buf)?);
+    let t = prev_time
+        .checked_add(delta)
+        .ok_or(DecodeError::TimeOverflow)?;
+    *prev_time = t;
+    let client = ClientId(get_varint(buf)?);
+    let ua_raw = get_varint(buf)?;
+    let ua = if ua_raw == 0 {
+        None
+    } else {
+        let id = (ua_raw - 1) as usize;
+        match ua_map.get(id) {
+            Some(&mapped) => Some(mapped),
+            None => return Err(DecodeError::DanglingId),
+        }
+    };
+    let url_raw = get_varint(buf)? as usize;
+    let url = match url_map.get(url_raw) {
+        Some(&mapped) => mapped,
+        None => return Err(DecodeError::DanglingId),
+    };
+    let tag_bytes = if version >= 2 { 5 } else { 3 };
+    if buf.remaining() < tag_bytes {
+        return Err(DecodeError::Truncated);
+    }
+    let method = untag_method(buf.get_u8())?;
+    let mime = untag_mime(buf.get_u8())?;
+    let cache = untag_cache(buf.get_u8())?;
+    let (retries, flags) = if version >= 2 {
+        let retries = buf.get_u8();
+        let raw = buf.get_u8();
+        let flags =
+            RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
+        (retries, flags)
+    } else {
+        (0, RecordFlags::NONE)
+    };
+    let status = get_varint(buf)? as u16;
+    let response_bytes = get_varint(buf)?;
+    Ok(LogRecord {
+        time: SimTime::from_micros(t.max(0) as u64),
+        client,
+        ua,
+        url,
+        method,
+        mime,
+        status,
+        response_bytes,
+        cache,
+        retries,
+        flags,
+    })
+}
+
+/// Encodes tables plus one frame per record slice. `shards` must together
+/// form a non-decreasing time sequence.
+fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, EncodeError> {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    let mut buf = BytesMut::with_capacity(total * 16 + 1024);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
 
-    put_varint(&mut buf, trace.url_table().len() as u64);
-    for url in trace.url_table() {
+    put_varint(&mut buf, interner.url_table().len() as u64);
+    for url in interner.url_table() {
         put_string(&mut buf, url);
     }
-    put_varint(&mut buf, trace.ua_table().len() as u64);
-    for ua in trace.ua_table() {
+    put_varint(&mut buf, interner.ua_table().len() as u64);
+    for ua in interner.ua_table() {
         put_string(&mut buf, ua);
     }
 
-    put_varint(&mut buf, trace.len() as u64);
-    let mut prev_time: i64 = 0;
-    for r in trace.records() {
-        let t = r.time.as_micros() as i64;
-        put_varint(&mut buf, zigzag(t - prev_time));
-        prev_time = t;
-        put_varint(&mut buf, r.client.0);
-        put_varint(&mut buf, r.ua.map_or(0, |ua| u64::from(ua.0) + 1));
-        put_varint(&mut buf, u64::from(r.url.0));
-        buf.put_u8(method_tag(r.method));
-        buf.put_u8(mime_tag(r.mime));
-        buf.put_u8(cache_tag(r.cache));
-        buf.put_u8(r.retries);
-        buf.put_u8(r.flags.bits());
-        put_varint(&mut buf, u64::from(r.status));
-        put_varint(&mut buf, r.response_bytes);
+    put_varint(&mut buf, shards.len() as u64);
+    let mut index = 0usize;
+    let mut last_time: Option<SimTime> = None;
+    for shard in shards {
+        let mut payload = BytesMut::with_capacity(shard.len() * 16 + 16);
+        let mut prev_time: i64 = 0;
+        for r in *shard {
+            if let Some(prev) = last_time {
+                if r.time < prev {
+                    return Err(EncodeError::OutOfOrder {
+                        index,
+                        prev,
+                        next: r.time,
+                    });
+                }
+            }
+            last_time = Some(r.time);
+            put_record(&mut payload, r, &mut prev_time);
+            index += 1;
+        }
+        let payload = payload.freeze();
+        buf.put_u32_le(payload.len() as u32);
+        put_varint(&mut buf, shard.len() as u64);
+        buf.put_u32_le(crc32(&payload));
+        buf.put_slice(&payload);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Decodes a binary trace.
-pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
+/// Encodes a trace into the binary format as a single shard frame.
+///
+/// The trace must be time-sorted (the format delta-encodes time); an
+/// out-of-order record yields [`EncodeError::OutOfOrder`].
+pub fn encode(trace: &Trace) -> Result<Bytes, EncodeError> {
+    encode_frames(trace.interner(), &[trace.records()])
+}
+
+/// Encodes a sharded trace, one frame per shard.
+pub fn encode_sharded(trace: &ShardedTrace) -> Result<Bytes, EncodeError> {
+    let shards: Vec<&[LogRecord]> = (0..trace.shard_count())
+        .map(|i| trace.shard_records(i))
+        .collect();
+    encode_frames(trace.interner(), &shards)
+}
+
+/// Decodes a binary trace, flattening any shard frames into one trace.
+pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
+    decode_sharded(buf).map(ShardedTrace::into_trace)
+}
+
+/// Decodes a binary trace, preserving its shard frames. Version 1 and 2
+/// payloads (which predate framing) decode into a single shard.
+pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
     if buf.remaining() < 6 {
         return Err(DecodeError::Truncated);
     }
@@ -179,7 +375,7 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
 
-    let mut trace = Trace::new();
+    let mut interner = Interner::new();
     // Interning deduplicates, so a (corrupted or adversarial) payload with
     // repeated table strings would otherwise leave record ids pointing past
     // the rebuilt table; map payload indices to interned ids explicitly.
@@ -187,72 +383,77 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
     let mut url_map = Vec::with_capacity(url_count.min(1 << 20));
     for _ in 0..url_count {
         let s = get_string(&mut buf)?;
-        url_map.push(trace.intern_url(&s));
+        url_map.push(
+            interner
+                .try_intern_url(&s)
+                .map_err(|_| DecodeError::TableOverflow)?,
+        );
     }
     let ua_count = get_varint(&mut buf)? as usize;
     let mut ua_map = Vec::with_capacity(ua_count.min(1 << 20));
     for _ in 0..ua_count {
         let s = get_string(&mut buf)?;
-        ua_map.push(trace.intern_ua(&s));
+        ua_map.push(
+            interner
+                .try_intern_ua(&s)
+                .map_err(|_| DecodeError::TableOverflow)?,
+        );
     }
 
-    let record_count = get_varint(&mut buf)? as usize;
-    let mut prev_time: i64 = 0;
-    for _ in 0..record_count {
-        let delta = unzigzag(get_varint(&mut buf)?);
-        let t = prev_time
-            .checked_add(delta)
-            .ok_or(DecodeError::TimeOverflow)?;
-        prev_time = t;
-        let client = ClientId(get_varint(&mut buf)?);
-        let ua_raw = get_varint(&mut buf)?;
-        let ua = if ua_raw == 0 {
-            None
-        } else {
-            let id = (ua_raw - 1) as usize;
-            match ua_map.get(id) {
-                Some(&mapped) => Some(mapped),
-                None => return Err(DecodeError::DanglingId),
-            }
-        };
-        let url_raw = get_varint(&mut buf)? as usize;
-        let url = match url_map.get(url_raw) {
-            Some(&mapped) => mapped,
-            None => return Err(DecodeError::DanglingId),
-        };
-        let tag_bytes = if version >= 2 { 5 } else { 3 };
-        if buf.remaining() < tag_bytes {
+    if version < 3 {
+        // Pre-framing formats: one undelimited record stream.
+        let record_count = get_varint(&mut buf)? as usize;
+        let mut records = Vec::with_capacity(record_count.min(1 << 24));
+        let mut prev_time: i64 = 0;
+        for _ in 0..record_count {
+            records.push(get_record(
+                &mut buf,
+                version,
+                &mut prev_time,
+                &url_map,
+                &ua_map,
+            )?);
+        }
+        return Ok(ShardedTrace::from_parts(interner, vec![records]));
+    }
+
+    let shard_count = get_varint(&mut buf)? as usize;
+    let mut shards = Vec::with_capacity(shard_count.min(1 << 16));
+    for shard in 0..shard_count {
+        if buf.remaining() < 4 {
             return Err(DecodeError::Truncated);
         }
-        let method = untag_method(buf.get_u8())?;
-        let mime = untag_mime(buf.get_u8())?;
-        let cache = untag_cache(buf.get_u8())?;
-        let (retries, flags) = if version >= 2 {
-            let retries = buf.get_u8();
-            let raw = buf.get_u8();
-            let flags =
-                RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
-            (retries, flags)
-        } else {
-            (0, RecordFlags::NONE)
-        };
-        let status = get_varint(&mut buf)? as u16;
-        let response_bytes = get_varint(&mut buf)?;
-        trace.push(LogRecord {
-            time: SimTime::from_micros(t.max(0) as u64),
-            client,
-            ua,
-            url,
-            method,
-            mime,
-            status,
-            response_bytes,
-            cache,
-            retries,
-            flags,
-        });
+        let payload_len = buf.get_u32_le() as usize;
+        let record_count = get_varint(&mut buf)? as usize;
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let stored_crc = buf.get_u32_le();
+        if buf.remaining() < payload_len {
+            return Err(DecodeError::Truncated);
+        }
+        let mut payload = buf.slice(0..payload_len);
+        buf.advance(payload_len);
+        if crc32(&payload) != stored_crc {
+            return Err(DecodeError::BadChecksum { shard });
+        }
+        let mut records = Vec::with_capacity(record_count.min(1 << 24));
+        let mut prev_time: i64 = 0;
+        for _ in 0..record_count {
+            records.push(get_record(
+                &mut payload,
+                version,
+                &mut prev_time,
+                &url_map,
+                &ua_map,
+            )?);
+        }
+        if payload.has_remaining() {
+            return Err(DecodeError::FrameMismatch);
+        }
+        shards.push(records);
     }
-    Ok(trace)
+    Ok(ShardedTrace::from_parts(interner, shards))
 }
 
 fn method_tag(m: Method) -> u8 {
@@ -318,15 +519,30 @@ fn untag_cache(v: u8) -> Result<CacheStatus, DecodeError> {
     })
 }
 
-/// Writes a trace to a file in the binary format.
+fn encode_io_error(e: EncodeError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+}
+
+/// Writes a trace to a file in the binary format. The trace must be
+/// time-sorted; an unsorted trace fails with `InvalidInput`.
 pub fn write_file(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, encode(trace))
+    std::fs::write(path, encode(trace).map_err(encode_io_error)?)
+}
+
+/// Writes a sharded trace to a file, one frame per shard.
+pub fn write_file_sharded(trace: &ShardedTrace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode_sharded(trace).map_err(encode_io_error)?)
 }
 
 /// Reads a binary trace file.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    read_file_sharded(path).map(ShardedTrace::into_trace)
+}
+
+/// Reads a binary trace file, preserving shard frames.
+pub fn read_file_sharded(path: &std::path::Path) -> std::io::Result<ShardedTrace> {
     let data = std::fs::read(path)?;
-    decode(Bytes::from(data))
+    decode_sharded(Bytes::from(data))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -408,9 +624,16 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn binary_round_trip() {
         let t = sample_trace();
-        let encoded = encode(&t);
+        let encoded = encode(&t).unwrap();
         let decoded = decode(encoded).unwrap();
         assert_eq!(decoded.len(), t.len());
         assert_eq!(decoded.url_table(), t.url_table());
@@ -419,9 +642,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_round_trip_preserves_frames() {
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let encoded = encode_sharded(&sharded).unwrap();
+        let decoded = decode_sharded(encoded.clone()).unwrap();
+        assert_eq!(decoded.shard_count(), 4);
+        for i in 0..4 {
+            assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+        }
+        // Flattening matches the unsharded decode.
+        let flat = decode(encoded).unwrap();
+        assert_eq!(flat.records(), sharded.clone().into_trace().records());
+    }
+
+    #[test]
     fn empty_trace_round_trips() {
         let t = Trace::new();
-        let decoded = decode(encode(&t)).unwrap();
+        let decoded = decode(encode(&t).unwrap()).unwrap();
         assert!(decoded.is_empty());
         assert_eq!(decoded.url_count(), 0);
     }
@@ -473,7 +710,46 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unknown_flag_bits() {
+    fn version_2_traces_decode_into_a_single_shard() {
+        // Hand-build a version-2 payload (record stream without frames).
+        let mut buf = BytesMut::with_capacity(128);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(2);
+        put_varint(&mut buf, 1); // url table
+        put_string(&mut buf, "https://legacy.example/v2");
+        put_varint(&mut buf, 0); // ua table
+        put_varint(&mut buf, 2); // record count
+        for (delta, retries) in [(1_000_000i64, 1u8), (500_000, 2)] {
+            put_varint(&mut buf, zigzag(delta));
+            put_varint(&mut buf, 7); // client
+            put_varint(&mut buf, 0); // ua absent
+            put_varint(&mut buf, 0); // url id
+            buf.put_u8(0); // method
+            buf.put_u8(0); // mime
+            buf.put_u8(1); // cache
+            buf.put_u8(retries);
+            buf.put_u8(RecordFlags::RETRIED.bits());
+            put_varint(&mut buf, 502); // status
+            put_varint(&mut buf, 10); // bytes
+        }
+        let sharded = decode_sharded(buf.freeze()).expect("v2 payload decodes");
+        assert_eq!(
+            sharded.shard_count(),
+            1,
+            "pre-framing formats get one shard"
+        );
+        assert_eq!(sharded.len(), 2);
+        let r = sharded.shard_records(0)[1];
+        assert_eq!(r.time, SimTime::from_micros(1_500_000));
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.flags, RecordFlags::RETRIED);
+    }
+
+    /// Single-record trace with a known layout, so tests can poke at exact
+    /// byte offsets. URL is 19 bytes; offsets: magic 4 + version 2 +
+    /// url count 1 + url len 1 + url 19 + ua count 1 + shard count 1 +
+    /// payload len 4 + record count 1 + crc 4 = header 38; payload follows.
+    fn one_record_encoding() -> (Vec<u8>, usize, std::ops::Range<usize>) {
         let mut t = Trace::new();
         let u = t.intern_url("https://h.example/x");
         t.push(LogRecord {
@@ -489,11 +765,20 @@ mod tests {
             retries: 0,
             flags: RecordFlags::NONE,
         });
-        let mut data = encode(&t).to_vec();
+        let data = encode(&t).unwrap().to_vec();
+        (data, 38, 34..38)
+    }
+
+    #[test]
+    fn rejects_unknown_flag_bits() {
+        let (mut data, payload_at, crc_at) = one_record_encoding();
         // The flags byte is the last byte before the status and bytes
-        // varints (200 → 2 bytes, 1 → 1 byte).
+        // varints (200 → 2 bytes, 1 → 1 byte). Re-stamp the frame CRC so
+        // the corruption reaches the discriminant check.
         let flags_at = data.len() - 4;
         data[flags_at] = 0xF0;
+        let fixed_crc = crc32(&data[payload_at..]);
+        data[crc_at].copy_from_slice(&fixed_crc.to_le_bytes());
         assert_eq!(
             decode(Bytes::from(data)).unwrap_err(),
             DecodeError::BadDiscriminant("flags", 0xF0)
@@ -501,8 +786,35 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_frame_fails_its_checksum() {
+        let (mut data, _, _) = one_record_encoding();
+        let flags_at = data.len() - 4;
+        data[flags_at] = 0xF0; // flip payload bytes, leave the CRC stale
+        assert_eq!(
+            decode(Bytes::from(data)).unwrap_err(),
+            DecodeError::BadChecksum { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn frame_with_extra_payload_is_rejected() {
+        let (mut data, payload_at, crc_at) = one_record_encoding();
+        // Append a stray byte to the payload, growing the declared length
+        // and re-stamping the CRC: records no longer fill the frame.
+        data.push(0x00);
+        let payload_len = (data.len() - payload_at) as u32;
+        data[payload_at - 9..payload_at - 5].copy_from_slice(&payload_len.to_le_bytes());
+        let fixed_crc = crc32(&data[payload_at..]);
+        data[crc_at].copy_from_slice(&fixed_crc.to_le_bytes());
+        assert_eq!(
+            decode(Bytes::from(data)).unwrap_err(),
+            DecodeError::FrameMismatch
+        );
+    }
+
+    #[test]
     fn rejects_truncation_anywhere() {
-        let full = encode(&sample_trace());
+        let full = encode(&sample_trace()).unwrap();
         // Chop at a few byte positions spread across the buffer; every
         // prefix must fail cleanly, never panic.
         for cut in [7, 20, full.len() / 2, full.len() - 1] {
@@ -542,6 +854,12 @@ mod tests {
         write_file(&t, &path).unwrap();
         let back = read_file(&path).unwrap();
         assert_eq!(back.records(), t.records());
+        // The sharded writer round-trips through the sharded reader.
+        let sharded = ShardedTrace::from_trace(t, 3);
+        write_file_sharded(&sharded, &path).unwrap();
+        let back = read_file_sharded(&path).unwrap();
+        assert_eq!(back.shard_count(), 3);
+        assert_eq!(back.len(), sharded.len());
         std::fs::remove_file(&path).ok();
         // Reading garbage fails with InvalidData, not a panic.
         let bad = dir.join("bad.jcdn");
@@ -552,7 +870,7 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_trace_still_round_trips() {
+    fn unsorted_trace_is_rejected_with_a_typed_error() {
         let mut t = Trace::new();
         let u = t.intern_url("https://h.example/x");
         for &time in &[50u64, 10, 90, 0, 60] {
@@ -570,7 +888,17 @@ mod tests {
                 flags: RecordFlags::NONE,
             });
         }
-        let decoded = decode(encode(&t)).unwrap();
+        assert_eq!(
+            encode(&t).unwrap_err(),
+            EncodeError::OutOfOrder {
+                index: 1,
+                prev: SimTime::from_secs(50),
+                next: SimTime::from_secs(10),
+            }
+        );
+        // Sorting repairs the trace and it round-trips.
+        t.sort_by_time();
+        let decoded = decode(encode(&t).unwrap()).unwrap();
         assert_eq!(decoded.records(), t.records());
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use crate::record::{ClientId, LogRecord, UaId, UrlId};
+use crate::stream::RecordStream;
 use crate::time::SimTime;
 use crate::trace::Trace;
 
@@ -92,9 +93,18 @@ impl FlowSet {
     ///
     /// Within each flow, client subsequences are time-sorted; flow order
     /// follows `UrlId` so results are deterministic.
-    pub fn build(trace: &Trace, mut filter: impl FnMut(&LogRecord) -> bool) -> FlowSet {
+    pub fn build(trace: &Trace, filter: impl FnMut(&LogRecord) -> bool) -> FlowSet {
+        Self::build_stream(&trace.stream(), filter)
+    }
+
+    /// [`build`][Self::build] over any record stream (a whole trace, one
+    /// shard of a [`crate::ShardedTrace`], or several shards chained).
+    pub fn build_stream(
+        stream: &RecordStream<'_>,
+        mut filter: impl FnMut(&LogRecord) -> bool,
+    ) -> FlowSet {
         let mut by_object: HashMap<UrlId, HashMap<FlowClient, Vec<SimTime>>> = HashMap::new();
-        for r in trace.records() {
+        for r in stream.iter() {
             if !filter(r) {
                 continue;
             }
@@ -162,10 +172,19 @@ impl FlowSet {
 /// Returns (client, [(time, url)]) pairs sorted by client for determinism.
 pub fn client_sequences(
     trace: &Trace,
+    filter: impl FnMut(&LogRecord) -> bool,
+) -> Vec<(FlowClient, Vec<(SimTime, UrlId)>)> {
+    client_sequences_stream(&trace.stream(), filter)
+}
+
+/// [`client_sequences`] over any record stream, so n-gram training can
+/// consume shards without materializing a combined trace.
+pub fn client_sequences_stream(
+    stream: &RecordStream<'_>,
     mut filter: impl FnMut(&LogRecord) -> bool,
 ) -> Vec<(FlowClient, Vec<(SimTime, UrlId)>)> {
     let mut by_client: HashMap<FlowClient, Vec<(SimTime, UrlId)>> = HashMap::new();
-    for r in trace.records() {
+    for r in stream.iter() {
         if !filter(r) {
             continue;
         }

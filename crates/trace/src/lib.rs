@@ -13,8 +13,13 @@
 //! * [`LogRecord`] — one request log line; [`Trace`] — a container that
 //!   interns user-agent and URL strings so multi-million-record traces stay
 //!   compact.
-//! * [`codec`] — a versioned binary codec (via `bytes`) and a JSONL
-//!   exporter for interop.
+//! * [`Interner`] — the shared string tables; [`ShardedTrace`] — the same
+//!   records split into time-partitioned shards behind one interner, so
+//!   per-shard analyses run in parallel and merge without id remapping.
+//! * [`RecordStream`] — a borrowed record view that lets analyses consume
+//!   a whole trace, one shard, or any record subset through one API.
+//! * [`codec`] — a versioned binary codec (via `bytes`) with per-shard
+//!   CRC-protected frames, and a JSONL exporter for interop.
 //! * [`summary::DatasetSummary`] — the Table 2 roll-up (log count,
 //!   duration, domain count, …).
 //! * [`flows`] — object flows and client-object flows as defined in §5.1,
@@ -25,12 +30,18 @@
 
 pub mod codec;
 pub mod flows;
+mod interner;
 mod record;
+mod sharded;
+mod stream;
 pub mod summary;
 mod time;
 mod trace;
 
+pub use interner::{InternError, Interner};
 pub use record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, UaId, UrlId};
+pub use sharded::ShardedTrace;
+pub use stream::RecordStream;
 pub use time::{SimDuration, SimTime};
 pub use trace::{RecordView, Trace};
 

@@ -24,7 +24,7 @@ pub struct UrlId(pub u32);
 ///
 /// The paper's request-type taxonomy needs only the GET/POST distinction
 /// (downloads vs. uploads, §3.2), but logs carry the rest too.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Method {
     /// Download (the paper: 84% of JSON requests).
     Get,
@@ -66,7 +66,7 @@ impl fmt::Display for Method {
 ///
 /// The paper filters on `application/json`; the trend analysis (Figure 1)
 /// also tracks HTML, CSS, and JavaScript.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MimeType {
     /// `application/json`.
     Json,
@@ -127,7 +127,7 @@ impl fmt::Display for MimeType {
 
 /// How the CDN edge cache handled the request ("object caching
 /// information" in the log schema).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CacheStatus {
     /// Served from edge cache.
     Hit,
@@ -156,7 +156,9 @@ impl CacheStatus {
 /// unhealthy; the fault-injection subsystem (`cdnsim::fault`) sets these so
 /// availability analyses can separate end-user failures from retried or
 /// gracefully degraded responses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct RecordFlags(u8);
 
 impl RecordFlags {
@@ -236,7 +238,10 @@ impl fmt::Display for RecordFlags {
 /// One edge-server request log line (§3.1 field list, plus the resilience
 /// columns real CDN logs carry: status, retry attempt, and degradation
 /// flags).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+// `Ord` compares fields in declaration order — `time` first — so a full
+// sort doubles as a canonical, insertion-order-independent time sort
+// (see `Trace::sort_canonical`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LogRecord {
     /// Request arrival time at the edge.
     pub time: SimTime,

@@ -1,8 +1,10 @@
 //! The trace container with string interning.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::interner::{InternError, Interner};
 use crate::record::{LogRecord, UaId, UrlId};
+use crate::stream::RecordStream;
 use crate::time::SimTime;
 
 /// An in-memory collection of [`LogRecord`]s with interned URL and
@@ -13,10 +15,7 @@ use crate::time::SimTime;
 /// the tables resolve them back to strings.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    urls: Vec<String>,
-    url_index: HashMap<String, UrlId>,
-    uas: Vec<String>,
-    ua_index: HashMap<String, UaId>,
+    interner: Interner,
     records: Vec<LogRecord>,
 }
 
@@ -45,34 +44,53 @@ impl Trace {
         }
     }
 
+    /// Builds a trace from an interner and records produced against it.
+    pub fn from_parts(interner: Interner, records: Vec<LogRecord>) -> Self {
+        Trace { interner, records }
+    }
+
+    /// Splits the trace into its interner and record vector.
+    pub fn into_parts(self) -> (Interner, Vec<LogRecord>) {
+        (self.interner, self.records)
+    }
+
+    /// The string tables backing this trace's ids.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
     /// Interns a URL string, returning its id.
     pub fn intern_url(&mut self, url: &str) -> UrlId {
-        if let Some(&id) = self.url_index.get(url) {
-            return id;
-        }
-        let id = UrlId(u32::try_from(self.urls.len()).expect("more than u32::MAX distinct URLs"));
-        self.urls.push(url.to_owned());
-        self.url_index.insert(url.to_owned(), id);
-        id
+        self.interner.intern_url(url)
     }
 
     /// Interns a user-agent string, returning its id.
     pub fn intern_ua(&mut self, ua: &str) -> UaId {
-        if let Some(&id) = self.ua_index.get(ua) {
-            return id;
-        }
-        let id = UaId(u32::try_from(self.uas.len()).expect("more than u32::MAX distinct UAs"));
-        self.uas.push(ua.to_owned());
-        self.ua_index.insert(ua.to_owned(), id);
-        id
+        self.interner.intern_ua(ua)
+    }
+
+    /// Fallible twin of [`intern_url`][Self::intern_url]: reports id-space
+    /// exhaustion instead of panicking.
+    pub fn try_intern_url(&mut self, url: &str) -> Result<UrlId, InternError> {
+        self.interner.try_intern_url(url)
+    }
+
+    /// Fallible twin of [`intern_ua`][Self::intern_ua].
+    pub fn try_intern_ua(&mut self, ua: &str) -> Result<UaId, InternError> {
+        self.interner.try_intern_ua(ua)
     }
 
     /// Appends a record. The record's ids must have been produced by this
     /// trace's `intern_*` methods.
     pub fn push(&mut self, record: LogRecord) {
-        debug_assert!((record.url.0 as usize) < self.urls.len(), "foreign UrlId");
         debug_assert!(
-            record.ua.is_none_or(|ua| (ua.0 as usize) < self.uas.len()),
+            (record.url.0 as usize) < self.interner.url_count(),
+            "foreign UrlId"
+        );
+        debug_assert!(
+            record
+                .ua
+                .is_none_or(|ua| (ua.0 as usize) < self.interner.ua_count()),
             "foreign UaId"
         );
         self.records.push(record);
@@ -94,39 +112,44 @@ impl Trace {
         &self.records
     }
 
+    /// A streaming view over this trace's records and tables.
+    pub fn stream(&self) -> RecordStream<'_> {
+        RecordStream::new(&self.interner, vec![&self.records])
+    }
+
     /// Resolves a URL id.
     pub fn url(&self, id: UrlId) -> &str {
-        &self.urls[id.0 as usize]
+        self.interner.url(id)
     }
 
     /// Resolves a UA id.
     pub fn ua(&self, id: UaId) -> &str {
-        &self.uas[id.0 as usize]
+        self.interner.ua(id)
     }
 
     /// Looks up the id of an already-interned URL.
     pub fn find_url(&self, url: &str) -> Option<UrlId> {
-        self.url_index.get(url).copied()
+        self.interner.find_url(url)
     }
 
     /// All interned URLs, indexed by `UrlId`.
-    pub fn url_table(&self) -> &[String] {
-        &self.urls
+    pub fn url_table(&self) -> &[Arc<str>] {
+        self.interner.url_table()
     }
 
     /// All interned UAs, indexed by `UaId`.
-    pub fn ua_table(&self) -> &[String] {
-        &self.uas
+    pub fn ua_table(&self) -> &[Arc<str>] {
+        self.interner.ua_table()
     }
 
     /// Number of distinct URLs.
     pub fn url_count(&self) -> usize {
-        self.urls.len()
+        self.interner.url_count()
     }
 
     /// Number of distinct user agents.
     pub fn ua_count(&self) -> usize {
-        self.uas.len()
+        self.interner.ua_count()
     }
 
     /// Resolves one record's strings.
@@ -149,6 +172,15 @@ impl Trace {
         self.records.sort_by_key(|r| r.time);
     }
 
+    /// Sorts records by the full field order (time first). Unlike
+    /// [`sort_by_time`][Trace::sort_by_time] this yields one canonical
+    /// permutation for any input order of the same record multiset, which
+    /// is what makes sharded pipeline output reproducible regardless of
+    /// worker count.
+    pub fn sort_canonical(&mut self) {
+        self.records.sort_unstable();
+    }
+
     /// Earliest and latest record times, or `None` when empty.
     pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
         let first = self.records.iter().map(|r| r.time).min()?;
@@ -159,7 +191,7 @@ impl Trace {
     /// The host part of an interned URL (up to the first `/`, skipping any
     /// scheme), without allocating.
     pub fn host_of(&self, id: UrlId) -> &str {
-        host_of_url(self.url(id))
+        self.interner.host_of(id)
     }
 
     /// Appends all records of `other`, re-interning its strings into this
@@ -278,6 +310,30 @@ mod tests {
     }
 
     #[test]
+    fn canonical_sort_is_order_insensitive() {
+        let build = |order: &[usize]| {
+            let mut t = Trace::new();
+            let mut rs = Vec::new();
+            for i in 0..6u64 {
+                // Duplicate timestamps so plain time sorting would depend
+                // on insertion order.
+                let mut r = record(&mut t, i / 2, &format!("https://h.example/{i}"));
+                r.client = ClientId(i % 3);
+                rs.push(r);
+            }
+            for &i in order {
+                t.push(rs[i]);
+            }
+            t.sort_canonical();
+            t.records().to_vec()
+        };
+        let a = build(&[0, 1, 2, 3, 4, 5]);
+        let b = build(&[5, 3, 1, 4, 2, 0]);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
     fn host_extraction() {
         assert_eq!(host_of_url("https://a.example:8443/x/y"), "a.example");
         assert_eq!(host_of_url("http://b.example/"), "b.example");
@@ -334,5 +390,16 @@ mod tests {
         assert_eq!(t.len(), 5);
         // Tables are untouched.
         assert_eq!(t.url_count(), 10);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut t = Trace::new();
+        let r = record(&mut t, 1, "https://a.example/x");
+        t.push(r);
+        let (interner, records) = t.into_parts();
+        let t2 = Trace::from_parts(interner, records);
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2.url(t2.records()[0].url), "https://a.example/x");
     }
 }

@@ -2,8 +2,10 @@
 //! panics on corrupted input.
 
 use bytes::Bytes;
-use jcdn_trace::codec::{decode, encode};
-use jcdn_trace::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, SimTime, Trace};
+use jcdn_trace::codec::{decode, decode_sharded, encode, encode_sharded, EncodeError};
+use jcdn_trace::{
+    CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, ShardedTrace, SimTime, Trace,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -55,7 +57,10 @@ fn arb_record() -> impl Strategy<Value = RawRecord> {
         )
 }
 
+/// Builds a time-sorted trace (the codec's precondition) from raw records.
 fn build_trace(records: &[RawRecord]) -> Trace {
+    let mut records = records.to_vec();
+    records.sort_by_key(|r| r.time_us);
     let mut t = Trace::new();
     let urls: Vec<_> = (0..8)
         .map(|i| t.intern_url(&format!("https://h{i}.example/obj/{i}")))
@@ -63,7 +68,7 @@ fn build_trace(records: &[RawRecord]) -> Trace {
     let uas: Vec<_> = (0..5)
         .map(|i| t.intern_ua(&format!("agent-{i}/1.0")))
         .collect();
-    for r in records {
+    for r in &records {
         t.push(LogRecord {
             time: SimTime::from_micros(r.time_us),
             client: ClientId(r.client),
@@ -171,10 +176,47 @@ proptest! {
     #[test]
     fn arbitrary_traces_round_trip(records in prop::collection::vec(arb_record(), 0..200)) {
         let t = build_trace(&records);
-        let decoded = decode(encode(&t)).expect("round trip");
+        let decoded = decode(encode(&t).expect("sorted traces encode")).expect("round trip");
         prop_assert_eq!(decoded.records(), t.records());
         prop_assert_eq!(decoded.url_table(), t.url_table());
         prop_assert_eq!(decoded.ua_table(), t.ua_table());
+    }
+
+    #[test]
+    fn sharded_traces_round_trip_for_any_shard_count(
+        records in prop::collection::vec(arb_record(), 0..200),
+        shard_count in 1usize..12,
+    ) {
+        let reference = build_trace(&records);
+        let sharded = ShardedTrace::from_trace(build_trace(&records), shard_count);
+        let encoded = encode_sharded(&sharded).expect("sorted shards encode");
+        let decoded = decode_sharded(encoded.clone()).expect("sharded round trip");
+        prop_assert_eq!(decoded.shard_count(), sharded.shard_count());
+        for i in 0..decoded.shard_count() {
+            prop_assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+        }
+        // Flat decode of a framed payload equals the canonical record order.
+        let mut flat = reference;
+        flat.sort_canonical();
+        prop_assert_eq!(decode(encoded).expect("flat decode").records(), flat.records());
+    }
+
+    #[test]
+    fn out_of_order_traces_are_rejected(
+        records in prop::collection::vec(arb_record(), 2..50),
+    ) {
+        let mut t = build_trace(&records);
+        let mut reversed: Vec<LogRecord> = t.records().to_vec();
+        reversed.reverse();
+        // Only meaningful when at least two distinct timestamps exist.
+        if reversed.first().map(|r| r.time) != reversed.last().map(|r| r.time) {
+            t.retain(|_| false);
+            let t = Trace::from_parts(t.into_parts().0, reversed);
+            prop_assert!(matches!(
+                encode(&t),
+                Err(EncodeError::OutOfOrder { .. })
+            ));
+        }
     }
 
     #[test]
@@ -208,7 +250,7 @@ proptest! {
         flip_bit in 0u8..8,
     ) {
         let t = build_trace(&records);
-        let mut data = encode(&t).to_vec();
+        let mut data = encode(&t).expect("sorted traces encode").to_vec();
         let idx = flip_at.index(data.len());
         data[idx] ^= 1 << flip_bit;
         let _ = decode(Bytes::from(data)); // may fail, must not panic

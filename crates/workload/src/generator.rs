@@ -128,8 +128,23 @@ struct ManifestTemplate {
 }
 
 /// Builds the full workload from a configuration. Deterministic in
-/// `config` (including its seed).
+/// `config` (including its seed). Equivalent to
+/// [`build_parallel`]`(config, 1)`.
 pub fn build(config: &WorkloadConfig) -> Workload {
+    build_parallel(config, 1)
+}
+
+/// Builds the full workload with per-client event generation fanned out
+/// over a `threads`-wide worker pool.
+///
+/// The output is **identical for every thread count** (and to [`build`]):
+/// everything that touches the main RNG stream — universe construction,
+/// periodic planting, and a per-client *planning* pass that fixes each
+/// client's app parameters and draws it a private event seed — runs
+/// sequentially; only the event generation itself (the bulk of the work,
+/// driven entirely by the private per-client RNGs) is parallel, gathered
+/// in client order, and finished with a total-order sort.
+pub fn build_parallel(config: &WorkloadConfig, threads: usize) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let domains = build_domains(config, &mut rng);
@@ -169,23 +184,36 @@ pub fn build(config: &WorkloadConfig) -> Workload {
     );
 
     // ---- Everything else ----------------------------------------------
+    // Plan sequentially (main RNG, may create personalized objects), then
+    // generate each client's events in parallel from its private seed.
     let remaining = (config.target_events as f64 - truth.expected_periodic_events).max(0.0);
     let total_activity: f64 = clients.iter().map(|c| c.activity).sum();
-    for (index, client) in clients.iter().enumerate() {
-        let budget = remaining * client.activity / total_activity;
-        generate_client_traffic(
-            config,
-            index as u32,
-            client,
-            budget,
-            &domains,
-            &mut universe,
-            &mut events,
-            &mut rng,
-        );
+    let plans: Vec<ClientPlan> = clients
+        .iter()
+        .enumerate()
+        .filter_map(|(index, client)| {
+            let budget = remaining * client.activity / total_activity;
+            plan_client_traffic(
+                config,
+                index as u32,
+                client,
+                budget,
+                &domains,
+                &mut universe,
+                &mut rng,
+            )
+        })
+        .collect();
+    let per_client = jcdn_exec::scatter_gather(plans.len(), threads, |i| {
+        generate_planned(&plans[i], config.duration)
+    });
+    for client_events in per_client {
+        events.extend(client_events);
     }
 
-    events.sort_by_key(|e| (e.time, e.client, e.object));
+    // Total-order key: ties on (time, client, object) are broken by method
+    // so the final order never depends on the append order above.
+    events.sort_by_key(|e| (e.time, e.client, e.object, e.method));
 
     Workload {
         config: config.clone(),
@@ -679,23 +707,53 @@ fn plant_periodic_flows(
     truth.expected_periodic_events = expected;
 }
 
+/// One client's traffic plan: the apps it will run (parameters fixed by
+/// the sequential planning pass) and the private seed its event RNG is
+/// derived from. Generation from a plan is pure, so plans can fan out
+/// across worker threads without perturbing determinism.
+#[derive(Clone, Debug)]
+struct ClientPlan {
+    client: u32,
+    manifest: Option<ManifestApp>,
+    api: Option<InteractiveApi>,
+    seed: u64,
+}
+
+/// Generates one planned client's events from its private RNG.
+fn generate_planned(plan: &ClientPlan, duration: SimDuration) -> Vec<RequestEvent> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut buffer: Vec<AppRequest> = Vec::new();
+    let mut events = Vec::new();
+    if let Some(app) = &plan.manifest {
+        app.generate(&mut rng, duration, &mut buffer);
+        events.extend(buffer.iter().map(|r| to_event(plan.client, r)));
+        buffer.clear();
+    }
+    if let Some(api) = &plan.api {
+        api.generate(&mut rng, duration, &mut buffer);
+        events.extend(buffer.iter().map(|r| to_event(plan.client, r)));
+    }
+    events
+}
+
+/// Decides a client's apps on the main RNG stream (including creating its
+/// personalized objects) and draws the private seed event generation will
+/// run from. Returns `None` for clients too inactive to generate traffic.
 #[allow(clippy::too_many_arguments)]
-fn generate_client_traffic(
+fn plan_client_traffic(
     config: &WorkloadConfig,
     client_index: u32,
     client: &ClientInfo,
     budget: f64,
     domains: &[DomainInfo],
     universe: &mut UniverseBuilder,
-    events: &mut Vec<RequestEvent>,
     rng: &mut StdRng,
-) {
+) -> Option<ClientPlan> {
     if budget < 0.5 {
-        return;
+        return None;
     }
     let duration = config.duration;
     let hours = duration.as_secs_f64() / 3600.0;
-    let mut buffer: Vec<AppRequest> = Vec::new();
 
     // Pick this client's home domains, popularity-weighted.
     let domain_weights: Vec<f64> = domains.iter().map(|d| d.popularity).collect();
@@ -707,6 +765,8 @@ fn generate_client_traffic(
     };
     let manifest_budget = budget * manifest_budget_share;
     let interactive_budget = budget - manifest_budget;
+    let mut manifest_app: Option<ManifestApp> = None;
+    let mut api_app: Option<InteractiveApi> = None;
 
     // ---- Manifest/page sessions ---------------------------------------
     if manifest_budget >= 1.0 {
@@ -735,7 +795,7 @@ fn generate_client_traffic(
             };
             let session_cost = 1.0 + 2.0 * (1.0 + mean_media);
             let sessions_per_hour = (manifest_budget / session_cost / hours).max(0.01);
-            let app = ManifestApp {
+            manifest_app = Some(ManifestApp {
                 root: template.root,
                 articles: template.articles.clone(),
                 media: template.media.clone(),
@@ -743,12 +803,7 @@ fn generate_client_traffic(
                 sessions_per_hour,
                 articles_per_session,
                 mean_think: SimDuration::from_secs(8),
-            };
-            buffer.clear();
-            app.generate(rng, duration, &mut buffer);
-            for r in &buffer {
-                events.push(to_event(client_index, r));
-            }
+            });
         }
     }
 
@@ -806,7 +861,7 @@ fn generate_client_traffic(
         };
 
         let post_fraction = if personalized { 0.30 } else { 0.18 };
-        let api = InteractiveApi {
+        api_app = Some(InteractiveApi {
             objects,
             zipf: 1.2,
             rate_per_hour: (interactive_budget / hours).max(0.01),
@@ -814,13 +869,18 @@ fn generate_client_traffic(
             // Real API traffic walks application step chains (§5.2's
             // premise); roughly two thirds of requests follow the chain.
             chain_prob: 0.72,
-        };
-        buffer.clear();
-        api.generate(rng, duration, &mut buffer);
-        for r in &buffer {
-            events.push(to_event(client_index, r));
-        }
+        });
     }
+
+    if manifest_app.is_none() && api_app.is_none() {
+        return None;
+    }
+    Some(ClientPlan {
+        client: client_index,
+        manifest: manifest_app,
+        api: api_app,
+        seed: rng.gen(),
+    })
 }
 
 fn personal_endpoint(k: usize) -> &'static str {
@@ -893,6 +953,16 @@ mod tests {
         assert_eq!(a.events, b.events);
         let c = build(&WorkloadConfig::tiny(8));
         assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        let sequential = build(&WorkloadConfig::tiny(7));
+        for threads in [2, 4, 8] {
+            let parallel = build_parallel(&WorkloadConfig::tiny(7), threads);
+            assert_eq!(sequential.events, parallel.events, "{threads} threads");
+            assert_eq!(sequential.objects.len(), parallel.objects.len());
+        }
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub mod trend;
 
 pub use clients::ClientInfo;
 pub use config::{PopulationTargets, WorkloadConfig};
-pub use generator::{build, GroundTruth, RequestEvent, Workload};
+pub use generator::{build, build_parallel, GroundTruth, RequestEvent, Workload};
 pub use industry::{CachePolicy, IndustryCategory};
 pub use objects::{DomainInfo, ObjectInfo};

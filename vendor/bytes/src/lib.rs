@@ -157,6 +157,13 @@ pub trait Buf {
         u16::from_le_bytes(raw)
     }
 
+    /// Reads a little-endian `u32`. Panics on underrun.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
     /// Fills `dest` from the cursor. Panics on underrun.
     fn copy_to_slice(&mut self, dest: &mut [u8]) {
         assert!(self.remaining() >= dest.len(), "copy_to_slice underrun");
@@ -199,6 +206,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
 }

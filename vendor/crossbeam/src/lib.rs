@@ -1,8 +1,123 @@
 //! Workspace-local stand-in for `crossbeam`, built on `std::thread::scope`
-//! (stable since Rust 1.63, below the workspace MSRV). Only the
-//! `crossbeam::thread::scope` entry point jcdn uses is provided.
+//! (stable since Rust 1.63, below the workspace MSRV). Provides the two
+//! entry points jcdn uses: `crossbeam::thread::scope` and the
+//! `crossbeam::channel` MPMC channel (unbounded, over a mutex-guarded
+//! queue — correct semantics, no lock-free cleverness).
 
 #![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloning adds another producer.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half; cloning adds another consumer.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// The message could not be delivered: every `Receiver` is gone.
+    /// Carries the undelivered message back, like upstream crossbeam.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and every `Sender` is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing when no receiver remains.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; fails once the channel is empty
+        /// and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Drains the channel until disconnection (blocking iterator).
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -41,6 +156,50 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn mpmc_channel_fans_out_and_disconnects() {
+        let (job_tx, job_rx) = super::channel::unbounded::<u64>();
+        let (res_tx, res_rx) = super::channel::unbounded::<u64>();
+        for i in 0..100 {
+            job_tx.send(i).expect("receiver alive");
+        }
+        drop(job_tx);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(i) = rx.recv() {
+                        tx.send(i * 2).expect("collector alive");
+                    }
+                });
+            }
+            drop(res_tx);
+            drop(job_rx);
+            let mut got: Vec<u64> = res_rx.iter().collect();
+            got.sort_unstable();
+            let want: Vec<u64> = (0..100).map(|i| i * 2).collect();
+            assert_eq!(got, want);
+        })
+        .expect("workers joined");
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(super::channel::SendError(7)));
+    }
+
+    #[test]
+    fn recv_fails_once_senders_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(1).expect("receiver alive");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = vec![1u64, 2, 3, 4];

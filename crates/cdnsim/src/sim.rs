@@ -447,7 +447,9 @@ fn run_inner(
                 );
             }
             false => {
-                let Reverse((now, _, ev)) = heap.pop().expect("peeked");
+                let Some(Reverse((now, _, ev))) = heap.pop() else {
+                    break;
+                };
                 match ev {
                     InternalEvent::PrefetchDone { edge, object } => {
                         let obj = &workload.objects[object as usize];
@@ -489,10 +491,11 @@ fn run_inner(
                         );
                     }
                     InternalEvent::ServiceDone { edge } => {
-                        let (widx, arrival, priority, attempt) = edges[edge]
-                            .in_service
-                            .take()
-                            .expect("service completion without request");
+                        let Some((widx, arrival, priority, attempt)) =
+                            edges[edge].in_service.take()
+                        else {
+                            continue;
+                        };
                         complete_request(
                             widx,
                             attempt,
@@ -567,7 +570,9 @@ pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> S
     });
 
     let mut outputs = outputs.into_iter();
-    let first = outputs.next().expect("at least one edge");
+    let Some(first) = outputs.next() else {
+        return run_default(workload, config);
+    };
     let mut stats = first.stats;
     // Every per-edge run pre-interns the full object and client tables, so
     // the interners are identical and records concatenate directly.

@@ -1,6 +1,6 @@
 //! `jcdn inspect` — summarize a trace file.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use jcdn_core::report::{pct, TextTable};
 use jcdn_trace::summary::DatasetSummary;
@@ -22,7 +22,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
 
     // Content-type mix.
-    let mut by_mime: HashMap<MimeType, u64> = HashMap::new();
+    let mut by_mime: BTreeMap<MimeType, u64> = BTreeMap::new();
     for r in trace.records() {
         *by_mime.entry(r.mime).or_default() += 1;
     }
@@ -39,7 +39,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     println!("\n{}", table.render());
 
     // Busiest domains.
-    let mut by_domain: HashMap<&str, u64> = HashMap::new();
+    let mut by_domain: BTreeMap<&str, u64> = BTreeMap::new();
     for r in trace.records() {
         *by_domain.entry(trace.host_of(r.url)).or_default() += 1;
     }

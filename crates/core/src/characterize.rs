@@ -8,7 +8,7 @@
 //! therefore equal the single-pass result bit-for-bit, which the
 //! `shard_invariance` integration tests assert.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use jcdn_stats::ExactQuantiles;
 use jcdn_trace::{Interner, MimeType, RecordFlags, RecordStream, Trace, UaId};
@@ -58,14 +58,14 @@ impl UaClassTable {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficSourceBreakdown {
     /// JSON request counts per device type.
-    pub requests_by_device: HashMap<DeviceType, u64>,
+    pub requests_by_device: BTreeMap<DeviceType, u64>,
     /// Distinct UA strings per device type (the paper's "distribution of
     /// user agent strings": 73% Mobile / 17% Embedded / 3% Desktop / 7%
     /// Unknown). Filled by [`count_ua_strings`][Self::count_ua_strings],
     /// not by record accumulation — it is a property of the shared UA
     /// table, so per-shard partials leave it empty and the merged result
     /// counts it once.
-    pub ua_strings_by_device: HashMap<DeviceType, u64>,
+    pub ua_strings_by_device: BTreeMap<DeviceType, u64>,
     /// JSON requests issued by browsers.
     pub browser_requests: u64,
     /// JSON requests issued by mobile browsers.
@@ -363,7 +363,7 @@ impl CategoryProvider for TokenCategoryProvider {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DomainCacheability {
     /// `host → (cacheable JSON requests, total JSON requests)`.
-    pub per_domain: HashMap<String, (u64, u64)>,
+    pub per_domain: BTreeMap<String, (u64, u64)>,
 }
 
 impl DomainCacheability {
@@ -401,7 +401,7 @@ impl DomainCacheability {
     /// Buckets the per-domain fractions into a heatmap.
     pub fn finalize(&self, provider: &dyn CategoryProvider, buckets: usize) -> CacheabilityHeatmap {
         assert!(buckets >= 2, "need at least two buckets");
-        let mut rows: HashMap<IndustryCategory, Vec<u64>> = HashMap::new();
+        let mut rows: BTreeMap<IndustryCategory, Vec<u64>> = BTreeMap::new();
         let mut uncategorized = 0;
         for (host, &(cacheable, total)) in &self.per_domain {
             let Some(category) = provider.category(host) else {
@@ -430,7 +430,7 @@ pub struct CacheabilityHeatmap {
     /// Number of cacheability buckets (columns).
     pub buckets: usize,
     /// `rows[category] = domain counts per bucket`.
-    pub rows: HashMap<IndustryCategory, Vec<u64>>,
+    pub rows: BTreeMap<IndustryCategory, Vec<u64>>,
     /// Domains whose host had no category.
     pub uncategorized: u64,
 }
@@ -505,7 +505,7 @@ pub struct AvailabilityBreakdown {
     /// Cache hits that waited on a coalesced in-flight fetch.
     pub coalesced: u64,
     /// Per-industry `(end-user failures, logical requests)` tallies.
-    pub per_industry: HashMap<IndustryCategory, (u64, u64)>,
+    pub per_industry: BTreeMap<IndustryCategory, (u64, u64)>,
     /// Logical requests on hosts with no category.
     pub uncategorized: u64,
 }

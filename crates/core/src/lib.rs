@@ -40,10 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The paper's measured quantities (§3–§4) as mergeable report sections.
 pub mod characterize;
+/// Dataset assembly: synthetic workloads rendered into analyzable traces.
 pub mod dataset;
+/// Request-interval periodicity detection over object flows (§5.2).
 pub mod periodicity;
+/// The sharded scatter–gather analysis pipeline and its partial reports.
 pub mod pipeline;
+/// Next-request prediction experiments (§6).
 pub mod prediction;
+/// Text report rendering: tables, percentages, and section layout.
 pub mod report;
+/// The JSON traffic taxonomy (§3.2): request classes and their shares.
 pub mod taxonomy;

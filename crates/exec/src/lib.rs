@@ -32,6 +32,7 @@ where
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
     let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, T)>();
     for i in 0..items {
+        // jcdn-lint: allow(D3) -- job_rx is dropped only after the scope below; send cannot fail yet
         job_tx.send(i).expect("job receiver alive");
     }
     drop(job_tx);
@@ -59,10 +60,12 @@ where
         }
         slots
     })
+    // jcdn-lint: allow(D3) -- scope Err means a worker panicked; re-panicking propagates it (documented contract)
     .expect("worker pool joined");
 
     slots
         .into_iter()
+        // jcdn-lint: allow(D3) -- the scope joined without panic, so every index was sent exactly once
         .map(|slot| slot.expect("every item produced a result"))
         .collect()
 }

@@ -1,0 +1,428 @@
+//! A minimal Rust lexer producing a flat token stream with spans.
+//!
+//! This is not a full grammar — the rules in [`crate::rules`] only need
+//! identifier/punctuation sequences with accurate line/column positions,
+//! comments classified (doc vs. plain), and string/char literals opaque so
+//! their contents never look like code. Raw strings, nested block
+//! comments, lifetimes, and byte literals are handled; everything else is
+//! a single-character punctuation token.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, `+`, …).
+    Punct,
+    /// Numeric literal, consumed with its suffix (`0x7f`, `1_000u64`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), opaque.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Outer doc comment (`/// …` or `/** … */`).
+    DocOuter,
+    /// Inner doc comment (`//! …` or `/*! … */`).
+    DocInner,
+}
+
+/// One token: kind, source text, and 1-based position of its first byte.
+#[derive(Clone, Debug)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// An inline `// jcdn-lint: allow(D3) -- reason` directive.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line —
+    /// such a directive targets the *next* line; a trailing comment
+    /// targets its own line.
+    pub own_line: bool,
+    /// The rule ids listed in `allow(…)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason followed `--`.
+    pub has_reason: bool,
+}
+
+/// Lexer output: the token stream plus any suppression directives found
+/// in plain comments.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// All suppression directives, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexes `src` into tokens and suppression directives. Never fails: on
+/// malformed input (unterminated string, stray byte) the lexer degrades to
+/// single-character punctuation tokens rather than erroring, which is the
+/// right behavior for a linter running over code rustc already accepted.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        token_on_line: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether a token has been emitted on the current line (used to
+    /// classify suppression comments as own-line vs. trailing).
+    token_on_line: bool,
+    out: Lexed<'a>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column.
+    fn bump(&mut self) {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.token_on_line = false;
+        } else if (b & 0xC0) != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            col,
+        });
+        self.token_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(start, line, col),
+                b'/' if self.peek(1) == b'*' => self.block_comment(start, line, col),
+                b'r' | b'b' => {
+                    if !self.raw_or_byte_literal(start, line, col) {
+                        self.ident(start, line, col);
+                    }
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.emit(TokKind::Str, start, line, col);
+                }
+                b'\'' => self.char_or_lifetime(start, line, col),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokKind::Num, start, line, col);
+                }
+                _ if is_ident_start(b) => self.ident(start, line, col),
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn ident(&mut self, start: usize, line: u32, col: u32) {
+        while is_ident_continue(self.peek(0)) && self.pos < self.bytes.len() {
+            self.bump();
+        }
+        self.emit(TokKind::Ident, start, line, col);
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32, col: u32) {
+        let own_line = !self.token_on_line;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        if text.starts_with("///") && !text.starts_with("////") {
+            self.emit(TokKind::DocOuter, start, line, col);
+        } else if text.starts_with("//!") {
+            self.emit(TokKind::DocInner, start, line, col);
+        } else if let Some(sup) = parse_suppression(text, line, own_line) {
+            self.out.suppressions.push(sup);
+        }
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32, col: u32) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if text.starts_with("/**") && !text.starts_with("/***") && text.len() > 5 {
+            self.emit(TokKind::DocOuter, start, line, col);
+        } else if text.starts_with("/*!") {
+            self.emit(TokKind::DocInner, start, line, col);
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and `b'…'`. Returns
+    /// false when the `r`/`b` at the cursor is just an identifier start.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32, col: u32) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            ahead = 2;
+        }
+        if self.peek(0) == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            self.char_body();
+            self.emit(TokKind::Char, start, line, col);
+            return true;
+        }
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != b'"' {
+            return false;
+        }
+        if ahead == 1 && self.peek(0) == b'b' && hashes == 0 {
+            // b"…" — plain byte string.
+            self.bump();
+            self.string_literal();
+            self.emit(TokKind::Str, start, line, col);
+            return true;
+        }
+        if self.peek(ahead - 1) != b'r' && !(ahead == 1 && self.peek(0) == b'b') {
+            return false;
+        }
+        // Raw string: skip prefix, hashes, opening quote; scan for `"#…#`.
+        self.bump_n(ahead + hashes + 1);
+        loop {
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            if self.peek(0) == b'"' {
+                let mut closing = 0;
+                while closing < hashes && self.peek(1 + closing) == b'#' {
+                    closing += 1;
+                }
+                if closing == hashes {
+                    self.bump_n(1 + hashes);
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.emit(TokKind::Str, start, line, col);
+        true
+    }
+
+    /// Consumes a `"…"` body (cursor on the opening quote).
+    fn string_literal(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `'…'` body (cursor on the opening quote).
+    fn char_body(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        // 'x' / '\n' → char; 'ident (no closing quote soon) → lifetime.
+        let next = self.peek(1);
+        if next == b'\\' || (self.peek(2) == b'\'' && next != b'\'') {
+            self.char_body();
+            self.emit(TokKind::Char, start, line, col);
+        } else if is_ident_start(next) {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.emit(TokKind::Lifetime, start, line, col);
+        } else {
+            self.char_body();
+            self.emit(TokKind::Char, start, line, col);
+        }
+    }
+
+    fn number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Parses `jcdn-lint: allow(D3, D4) -- reason` out of a plain line
+/// comment. Returns `None` when the comment is not a directive at all.
+/// A directive with a missing/empty reason is returned with
+/// `has_reason == false` so the engine can report it.
+fn parse_suppression(comment: &str, line: u32, own_line: bool) -> Option<Suppression> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("jcdn-lint:")?.trim();
+    let rest = rest.strip_prefix("allow").unwrap_or(rest).trim();
+    let inner_end = rest.find(')')?;
+    let inner = rest.strip_prefix('(')?.get(..inner_end.saturating_sub(1))?;
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = rest.get(inner_end + 1..).unwrap_or("").trim();
+    let has_reason = after
+        .strip_prefix("--")
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    Some(Suppression {
+        line,
+        own_line,
+        rules,
+        has_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let l = lex("fn main() {\n  x.unwrap();\n}");
+        let unwrap = l.tokens.iter().find(|t| t.text == "unwrap");
+        let unwrap = unwrap.as_ref();
+        assert_eq!(unwrap.map(|t| t.line), Some(2));
+        assert_eq!(unwrap.map(|t| t.col), Some(5));
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds("let s = \"x.unwrap()\"; let r = r#\"SystemTime\"# ;");
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert!(toks.iter().all(|(_, t)| t != "SystemTime"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let toks = kinds("/// outer\npub fn f() {}\n//! inner\n// plain");
+        assert_eq!(toks[0].0, TokKind::DocOuter);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::DocInner));
+        assert!(toks.iter().all(|(_, t)| !t.contains("plain")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let l = lex(
+            "let x = 1; // jcdn-lint: allow(D3, D4) -- invariant holds\n// jcdn-lint: allow(D1)\n",
+        );
+        assert_eq!(l.suppressions.len(), 2);
+        assert_eq!(l.suppressions[0].rules, vec!["D3", "D4"]);
+        assert!(l.suppressions[0].has_reason);
+        assert!(!l.suppressions[0].own_line);
+        assert!(!l.suppressions[1].has_reason);
+        assert!(l.suppressions[1].own_line);
+    }
+
+    #[test]
+    fn numbers_consume_suffixes() {
+        let toks = kinds("let x = 0x7fu64 + 1_000 + 1.5e3;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "0x7fu64"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5e3"));
+    }
+}

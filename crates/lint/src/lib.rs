@@ -1,0 +1,248 @@
+//! # jcdn-lint — the workspace determinism & safety linter
+//!
+//! The paper reproduction's results are only meaningful because the
+//! pipeline is bit-deterministic for a given seed, shard count, and
+//! thread count (see `DESIGN.md` §10–§11). That contract is enforced
+//! dynamically by the `shard_invariance` property tests — and statically
+//! by this crate: a self-contained token-level pass over the workspace's
+//! Rust sources that catches the bug classes which break determinism
+//! *before* a test ever runs.
+//!
+//! The rules (see [`report::explain`] or `jcdn-lint --explain <rule>`):
+//!
+//! | id | guards against |
+//! |----|----------------|
+//! | D1 | wall clock / ambient randomness (`SystemTime::now`, `thread_rng`, …) |
+//! | D2 | `HashMap`/`HashSet` iteration in output-order-sensitive modules |
+//! | D3 | `unwrap`/`expect`/`panic!` in non-test library code |
+//! | D4 | lossy integer `as` casts in codec/interner code |
+//! | D5 | ad-hoc float accumulation in `merge*` functions |
+//! | D6 | missing doc comments on public items in core/trace/stats |
+//! | S1 | malformed inline suppressions |
+//!
+//! No dependencies, no rustc integration: a hand-rolled lexer
+//! ([`lexer`]) feeds per-file rule checks ([`rules`]) scoped and
+//! exempted by [`config`] (`allowlist.toml` at the workspace root), with
+//! human and JSON output ([`report`]). The full-workspace pass is a few
+//! milliseconds — cheap enough to run as a blocking CI job next to
+//! rustfmt and clippy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{parse_allowlist, Config};
+pub use rules::{Finding, Severity};
+
+/// Lints one file's source text. `path` is the workspace-relative path
+/// used for scope/allowlist matching and in findings.
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    rules::lint_source(path, src, cfg)
+}
+
+/// Lints a set of files on disk. Paths are reported relative to `root`
+/// (with forward slashes); unreadable files produce an `Err`.
+pub fn lint_files(root: &Path, files: &[PathBuf], cfg: &Config) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = relative_path(root, file);
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Lints the whole workspace under `root`: every `.rs` file in
+/// `crates/*/{src,tests,benches}`, plus the root `src/`, `tests/`, and
+/// `examples/`. Skips `vendor/` (third-party stand-ins), `target/`, and
+/// any `fixtures/` directory (the lint corpus is intentionally bad).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let files = workspace_files(root)?;
+    lint_files(root, &files, cfg)
+}
+
+/// Enumerates the workspace's lintable `.rs` files in sorted order.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_roots = read_dir_sorted(&crates_dir)?;
+        crate_roots.retain(|p| p.is_dir());
+        for krate in crate_roots {
+            for sub in ["src", "tests", "benches"] {
+                let dir = krate.join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut files)?;
+                }
+            }
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files, skipping `fixtures/` and `target/`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        let name = entry
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if entry.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry.clone());
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("error listing {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// `file` relative to `root`, with forward slashes, for matching and
+/// display. Falls back to the full path when `file` is not under `root`.
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let s = rel.to_string_lossy();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s.into_owned()
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_fires_and_suppression_with_reason_silences() {
+        let cfg = Config::all_scopes();
+        let bad = "fn f() { let t = SystemTime::now(); }";
+        let findings = lint_source("x.rs", bad, &cfg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "D1");
+        assert_eq!(findings[0].line, 1);
+
+        let ok = "fn f() {\n    // jcdn-lint: allow(D1) -- testing the directive\n    let t = SystemTime::now();\n}";
+        assert!(lint_source("x.rs", ok, &cfg).is_empty());
+
+        let missing_reason =
+            "fn f() {\n    // jcdn-lint: allow(D1)\n    let t = SystemTime::now();\n}";
+        let findings = lint_source("x.rs", missing_reason, &cfg);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&"S1"),
+            "missing reason is reported: {rules:?}"
+        );
+        assert!(rules.contains(&"D1"), "and does not suppress: {rules:?}");
+    }
+
+    #[test]
+    fn d3_skips_test_modules() {
+        let cfg = Config::all_scopes();
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}";
+        let findings = lint_source("x.rs", src, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn d2_requires_hash_binding_and_respects_sort_canonical() {
+        let cfg = Config::all_scopes();
+        let bad = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for x in &m { use_(x); } }";
+        let findings = lint_source("x.rs", bad, &cfg);
+        assert_eq!(findings.iter().filter(|f| f.rule == "D2").count(), 1);
+
+        let sorted = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); \
+                      let mut v: Vec<_> = m.into_iter().collect(); sort_canonical(&mut v); }";
+        assert!(lint_source("x.rs", sorted, &cfg).is_empty());
+
+        let btree =
+            "fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); for x in &m { use_(x); } }";
+        assert!(lint_source("x.rs", btree, &cfg).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_int_casts_only() {
+        let cfg = Config::all_scopes();
+        let src = "fn f(x: u64) { let a = x as usize; let b = x as f64; }";
+        let findings = lint_source("x.rs", src, &cfg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "D4");
+    }
+
+    #[test]
+    fn d5_flags_float_merge_accumulation() {
+        let cfg = Config::all_scopes();
+        let src = "struct S { mean: f64, count: u64 }\n\
+                   impl S {\n    fn merge(&mut self, o: &S) { self.mean += o.mean; self.count += o.count; }\n}";
+        let findings = lint_source("x.rs", src, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "D5");
+        assert!(findings[0].message.contains("mean"));
+    }
+
+    #[test]
+    fn d6_requires_docs_on_pub_items() {
+        let cfg = Config::all_scopes();
+        let src = "/// Documented.\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\n";
+        let findings = lint_source("x.rs", src, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "D6");
+        assert!(findings[0].message.contains('b'));
+    }
+
+    #[test]
+    fn scopes_gate_rules_by_path() {
+        let cfg = Config::workspace_default();
+        let cast = "fn f(x: u64) { let a = x as usize; }";
+        assert!(!lint_source("crates/trace/src/codec.rs", cast, &cfg).is_empty());
+        assert!(lint_source("crates/core/src/report.rs", cast, &cfg).is_empty());
+    }
+}

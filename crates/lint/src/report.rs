@@ -1,0 +1,237 @@
+//! Rendering findings as human-readable text or machine-readable JSON,
+//! and the `--explain` texts.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// Renders findings in `path:line:col: severity[rule] message` form, one
+/// per line, with a trailing summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}[{}] {}",
+            f.path,
+            f.line,
+            f.col,
+            f.severity.label(),
+            f.rule,
+            f.message
+        );
+    }
+    if findings.is_empty() {
+        out.push_str("jcdn-lint: clean\n");
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            findings.iter().map(|f| f.path.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "jcdn-lint: {} finding(s) in {} file(s)",
+            findings.len(),
+            files.len()
+        );
+    }
+    out
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings": [{…}], "count": n}`. Hand-rolled (the linter has no
+/// dependencies); strings are escaped per RFC 8259.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(f.severity.label()),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The long-form explanation for one rule id, or `None` for an unknown id.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1" => {
+            "D1 — wall-clock and ambient-randomness APIs\n\
+             \n\
+             Bans `SystemTime::now`, `Instant::now`, `thread_rng`, and\n\
+             `RandomState`. The pipeline's contract is bit-identical output for\n\
+             a given seed, across shard counts {1,2,8} and thread counts {1,4}.\n\
+             Any read of the host clock or process-local randomness makes output\n\
+             depend on when and where the binary ran. Simulated time (`SimTime`)\n\
+             is the only clock; RNG streams are derived from the seed\n\
+             (SplitMix64) and threaded through the call graph.\n\
+             \n\
+             Allowed surfaces (allowlist.toml): the fault-injection module\n\
+             models real-world nondeterminism behind a seeded plan, and the\n\
+             bench harness times wall-clock by definition.\n\
+             \n\
+             Fix: accept a `SimTime`/RNG parameter; derive per-worker streams\n\
+             with SplitMix64. Suppress only with a written reason:\n\
+             `// jcdn-lint: allow(D1) -- <why>`"
+        }
+        "D2" => {
+            "D2 — hash-ordered iteration in output-order-sensitive modules\n\
+             \n\
+             Bans iterating a `HashMap`/`HashSet` (`.iter()`, `.keys()`,\n\
+             `.values()`, `.into_iter()`, `.drain()`, `for … in`) in modules\n\
+             whose iteration order reaches output: report writers\n\
+             (core::characterize, core::report, the CLI commands), codec\n\
+             framing (trace::codec), and partial-report merging\n\
+             (core::pipeline). Hash order varies per process (SipHash keys) and\n\
+             per std version, so one stray iteration silently breaks\n\
+             shard-invariance and run-to-run reproducibility.\n\
+             \n\
+             Fix: use `BTreeMap`/`BTreeSet` (deterministic order, and usually\n\
+             what the report wants anyway), or re-establish a total order by\n\
+             calling a function named `sort_canonical` in the same function.\n\
+             The check is file-local: it sees bindings and fields declared with\n\
+             a hash type in the same file."
+        }
+        "D3" => {
+            "D3 — `unwrap`/`expect`/`panic!` in non-test library code\n\
+             \n\
+             Library crates return typed errors (`EncodeError`, intern-overflow\n\
+             errors, …). A panic inside a shard worker aborts the whole\n\
+             scatter-gather pipeline and loses the partial results; a typed\n\
+             error propagates and reports. Test modules (`#[cfg(test)]`,\n\
+             `#[test]`) are exempt, as are the CLI binary and bench harness\n\
+             (fail-fast is correct there).\n\
+             \n\
+             Fix: restructure so the invariant needs no panic (`total_cmp`\n\
+             instead of `partial_cmp(..).expect`, `if let` instead of\n\
+             `unwrap`), or return a typed error. For genuine can't-happen\n\
+             invariants (e.g. an operator impl that cannot return `Result`),\n\
+             suppress with a reason."
+        }
+        "D4" => {
+            "D4 — lossy integer `as` casts in codec/interner code\n\
+             \n\
+             `as` silently truncates. In codec framing, a corrupt or\n\
+             adversarial length prefix cast with `as usize` wraps into a small\n\
+             number instead of failing, corrupting the decode at a distance;\n\
+             in the interner, a truncated id aliases another string. Scope:\n\
+             the trace crate (codec, interner, framing).\n\
+             \n\
+             Fix: `try_from` with a typed decode/encode error. For provably\n\
+             lossless bit-twiddling (masked bytes, zigzag reinterpretation),\n\
+             suppress with a reason stating the invariant."
+        }
+        "D5" => {
+            "D5 — ad-hoc float accumulation in merge functions\n\
+             \n\
+             Mergeable statistics (the §4 partial reports, SimStats) must\n\
+             combine through the jcdn-stats helpers (`Summary::merge`,\n\
+             `Histogram::merge`, `Ecdf::merge`, `ExactQuantiles::merge`),\n\
+             whose merges are exact on counts and numerically stable on\n\
+             moments. A hand-written `self.mean += other.mean` in a `merge*`\n\
+             function is wrong for weighted moments and breaks the\n\
+             shard-count-invariance property tests. The check flags `+=` on\n\
+             fields declared `f32`/`f64` in the same file, inside functions\n\
+             whose name starts with `merge`, outside the stats crate.\n\
+             \n\
+             Fix: store a stats type (`Summary`, `Histogram`, …) instead of a\n\
+             raw float and merge through it, or compute the float at\n\
+             finalize-time from exactly-merged integer counts."
+        }
+        "D6" => {
+            "D6 — missing doc comments on public items\n\
+             \n\
+             Every `pub` item (fn, struct, field, enum, trait, type, mod,\n\
+             const, static) in the contract crates (core, trace, stats) must\n\
+             carry a `///` doc comment. These crates implement the paper's\n\
+             measured quantities; an undocumented public knob is how a future\n\
+             change silently diverges from the paper's definitions. This is\n\
+             the statically-checked twin of `#![warn(missing_docs)]`, and also\n\
+             covers `pub` methods on private types.\n\
+             \n\
+             Fix: document the item (what it measures, and the paper section\n\
+             if applicable)."
+        }
+        "S1" => {
+            "S1 — malformed suppression directive\n\
+             \n\
+             Inline suppressions must name at least one known rule id and\n\
+             carry a reason: `// jcdn-lint: allow(D3) -- sort key is total by\n\
+             construction`. A suppression without a reason is itself an error:\n\
+             the reason is the review artifact that keeps exemptions honest.\n\
+             A directive on its own line suppresses the next line; a trailing\n\
+             directive suppresses its own line."
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn f() -> Finding {
+        Finding {
+            rule: "D1",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "a \"quoted\" message\twith control".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_format() {
+        let text = render_text(&[f()]);
+        assert!(text.contains("crates/x/src/lib.rs:3:7: error[D1]"));
+        assert!(text.contains("1 finding(s) in 1 file(s)"));
+        assert!(render_text(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        let json = render_json(&[f()]);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\t"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn explain_covers_all_rules() {
+        for rule in crate::config::RULE_IDS {
+            assert!(explain(rule).is_some(), "{rule} must have an explanation");
+        }
+        assert!(explain("D9").is_none());
+    }
+}

@@ -1,0 +1,783 @@
+//! The rule engine: file context construction (function spans, test
+//! ranges) and the six determinism/safety rules D1–D6, plus S1 for
+//! malformed suppressions.
+//!
+//! Every rule is a token-sequence check — deliberately type-blind, so the
+//! pass stays a lexer walk (microseconds per file) rather than a rustc
+//! plugin. Where a rule needs type-ish knowledge (which bindings are hash
+//! maps, which fields are floats) it recovers it from file-local
+//! declaration patterns, and the documented limitation is that
+//! cross-file types are invisible. The scopes in [`crate::config`] are
+//! chosen so that limitation does not matter in this workspace.
+
+use crate::config::Config;
+use crate::lexer::{Lexed, Suppression, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How bad a finding is. Every current rule gates CI, so everything is an
+/// error; the distinction is kept for future advisory rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory only; does not affect the exit code.
+    Warning,
+    /// Gates CI.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding, anchored to a file position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D1`–`D6`, `S1`).
+    pub rule: &'static str,
+    /// Severity (currently always [`Severity::Error`]).
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A function body located in the token stream.
+#[derive(Clone, Debug)]
+struct FnSpan {
+    /// The function's name.
+    name: String,
+    /// Token-index range `[open_brace, close_brace]` of the body.
+    body: (usize, usize),
+}
+
+/// Everything the rules need about one file.
+struct FileCtx<'a> {
+    path: &'a str,
+    tokens: &'a [Token<'a>],
+    fns: Vec<FnSpan>,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Lints one file's source. `path` must be workspace-relative with
+/// forward slashes (it is matched against scopes and allowlists).
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = crate::lexer::lex(src);
+    let ctx = FileCtx::build(path, &lexed.tokens);
+    let mut findings = Vec::new();
+
+    if cfg.applies("D1", path) {
+        ctx.rule_d1(&mut findings);
+    }
+    if cfg.applies("D2", path) {
+        ctx.rule_d2(&mut findings);
+    }
+    if cfg.applies("D3", path) {
+        ctx.rule_d3(&mut findings);
+    }
+    if cfg.applies("D4", path) {
+        ctx.rule_d4(&mut findings);
+    }
+    if cfg.applies("D5", path) {
+        ctx.rule_d5(&mut findings);
+    }
+    if cfg.applies("D6", path) {
+        ctx.rule_d6(&mut findings);
+    }
+
+    apply_suppressions(path, &lexed, findings)
+}
+
+/// Drops findings covered by a well-formed suppression directive and
+/// reports malformed directives as S1 findings.
+fn apply_suppressions(path: &str, lexed: &Lexed<'_>, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut suppressed: BTreeMap<u32, BTreeSet<&str>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for sup in &lexed.suppressions {
+        let target = if sup.own_line { sup.line + 1 } else { sup.line };
+        let bad_rules: Vec<&String> = sup
+            .rules
+            .iter()
+            .filter(|r| !crate::config::RULE_IDS.contains(&r.as_str()))
+            .collect();
+        if sup.rules.is_empty() || !bad_rules.is_empty() {
+            out.push(Finding {
+                rule: "S1",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: sup.line,
+                col: 1,
+                message: malformed_rules_message(sup, &bad_rules),
+            });
+            continue;
+        }
+        if !sup.has_reason {
+            out.push(Finding {
+                rule: "S1",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: sup.line,
+                col: 1,
+                message: "suppression is missing its reason: write \
+                          `// jcdn-lint: allow(Dx) -- <why this is sound>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        for rule in &sup.rules {
+            if let Some(&known) = crate::config::RULE_IDS.iter().find(|k| *k == rule) {
+                suppressed.entry(target).or_default().insert(known);
+            }
+        }
+    }
+    for f in findings {
+        let hit = suppressed
+            .get(&f.line)
+            .is_some_and(|rules| rules.contains(f.rule));
+        if !hit {
+            out.push(f);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn malformed_rules_message(sup: &Suppression, bad: &[&String]) -> String {
+    if sup.rules.is_empty() {
+        "suppression lists no rule ids: write `// jcdn-lint: allow(Dx) -- reason`".to_string()
+    } else {
+        let names: Vec<&str> = bad.iter().map(|s| s.as_str()).collect();
+        format!("suppression names unknown rule id(s): {}", names.join(", "))
+    }
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(path: &'a str, tokens: &'a [Token<'a>]) -> Self {
+        let mut ctx = FileCtx {
+            path,
+            tokens,
+            fns: Vec::new(),
+            test_ranges: Vec::new(),
+        };
+        ctx.locate_test_ranges();
+        ctx.locate_fns();
+        ctx
+    }
+
+    fn is(&self, idx: usize, kind: TokKind, text: &str) -> bool {
+        self.tokens
+            .get(idx)
+            .is_some_and(|t| t.kind == kind && t.text == text)
+    }
+
+    fn ident_at(&self, idx: usize) -> Option<&'a str> {
+        self.tokens
+            .get(idx)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+    }
+
+    /// Finds the token index of the brace matching the `{` at `open`.
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return i;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// Records the body ranges of items carrying `#[cfg(test)]` or
+    /// `#[test]` so rules can skip test-only code.
+    fn locate_test_ranges(&mut self) {
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if self.is(i, TokKind::Punct, "#") && self.is(i + 1, TokKind::Punct, "[") {
+                // Scan the attribute tokens to its closing bracket.
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                let mut is_test_attr = false;
+                let mut first = true;
+                while j < self.tokens.len() && depth > 0 {
+                    let t = &self.tokens[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text {
+                            "[" => depth += 1,
+                            "]" => depth -= 1,
+                            _ => {}
+                        }
+                    } else if t.kind == TokKind::Ident {
+                        if first && t.text == "test" {
+                            is_test_attr = true;
+                        }
+                        if t.text == "cfg" || t.text == "cfg_attr" {
+                            // Look inside for a `test` ident.
+                            let mut k = j + 1;
+                            let mut cdepth = 0usize;
+                            while k < self.tokens.len() {
+                                let u = &self.tokens[k];
+                                if u.kind == TokKind::Punct {
+                                    match u.text {
+                                        "(" => cdepth += 1,
+                                        ")" => {
+                                            if cdepth <= 1 {
+                                                break;
+                                            }
+                                            cdepth -= 1;
+                                        }
+                                        _ => {}
+                                    }
+                                } else if u.kind == TokKind::Ident && u.text == "test" {
+                                    is_test_attr = true;
+                                }
+                                k += 1;
+                            }
+                        }
+                        first = false;
+                    }
+                    j += 1;
+                }
+                if is_test_attr {
+                    // The item body is the next `{` after the attribute
+                    // (skipping any further attributes and doc comments).
+                    let mut k = j;
+                    while k < self.tokens.len() && !self.is(k, TokKind::Punct, "{") {
+                        k += 1;
+                    }
+                    let close = self.matching_brace(k);
+                    self.test_ranges.push((i, close));
+                    i = close + 1;
+                    continue;
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    fn locate_fns(&mut self) {
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if self.is(i, TokKind::Ident, "fn") {
+                if let Some(name) = self.ident_at(i + 1) {
+                    // The body opens at the first `{` outside parens or
+                    // brackets after the signature.
+                    let mut j = i + 2;
+                    let mut pdepth = 0isize;
+                    let mut open = None;
+                    while j < self.tokens.len() {
+                        let t = &self.tokens[j];
+                        if t.kind == TokKind::Punct {
+                            match t.text {
+                                "(" | "[" => pdepth += 1,
+                                ")" | "]" => pdepth -= 1,
+                                "{" if pdepth == 0 => {
+                                    open = Some(j);
+                                    break;
+                                }
+                                ";" if pdepth == 0 => break, // trait decl / extern fn
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = open {
+                        let close = self.matching_brace(open);
+                        self.fns.push(FnSpan {
+                            name: name.to_string(),
+                            body: (open, close),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, idx: usize, message: String) {
+        let t = &self.tokens[idx];
+        out.push(Finding {
+            rule,
+            severity: Severity::Error,
+            path: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+        });
+    }
+
+    // ----------------------------------------------------------------- D1
+
+    /// D1: wall-clock and ambient-randomness APIs. Any of
+    /// `SystemTime::now`, `Instant::now`, `thread_rng`, `RandomState`
+    /// makes output depend on when/where the process ran, which breaks
+    /// bit-reproducibility. Applies to test code too: a test that reads
+    /// the clock is a flaky test.
+    fn rule_d1(&self, out: &mut Vec<Finding>) {
+        for i in 0..self.tokens.len() {
+            let Some(ident) = self.ident_at(i) else {
+                continue;
+            };
+            let path_call = |head: &str| {
+                ident == head
+                    && self.is(i + 1, TokKind::Punct, ":")
+                    && self.is(i + 2, TokKind::Punct, ":")
+                    && self.ident_at(i + 3) == Some("now")
+            };
+            if path_call("SystemTime") || path_call("Instant") {
+                self.push(
+                    out,
+                    "D1",
+                    i,
+                    format!(
+                        "`{ident}::now()` reads the wall clock; simulated time \
+                         (`SimTime`) is the only clock in deterministic code"
+                    ),
+                );
+            } else if ident == "thread_rng" {
+                self.push(
+                    out,
+                    "D1",
+                    i,
+                    "`thread_rng()` is ambient randomness; thread seeded RNGs \
+                     (e.g. SplitMix64-derived streams) through the call graph instead"
+                        .to_string(),
+                );
+            } else if ident == "RandomState" {
+                self.push(
+                    out,
+                    "D1",
+                    i,
+                    "`RandomState` randomizes hash iteration order per process; \
+                     use `BTreeMap`/`BTreeSet` or a fixed-seed hasher"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- D2
+
+    /// D2: iteration over `HashMap`/`HashSet` in output-order-sensitive
+    /// modules. Hash iteration order varies across processes and std
+    /// versions; anything feeding a report, codec frame, or merged
+    /// partial must iterate a `BTreeMap` or canonicalize with a
+    /// `sort_canonical` call in the same function.
+    fn rule_d2(&self, out: &mut Vec<Finding>) {
+        // File-level: field/binding names declared with a hash type.
+        let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+        for i in 0..self.tokens.len() {
+            let Some(ident) = self.ident_at(i) else {
+                continue;
+            };
+            if ident != "HashMap" && ident != "HashSet" {
+                continue;
+            }
+            // `name : HashMap` (declaration/field) or `name = HashMap`
+            // (init), looking left past a `path::` qualifier and any
+            // `&`/`&&`/`mut`/lifetime sigils before the type.
+            let mut j = i;
+            while j >= 3
+                && self.is(j - 1, TokKind::Punct, ":")
+                && self.is(j - 2, TokKind::Punct, ":")
+                && self.ident_at(j - 3).is_some()
+            {
+                j -= 3;
+            }
+            while j >= 1
+                && (self.is(j - 1, TokKind::Punct, "&")
+                    || self.ident_at(j - 1) == Some("mut")
+                    || self.tokens[j - 1].kind == TokKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if j >= 2
+                && (self.is(j - 1, TokKind::Punct, ":") || self.is(j - 1, TokKind::Punct, "="))
+            {
+                if let Some(name) = self.ident_at(j - 2) {
+                    hash_names.insert(name);
+                }
+            }
+        }
+        if hash_names.is_empty() {
+            return;
+        }
+        for f in &self.fns {
+            if self.in_test(f.body.0) {
+                continue;
+            }
+            let body = f.body.0..=f.body.1;
+            // A `sort_canonical` call anywhere in the function certifies
+            // that the output order is re-established after iteration.
+            if body
+                .clone()
+                .any(|i| self.ident_at(i) == Some("sort_canonical"))
+            {
+                continue;
+            }
+            for i in body {
+                let Some(name) = self.ident_at(i) else {
+                    continue;
+                };
+                if !hash_names.contains(name) {
+                    continue;
+                }
+                // `name.iter()` / `name.keys()` / …
+                if self.is(i + 1, TokKind::Punct, ".") {
+                    if let Some(method) = self.ident_at(i + 2) {
+                        if HASH_ITER_METHODS.contains(&method)
+                            && self.is(i + 3, TokKind::Punct, "(")
+                        {
+                            self.push(
+                                out,
+                                "D2",
+                                i,
+                                format!(
+                                    "iteration over hash-ordered `{name}.{method}()` in an \
+                                     output-order-sensitive module; use a `BTreeMap`/`BTreeSet` \
+                                     or call `sort_canonical` in this function"
+                                ),
+                            );
+                            continue;
+                        }
+                    }
+                }
+                // `for … in [&[mut]] path.to.name {` — the map is the
+                // final segment of the iterated path expression.
+                if self.is(i + 1, TokKind::Punct, "{") && self.for_in_precedes(i) {
+                    self.push(
+                        out,
+                        "D2",
+                        i,
+                        format!(
+                            "`for … in {name}` iterates hash order in an \
+                             output-order-sensitive module; use a `BTreeMap`/`BTreeSet` \
+                             or call `sort_canonical` in this function"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether token `i` (an identifier) is the tail of the expression in
+    /// a `for … in <expr>` header: walking back over `seg.seg.` path
+    /// segments and an optional `&`/`&mut` borrow lands on `in`.
+    fn for_in_precedes(&self, i: usize) -> bool {
+        let mut head = i;
+        loop {
+            let Some(dot) = self.prev_code_token(head) else {
+                return false;
+            };
+            if !self.is(dot, TokKind::Punct, ".") {
+                break;
+            }
+            let Some(base) = self.prev_code_token(dot) else {
+                return false;
+            };
+            if self.ident_at(base).is_none() {
+                return false;
+            }
+            head = base;
+        }
+        let mut p = self.prev_code_token(head);
+        if p.is_some_and(|pi| self.ident_at(pi) == Some("mut")) {
+            p = p.and_then(|pi| self.prev_code_token(pi));
+        }
+        if p.is_some_and(|pi| self.is(pi, TokKind::Punct, "&")) {
+            p = p.and_then(|pi| self.prev_code_token(pi));
+        }
+        p.is_some_and(|pi| self.ident_at(pi) == Some("in"))
+    }
+
+    fn prev_code_token(&self, idx: usize) -> Option<usize> {
+        let mut i = idx.checked_sub(1)?;
+        loop {
+            let t = self.tokens.get(i)?;
+            if t.kind != TokKind::DocOuter && t.kind != TokKind::DocInner {
+                return Some(i);
+            }
+            i = i.checked_sub(1)?;
+        }
+    }
+
+    // ----------------------------------------------------------------- D3
+
+    /// D3: `unwrap`/`expect`/`panic!` in non-test library code. Library
+    /// crates return typed errors (`EncodeError`, `InternError`, …); a
+    /// panic in a shard worker takes down the whole pipeline.
+    fn rule_d3(&self, out: &mut Vec<Finding>) {
+        for i in 0..self.tokens.len() {
+            if self.in_test(i) {
+                continue;
+            }
+            let Some(ident) = self.ident_at(i) else {
+                continue;
+            };
+            let method_call = |name: &str| {
+                ident == name
+                    && i >= 1
+                    && self.is(i - 1, TokKind::Punct, ".")
+                    && self.is(i + 1, TokKind::Punct, "(")
+            };
+            if method_call("unwrap") || method_call("expect") {
+                self.push(
+                    out,
+                    "D3",
+                    i,
+                    format!(
+                        "`.{ident}()` in library code; return a typed error \
+                         (or restructure so the invariant is expressed without panicking)"
+                    ),
+                );
+            } else if ident == "panic" && self.is(i + 1, TokKind::Punct, "!") {
+                self.push(
+                    out,
+                    "D3",
+                    i,
+                    "`panic!` in library code; return a typed error instead".to_string(),
+                );
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- D4
+
+    /// D4: integer `as` casts in codec/interner code. `as` silently
+    /// truncates; a corrupt length prefix must surface as a decode error,
+    /// not wrap into a small allocation. Use `try_from` (or a documented
+    /// suppression for bit-twiddling masks).
+    fn rule_d4(&self, out: &mut Vec<Finding>) {
+        for i in 0..self.tokens.len() {
+            if self.in_test(i) {
+                continue;
+            }
+            if self.ident_at(i) != Some("as") {
+                continue;
+            }
+            let Some(ty) = self.ident_at(i + 1) else {
+                continue;
+            };
+            if !INT_TYPES.contains(&ty) {
+                continue;
+            }
+            // Exclude `use x as y` style: the token before a cast is an
+            // expression end (ident/num/`)`/`]`), which `use … as` also
+            // is, so instead check the statement start — cheaper: `as`
+            // directly preceded by `::`-path puncts still casts. The only
+            // real exclusion needed is an import, which names a module
+            // path and ends with `;` right after the alias — but aliasing
+            // *to an integer type name* would be perverse; accept the
+            // false positive in principle, none exist in practice.
+            self.push(
+                out,
+                "D4",
+                i,
+                format!(
+                    "lossy `as {ty}` cast in codec/interner code; use \
+                     `{ty}::try_from(…)` with a typed error (suppress with a \
+                     reason only for masked bit-twiddling)"
+                ),
+            );
+        }
+    }
+
+    // ----------------------------------------------------------------- D5
+
+    /// D5: ad-hoc float accumulation in `merge` functions. Mergeable
+    /// statistics must flow through the `jcdn-stats` helpers (`Summary`,
+    /// `Histogram`, …) whose merges are exact or numerically stable;
+    /// `self.mean += other.mean` style code silently breaks
+    /// shard-invariance.
+    fn rule_d5(&self, out: &mut Vec<Finding>) {
+        // Field/binding names declared `: f64` / `: f32` anywhere in file.
+        let mut float_names: BTreeSet<&str> = BTreeSet::new();
+        for i in 0..self.tokens.len() {
+            let Some(ty) = self.ident_at(i) else {
+                continue;
+            };
+            if (ty == "f64" || ty == "f32") && i >= 2 && self.is(i - 1, TokKind::Punct, ":") {
+                if let Some(name) = self.ident_at(i - 2) {
+                    float_names.insert(name);
+                }
+            }
+        }
+        if float_names.is_empty() {
+            return;
+        }
+        for f in &self.fns {
+            if !f.name.starts_with("merge") || self.in_test(f.body.0) {
+                continue;
+            }
+            for i in f.body.0..=f.body.1 {
+                let Some(name) = self.ident_at(i) else {
+                    continue;
+                };
+                if float_names.contains(name)
+                    && self.is(i + 1, TokKind::Punct, "+")
+                    && self.is(i + 2, TokKind::Punct, "=")
+                {
+                    self.push(
+                        out,
+                        "D5",
+                        i,
+                        format!(
+                            "ad-hoc float accumulation `{name} += …` in `{}`; merge through \
+                             the jcdn-stats helpers (Summary/Histogram/Ecdf merge) so \
+                             shard merges stay exact",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- D6
+
+    /// D6: every `pub` item in the contract crates carries a doc comment.
+    /// This is the statically-checked twin of `#![warn(missing_docs)]` —
+    /// it also covers `pub` methods on private types and runs without
+    /// compiling.
+    fn rule_d6(&self, out: &mut Vec<Finding>) {
+        const ITEM_KWS: [&str; 9] = [
+            "fn", "struct", "enum", "trait", "type", "mod", "static", "const", "union",
+        ];
+        const SKIP_KWS: [&str; 4] = ["unsafe", "async", "extern", "default"];
+        for i in 0..self.tokens.len() {
+            if self.in_test(i) {
+                continue;
+            }
+            if self.ident_at(i) != Some("pub") {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` are not public API.
+            if self.is(i + 1, TokKind::Punct, "(") {
+                continue;
+            }
+            // Walk forward past qualifier keywords to the item keyword.
+            let mut j = i + 1;
+            let mut kw = None;
+            for _ in 0..4 {
+                match self.ident_at(j) {
+                    Some(k) if k == "const" && self.ident_at(j + 1) == Some("fn") => {
+                        j += 1;
+                        continue;
+                    }
+                    Some(k) if SKIP_KWS.contains(&k) => {
+                        j += 1;
+                        // `extern "C"` — skip the ABI string too.
+                        if self.tokens.get(j).is_some_and(|t| t.kind == TokKind::Str) {
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    Some(k) => {
+                        kw = Some(k);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            let (item_kind, name_idx) = match kw {
+                Some("use") => continue, // re-exports inherit their docs
+                Some(k) if ITEM_KWS.contains(&k) => (k, j + 1),
+                // `pub name: Type` — a struct field.
+                Some(_) if self.is(j + 1, TokKind::Punct, ":") => ("field", j),
+                _ => continue,
+            };
+            if self.has_doc(i) {
+                continue;
+            }
+            let name = self.ident_at(name_idx).unwrap_or("<unnamed>");
+            self.push(
+                out,
+                "D6",
+                i,
+                format!("public {item_kind} `{name}` is missing a doc comment"),
+            );
+        }
+    }
+
+    /// Whether the `pub` at `idx` is preceded by an outer doc comment or a
+    /// `#[doc…]` attribute, skipping over other attributes.
+    fn has_doc(&self, idx: usize) -> bool {
+        let mut i = idx;
+        loop {
+            let Some(prev) = i.checked_sub(1) else {
+                return false;
+            };
+            let t = &self.tokens[prev];
+            match t.kind {
+                TokKind::DocOuter => return true,
+                TokKind::Punct if t.text == "]" => {
+                    // Walk back over the attribute; `#[doc = "…"]` counts.
+                    let mut depth = 1usize;
+                    let mut k = prev;
+                    let mut saw_doc = false;
+                    while depth > 0 {
+                        let Some(p) = k.checked_sub(1) else {
+                            return false;
+                        };
+                        k = p;
+                        let u = &self.tokens[k];
+                        if u.kind == TokKind::Punct {
+                            match u.text {
+                                "]" => depth += 1,
+                                "[" => depth -= 1,
+                                _ => {}
+                            }
+                        } else if u.kind == TokKind::Ident && u.text == "doc" {
+                            saw_doc = true;
+                        }
+                    }
+                    if saw_doc {
+                        return true;
+                    }
+                    // Move past the `#`.
+                    i = k.saturating_sub(1);
+                }
+                _ => return false,
+            }
+        }
+    }
+}

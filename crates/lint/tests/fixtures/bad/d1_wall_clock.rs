@@ -1,0 +1,11 @@
+// Fixture: every D1-banned nondeterminism source.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let wall = SystemTime::now(); // line 5: D1
+    let mono = Instant::now(); // line 6: D1
+    let mut rng = thread_rng(); // line 7: D1
+    let state = RandomState::new(); // line 8: D1
+    drop((wall, mono, rng, state));
+    0
+}

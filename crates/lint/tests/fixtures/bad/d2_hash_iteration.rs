@@ -1,0 +1,15 @@
+// Fixture: hash-ordered iteration reaching output.
+use std::collections::{HashMap, HashSet};
+
+fn report(counts: &HashMap<String, u64>) {
+    for (k, v) in counts {
+        // line 5: D2 (for … in over a hash-typed binding)
+        println!("{k} {v}");
+    }
+}
+
+fn dump() {
+    let seen: HashSet<u32> = HashSet::new();
+    let items: Vec<u32> = seen.iter().copied().collect(); // line 13: D2
+    drop(items);
+}

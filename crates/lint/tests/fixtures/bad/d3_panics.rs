@@ -1,0 +1,22 @@
+// Fixture: panicking calls in non-test library code, plus the test-module
+// exemption (the #[cfg(test)] block at the bottom must NOT be flagged).
+
+fn parse(input: &str) -> u64 {
+    let n = input.parse::<u64>().unwrap(); // line 5: D3
+    let m = input.find(':').expect("has a colon"); // line 6: D3
+    if m == 0 {
+        panic!("empty key"); // line 8: D3
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok_in_tests() {
+        super::parse("1:2");
+        let v: Option<u8> = None;
+        assert!(v.is_none());
+        let _ = "3".parse::<u64>().unwrap(); // exempt: test module
+    }
+}

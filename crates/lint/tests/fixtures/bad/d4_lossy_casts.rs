@@ -1,0 +1,13 @@
+// Fixture: lossy integer `as` casts (and one float cast that must NOT be
+// flagged — D4 is about integer narrowing).
+
+fn decode_len(raw: u64) -> usize {
+    raw as usize // line 5: D4
+}
+
+fn frame(len: usize, t: u64) -> (u32, i64, f64) {
+    let prefix = len as u32; // line 9: D4
+    let delta = t as i64; // line 10: D4
+    let seconds = t as f64; // not flagged: float target
+    (prefix, delta, seconds)
+}

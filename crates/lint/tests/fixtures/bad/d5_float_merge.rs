@@ -1,0 +1,19 @@
+// Fixture: ad-hoc float accumulation inside a merge function. The integer
+// count accumulation and the float math outside merge* must NOT be flagged.
+
+struct Partial {
+    mean_latency: f64,
+    requests: u64,
+}
+
+impl Partial {
+    fn merge(&mut self, other: &Partial) {
+        self.mean_latency += other.mean_latency; // line 11: D5
+        self.requests += other.requests; // not flagged: integer field
+    }
+
+    fn observe(&mut self, sample: f64) {
+        self.mean_latency += sample; // not flagged: not a merge* function
+        self.requests += 1;
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: public items without doc comments. The documented item and the
+// pub(crate) item must NOT be flagged.
+
+/// Documented: not flagged.
+pub struct Documented {
+    /// Documented field: not flagged.
+    pub ok: u64,
+    pub missing: u64, // line 8: D6 (undocumented pub field)
+}
+
+pub fn undocumented() {} // line 11: D6
+
+pub(crate) fn crate_visible() {} // not flagged: not part of the public API
+
+/// Documented trait.
+pub trait Named {
+    /// Documented method: not flagged.
+    fn name(&self) -> &str;
+}
+
+pub const LIMIT: u64 = 8; // line 21: D6

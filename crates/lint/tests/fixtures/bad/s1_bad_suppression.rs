@@ -1,0 +1,12 @@
+// Fixture: malformed suppressions. Each directive is itself an S1 error,
+// and a reasonless directive does not suppress the finding it precedes.
+
+fn f(x: Option<u64>) -> u64 {
+    // jcdn-lint: allow(D3)
+    x.unwrap() // line 6: D3 still fires; line 5 is S1 (missing reason)
+}
+
+fn g(x: Option<u64>) -> u64 {
+    // jcdn-lint: allow(D9) -- no such rule
+    x.unwrap() // line 11: D3 still fires; line 10 is S1 (unknown rule id)
+}

@@ -1,0 +1,7 @@
+// Fixture: contains a D1 violation that the sibling `allowlist.toml`
+// exempts by path — the linter must report nothing for this file when the
+// allowlist is loaded.
+
+fn wall_clock_sample() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,16 @@
+// Fixture: correctly-formed suppressions silence their target line and
+// produce no S1 finding. Both directive placements are exercised.
+
+fn own_line(x: Option<u64>) -> u64 {
+    // jcdn-lint: allow(D3) -- x is produced by the caller's match arm and is always Some
+    x.unwrap()
+}
+
+fn trailing(v: u64) -> u32 {
+    v as u32 // jcdn-lint: allow(D4) -- v is masked to 24 bits upstream
+}
+
+fn multi_rule(x: Option<u64>) -> u32 {
+    // jcdn-lint: allow(D3, D4) -- fixture exercising a multi-rule directive
+    x.unwrap() as u32
+}

@@ -1,0 +1,227 @@
+//! Integration tests: the fixture corpus (exact rule/file/line findings),
+//! the CLI's exit codes, and a full-workspace smoke run with a timing
+//! budget.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use jcdn_lint::{Config, Finding};
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    jcdn_lint::find_workspace_root(&manifest).expect("workspace root above crates/lint")
+}
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn lint_fixture(kind: &str, name: &str) -> Vec<Finding> {
+    let path = fixture_dir(kind).join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    jcdn_lint::lint_source(name, &src, &Config::all_scopes())
+}
+
+/// (rule, line) pairs, sorted, for compact exact-match assertions.
+fn rule_lines(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn bad_d1_flags_every_nondeterminism_source() {
+    let findings = lint_fixture("bad", "d1_wall_clock.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D1", 5), ("D1", 6), ("D1", 7), ("D1", 8)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_d2_flags_hash_iteration_including_reference_params() {
+    let findings = lint_fixture("bad", "d2_hash_iteration.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D2", 5), ("D2", 13)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_d3_flags_panics_outside_tests_only() {
+    let findings = lint_fixture("bad", "d3_panics.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D3", 5), ("D3", 6), ("D3", 8)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_d4_flags_integer_casts_not_float() {
+    let findings = lint_fixture("bad", "d4_lossy_casts.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D4", 5), ("D4", 9), ("D4", 10)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_d5_flags_float_accumulation_in_merge_only() {
+    let findings = lint_fixture("bad", "d5_float_merge.rs");
+    assert_eq!(rule_lines(&findings), vec![("D5", 11)], "{findings:?}");
+}
+
+#[test]
+fn bad_d6_flags_undocumented_pub_items() {
+    let findings = lint_fixture("bad", "d6_missing_docs.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D6", 8), ("D6", 11), ("D6", 21)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_s1_reports_malformed_suppressions_and_keeps_findings() {
+    let findings = lint_fixture("bad", "s1_bad_suppression.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("S1", 5), ("D3", 6), ("S1", 10), ("D3", 11)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn clean_corpus_is_clean() {
+    assert!(lint_fixture("clean", "well_behaved.rs").is_empty());
+    assert!(lint_fixture("clean", "suppressed_with_reason.rs").is_empty());
+}
+
+#[test]
+fn allowlist_exempts_by_path() {
+    let rel = "crates/lint/tests/fixtures/clean/allowlisted.rs";
+    let src = std::fs::read_to_string(workspace_root().join(rel)).expect("fixture readable");
+
+    let mut cfg = Config::all_scopes();
+    assert_eq!(
+        rule_lines(&jcdn_lint::lint_source(rel, &src, &cfg)),
+        vec![("D1", 6)],
+        "without the allowlist the violation fires"
+    );
+
+    let toml =
+        std::fs::read_to_string(fixture_dir("clean").join("allowlist.toml")).expect("readable");
+    cfg.extend_allow(jcdn_lint::parse_allowlist(&toml).expect("fixture allowlist parses"));
+    assert!(jcdn_lint::lint_source(rel, &src, &cfg).is_empty());
+}
+
+#[test]
+fn root_allowlist_parses_and_names_known_rules_only() {
+    let toml =
+        std::fs::read_to_string(workspace_root().join("allowlist.toml")).expect("root allowlist");
+    let parsed: BTreeMap<String, Vec<String>> =
+        jcdn_lint::parse_allowlist(&toml).expect("root allowlist parses");
+    assert!(
+        parsed.contains_key("D1"),
+        "the D1 exempt surfaces live in allowlist.toml"
+    );
+}
+
+fn run_cli(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_jcdn-lint"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("jcdn-lint binary runs")
+}
+
+#[test]
+fn cli_exits_nonzero_on_bad_corpus_and_zero_on_clean() {
+    let root = workspace_root();
+    let bad = fixture_dir("bad");
+    let out = run_cli(
+        &[
+            "--all-scopes",
+            "--format",
+            "json",
+            bad.to_str().expect("utf-8 path"),
+        ],
+        &root,
+    );
+    assert_eq!(out.status.code(), Some(1), "bad corpus exits 1");
+    let stdout = String::from_utf8(out.stdout).expect("json output is UTF-8");
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "S1"] {
+        assert!(
+            stdout.contains(&format!("\"rule\":\"{rule}\"")),
+            "{rule} demonstrated in corpus output: {stdout}"
+        );
+    }
+
+    let clean = fixture_dir("clean");
+    let allowlist = clean.join("allowlist.toml");
+    let out = run_cli(
+        &[
+            "--all-scopes",
+            "--allowlist",
+            allowlist.to_str().expect("utf-8 path"),
+            clean.to_str().expect("utf-8 path"),
+        ],
+        &root,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean corpus exits 0: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn cli_workspace_run_is_clean() {
+    let root = workspace_root();
+    let out = run_cli(&["--workspace"], &root);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the tree lints clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn cli_explain_knows_every_rule_and_rejects_unknown() {
+    let root = workspace_root();
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "S1"] {
+        let out = run_cli(&["--explain", rule], &root);
+        assert_eq!(out.status.code(), Some(0), "{rule}");
+        assert!(!out.stdout.is_empty(), "{rule} has an explanation");
+    }
+    let out = run_cli(&["--explain", "D9"], &root);
+    assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
+}
+
+#[test]
+fn full_workspace_pass_stays_under_budget() {
+    let root = workspace_root();
+    let cfg = Config::workspace_default();
+    // jcdn-lint: allow(D1) -- this test measures the linter's own wall-clock budget
+    let start = std::time::Instant::now();
+    let findings = jcdn_lint::lint_workspace(&root, &cfg).expect("workspace lints");
+    let elapsed = start.elapsed();
+    // Suppressions carry the findings through, so the lib-level pass (which
+    // loads no allowlist) is clean too: the tree has no D1 surfaces today.
+    assert!(
+        findings.is_empty(),
+        "workspace lints clean via the library API: {findings:?}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "full-workspace lint took {elapsed:?}, budget is 5s"
+    );
+}

@@ -100,7 +100,7 @@ pub fn encode(model: &NgramModel, vocab: &Vocab) -> Vec<u8> {
 
     put_varint(&mut out, vocab.len() as u64);
     for token in 0..vocab.len() as u32 {
-        let s = vocab.resolve(token).expect("dense token range");
+        let s = vocab.resolve(token).unwrap_or("");
         put_varint(&mut out, s.len() as u64);
         out.extend_from_slice(s.as_bytes());
     }
@@ -139,7 +139,7 @@ pub fn decode(data: &[u8], mode: crate::VocabMode) -> Result<(NgramModel, Vocab)
     if max_order == 0 || max_order > 64 {
         return Err(DecodeError::Invalid);
     }
-    let backoff_bits: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+    let backoff_bits: [u8; 8] = r.bytes(8)?.try_into().map_err(|_| DecodeError::Invalid)?;
     let backoff = f64::from_le_bytes(backoff_bits);
     if !(backoff > 0.0 && backoff <= 1.0) {
         return Err(DecodeError::Invalid);

@@ -72,7 +72,7 @@ impl Autocorrelation {
                 peaks.push((lag, v));
             }
         }
-        peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite acf"));
+        peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
         peaks
     }
 
@@ -92,7 +92,7 @@ impl Autocorrelation {
         }
         (lo..=hi)
             .map(|l| (l, self.values[l]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite acf"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

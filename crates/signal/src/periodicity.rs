@@ -156,8 +156,11 @@ fn bin_times(times: &[f64], cfg: &PeriodicityConfig) -> Option<(Vec<f64>, f64)> 
         return None;
     }
     let mut sorted = times.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    let span = sorted.last().expect("non-empty") - sorted[0];
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+    let (Some(&first), Some(&last)) = (sorted.first(), sorted.last()) else {
+        return None;
+    };
+    let span = last - first;
     if span <= 0.0 {
         return None;
     }
@@ -276,7 +279,7 @@ fn detect_in_series(
     candidates.sort_by(|a, b| {
         a.period_bins
             .cmp(&b.period_bins)
-            .then(b.power.partial_cmp(&a.power).expect("finite"))
+            .then(b.power.total_cmp(&a.power))
     });
     candidates.dedup_by_key(|c| c.period_bins);
 
@@ -298,7 +301,7 @@ fn detect_in_series(
         .max_by(|a, b| {
             support(a)
                 .cmp(&support(b))
-                .then(a.acf_value.partial_cmp(&b.acf_value).expect("finite"))
+                .then(a.acf_value.total_cmp(&b.acf_value))
                 .then(b.period_bins.cmp(&a.period_bins))
         })
         .copied()
@@ -351,8 +354,8 @@ fn permutation_thresholds(series: &[f64], cfg: &PeriodicityConfig) -> Option<(f6
 
     let mut powers: Vec<f64> = results.iter().map(|&(p, _)| p).collect();
     let mut acfs: Vec<f64> = results.iter().map(|&(_, a)| a).collect();
-    powers.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-    acfs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    powers.sort_by(|a, b| b.total_cmp(a));
+    acfs.sort_by(|a, b| b.total_cmp(a));
     let idx = (((1.0 - cfg.significance_quantile) * cfg.permutations as f64).floor() as usize)
         .min(cfg.permutations - 1);
     Some((powers[idx], acfs[idx]))

@@ -69,7 +69,7 @@ impl Periodogram {
         let lo = 2.min(self.power.len().saturating_sub(1)).max(1);
         (lo..self.power.len())
             .map(|k| (k, self.power[k]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("power is finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Bins with power strictly above `threshold`, in decreasing power
@@ -78,7 +78,7 @@ impl Periodogram {
         let mut bins: Vec<usize> = (2..self.power.len())
             .filter(|&k| self.power[k] > threshold)
             .collect();
-        bins.sort_by(|&a, &b| self.power[b].partial_cmp(&self.power[a]).expect("finite"));
+        bins.sort_by(|&a, &b| self.power[b].total_cmp(&self.power[a]));
         bins
     }
 }

@@ -49,7 +49,9 @@ impl Zipf {
         for c in &mut cumulative {
             *c /= total;
         }
-        *cumulative.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Zipf { cumulative }
     }
 

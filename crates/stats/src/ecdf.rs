@@ -16,7 +16,7 @@ impl Ecdf {
     /// Builds an ECDF from samples; non-finite values are dropped.
     pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 
@@ -96,11 +96,9 @@ impl Ecdf {
     /// Renders the CDF as `rows` ASCII lines, sampling `F` at evenly spaced
     /// sample values between min and max.
     pub fn render(&self, rows: usize, width: usize) -> String {
-        if self.sorted.is_empty() {
+        let (Some(&lo), Some(&hi)) = (self.sorted.first(), self.sorted.last()) else {
             return String::from("(empty cdf)\n");
-        }
-        let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
+        };
         let mut out = String::new();
         for i in 0..rows {
             let x = if rows == 1 {
@@ -108,7 +106,7 @@ impl Ecdf {
             } else {
                 lo + (hi - lo) * i as f64 / (rows - 1) as f64
             };
-            let p = self.eval(x).expect("non-empty");
+            let p = self.eval(x).unwrap_or(0.0);
             let bar = (p * width as f64).round() as usize;
             let _ = writeln!(out, "{x:>10.2} | {:<width$} {:.3}", "█".repeat(bar), p);
         }

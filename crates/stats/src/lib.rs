@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Sampling distributions (Zipf, Pareto, weighted choice) over a seeded RNG.
 pub mod dist;
 mod ecdf;
 mod histogram;

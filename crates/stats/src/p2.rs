@@ -59,8 +59,7 @@ impl P2Quantile {
             self.heights[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights.sort_unstable_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -75,9 +74,7 @@ impl P2Quantile {
             3
         } else {
             // heights[k] <= x < heights[k+1]
-            (0..4)
-                .find(|&i| x < self.heights[i + 1])
-                .expect("x below heights[4]")
+            (0..4).find(|&i| x < self.heights[i + 1]).unwrap_or(3)
         };
 
         // Increment positions of markers above the cell.
@@ -132,7 +129,7 @@ impl P2Quantile {
             0 => None,
             n if n < 5 => {
                 let mut seen: Vec<f64> = self.heights[..n as usize].to_vec();
-                seen.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                seen.sort_unstable_by(|a, b| a.total_cmp(b));
                 let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize);
                 Some(seen[rank - 1])
             }

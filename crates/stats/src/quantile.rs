@@ -60,8 +60,7 @@ impl ExactQuantiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_unstable_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }

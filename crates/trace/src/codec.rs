@@ -66,6 +66,13 @@ pub enum EncodeError {
         /// The offending record's timestamp.
         next: SimTime,
     },
+    /// A shard frame's encoded payload exceeded the u32 length prefix.
+    FrameTooLarge {
+        /// Index of the oversized shard frame.
+        shard: usize,
+        /// Encoded payload size in bytes.
+        bytes: usize,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -76,6 +83,10 @@ impl std::fmt::Display for EncodeError {
                 "records not time-sorted: record {index} at {}µs follows {}µs",
                 next.as_micros(),
                 prev.as_micros()
+            ),
+            EncodeError::FrameTooLarge { shard, bytes } => write!(
+                f,
+                "shard frame {shard} payload is {bytes} bytes; the length prefix is u32"
             ),
         }
     }
@@ -111,6 +122,8 @@ pub enum DecodeError {
     FrameMismatch,
     /// A string table overflowed the 32-bit id space.
     TableOverflow,
+    /// A status code exceeded 16 bits.
+    StatusOverflow,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -129,6 +142,7 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::FrameMismatch => write!(f, "shard frame length and records disagree"),
             DecodeError::TableOverflow => write!(f, "string table overflows 32-bit id space"),
+            DecodeError::StatusOverflow => write!(f, "status code overflows 16 bits"),
         }
     }
 }
@@ -142,6 +156,7 @@ const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // jcdn-lint: allow(D4) -- i ranges over 0..256; lossless by the loop bound
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -161,6 +176,7 @@ const fn crc_table() -> [u32; 256] {
 fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
+        // jcdn-lint: allow(D4) -- masked to 8 bits before the cast
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -168,6 +184,7 @@ fn crc32(data: &[u8]) -> u32 {
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
+        // jcdn-lint: allow(D4) -- masked to 7 bits before the cast
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
@@ -194,20 +211,35 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
 }
 
 fn zigzag(v: i64) -> u64 {
+    // jcdn-lint: allow(D4) -- zigzag is a bijective bit reinterpretation, not a narrowing
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 fn unzigzag(v: u64) -> i64 {
+    // jcdn-lint: allow(D4) -- inverse bijection of `zigzag`; same-width reinterpretation
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// `usize → u64`, lossless on every supported target (usize ≤ 64 bits).
+fn len_u64(len: usize) -> u64 {
+    // jcdn-lint: allow(D4) -- usize → u64 cannot truncate on ≤64-bit targets
+    len as u64
+}
+
+/// `u64 → usize` with a caller-chosen error for values a 32-bit target
+/// cannot represent (a wrapped length would corrupt the decode at a
+/// distance — exactly the failure D4 exists to prevent).
+fn to_usize(v: u64, err: DecodeError) -> Result<usize, DecodeError> {
+    usize::try_from(v).map_err(|_| err)
+}
+
 fn put_string(buf: &mut BytesMut, s: &str) {
-    put_varint(buf, s.len() as u64);
+    put_varint(buf, len_u64(s.len()));
     buf.put_slice(s.as_bytes());
 }
 
 fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
-    let len = get_varint(buf)? as usize;
+    let len = to_usize(get_varint(buf)?, DecodeError::Truncated)?;
     if buf.remaining() < len {
         return Err(DecodeError::Truncated);
     }
@@ -216,6 +248,7 @@ fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
 }
 
 fn put_record(buf: &mut BytesMut, r: &LogRecord, prev_time: &mut i64) {
+    // jcdn-lint: allow(D4) -- the time axis caps at 2^63 µs (~292k simulated years)
     let t = r.time.as_micros() as i64;
     put_varint(buf, zigzag(t - *prev_time));
     *prev_time = t;
@@ -248,13 +281,13 @@ fn get_record(
     let ua = if ua_raw == 0 {
         None
     } else {
-        let id = (ua_raw - 1) as usize;
+        let id = to_usize(ua_raw - 1, DecodeError::DanglingId)?;
         match ua_map.get(id) {
             Some(&mapped) => Some(mapped),
             None => return Err(DecodeError::DanglingId),
         }
     };
-    let url_raw = get_varint(buf)? as usize;
+    let url_raw = to_usize(get_varint(buf)?, DecodeError::DanglingId)?;
     let url = match url_map.get(url_raw) {
         Some(&mapped) => mapped,
         None => return Err(DecodeError::DanglingId),
@@ -275,9 +308,10 @@ fn get_record(
     } else {
         (0, RecordFlags::NONE)
     };
-    let status = get_varint(buf)? as u16;
+    let status = u16::try_from(get_varint(buf)?).map_err(|_| DecodeError::StatusOverflow)?;
     let response_bytes = get_varint(buf)?;
     Ok(LogRecord {
+        // jcdn-lint: allow(D4) -- clamped non-negative, so i64 → u64 is value-preserving
         time: SimTime::from_micros(t.max(0) as u64),
         client,
         ua,
@@ -300,19 +334,19 @@ fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, 
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
 
-    put_varint(&mut buf, interner.url_table().len() as u64);
+    put_varint(&mut buf, len_u64(interner.url_table().len()));
     for url in interner.url_table() {
         put_string(&mut buf, url);
     }
-    put_varint(&mut buf, interner.ua_table().len() as u64);
+    put_varint(&mut buf, len_u64(interner.ua_table().len()));
     for ua in interner.ua_table() {
         put_string(&mut buf, ua);
     }
 
-    put_varint(&mut buf, shards.len() as u64);
+    put_varint(&mut buf, len_u64(shards.len()));
     let mut index = 0usize;
     let mut last_time: Option<SimTime> = None;
-    for shard in shards {
+    for (shard_idx, shard) in shards.iter().enumerate() {
         let mut payload = BytesMut::with_capacity(shard.len() * 16 + 16);
         let mut prev_time: i64 = 0;
         for r in *shard {
@@ -330,8 +364,12 @@ fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, 
             index += 1;
         }
         let payload = payload.freeze();
-        buf.put_u32_le(payload.len() as u32);
-        put_varint(&mut buf, shard.len() as u64);
+        let payload_len = u32::try_from(payload.len()).map_err(|_| EncodeError::FrameTooLarge {
+            shard: shard_idx,
+            bytes: payload.len(),
+        })?;
+        buf.put_u32_le(payload_len);
+        put_varint(&mut buf, len_u64(shard.len()));
         buf.put_u32_le(crc32(&payload));
         buf.put_slice(&payload);
     }
@@ -379,7 +417,7 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
     // Interning deduplicates, so a (corrupted or adversarial) payload with
     // repeated table strings would otherwise leave record ids pointing past
     // the rebuilt table; map payload indices to interned ids explicitly.
-    let url_count = get_varint(&mut buf)? as usize;
+    let url_count = to_usize(get_varint(&mut buf)?, DecodeError::TableOverflow)?;
     let mut url_map = Vec::with_capacity(url_count.min(1 << 20));
     for _ in 0..url_count {
         let s = get_string(&mut buf)?;
@@ -389,7 +427,7 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
                 .map_err(|_| DecodeError::TableOverflow)?,
         );
     }
-    let ua_count = get_varint(&mut buf)? as usize;
+    let ua_count = to_usize(get_varint(&mut buf)?, DecodeError::TableOverflow)?;
     let mut ua_map = Vec::with_capacity(ua_count.min(1 << 20));
     for _ in 0..ua_count {
         let s = get_string(&mut buf)?;
@@ -402,7 +440,7 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
 
     if version < 3 {
         // Pre-framing formats: one undelimited record stream.
-        let record_count = get_varint(&mut buf)? as usize;
+        let record_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
         let mut records = Vec::with_capacity(record_count.min(1 << 24));
         let mut prev_time: i64 = 0;
         for _ in 0..record_count {
@@ -417,14 +455,15 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
         return Ok(ShardedTrace::from_parts(interner, vec![records]));
     }
 
-    let shard_count = get_varint(&mut buf)? as usize;
+    let shard_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
     let mut shards = Vec::with_capacity(shard_count.min(1 << 16));
     for shard in 0..shard_count {
         if buf.remaining() < 4 {
             return Err(DecodeError::Truncated);
         }
+        // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
         let payload_len = buf.get_u32_le() as usize;
-        let record_count = get_varint(&mut buf)? as usize;
+        let record_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
         if buf.remaining() < 4 {
             return Err(DecodeError::Truncated);
         }

@@ -82,23 +82,25 @@ impl Interner {
     /// id-space exhaustion; use [`try_intern_url`][Self::try_intern_url] on
     /// untrusted input.
     pub fn intern_url(&mut self, url: &str) -> UrlId {
+        // jcdn-lint: allow(D3) -- documented panicking twin of try_intern_url for trusted input
         self.try_intern_url(url).expect("URL id space exhausted")
     }
 
     /// Interns a user agent; panicking twin of
     /// [`try_intern_ua`][Self::try_intern_ua].
     pub fn intern_ua(&mut self, ua: &str) -> UaId {
+        // jcdn-lint: allow(D3) -- documented panicking twin of try_intern_ua for trusted input
         self.try_intern_ua(ua).expect("UA id space exhausted")
     }
 
     /// Resolves a URL id.
     pub fn url(&self, id: UrlId) -> &str {
-        &self.urls[id.0 as usize]
+        &self.urls[id.index()]
     }
 
     /// Resolves a UA id.
     pub fn ua(&self, id: UaId) -> &str {
-        &self.uas[id.0 as usize]
+        &self.uas[id.index()]
     }
 
     /// Looks up the id of an already-interned URL.

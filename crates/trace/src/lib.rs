@@ -28,12 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Trace serialization: the framed binary format (v3) and JSONL interop.
 pub mod codec;
+/// Object flows and client–object flows with the paper's §5.1 filters.
 pub mod flows;
 mod interner;
 mod record;
 mod sharded;
 mod stream;
+/// Per-dataset summary statistics (Table 1 of the paper).
 pub mod summary;
 mod time;
 mod trace;

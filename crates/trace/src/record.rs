@@ -16,9 +16,25 @@ pub struct ClientId(pub u64);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UaId(pub u32);
 
+impl UaId {
+    /// The id as a table index.
+    pub(crate) fn index(self) -> usize {
+        // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
+        self.0 as usize
+    }
+}
+
 /// Interned URL index within a [`crate::Trace`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UrlId(pub u32);
+
+impl UrlId {
+    /// The id as a table index.
+    pub(crate) fn index(self) -> usize {
+        // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
+        self.0 as usize
+    }
+}
 
 /// HTTP request method.
 ///

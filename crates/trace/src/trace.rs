@@ -84,13 +84,13 @@ impl Trace {
     /// trace's `intern_*` methods.
     pub fn push(&mut self, record: LogRecord) {
         debug_assert!(
-            (record.url.0 as usize) < self.interner.url_count(),
+            record.url.index() < self.interner.url_count(),
             "foreign UrlId"
         );
         debug_assert!(
             record
                 .ua
-                .is_none_or(|ua| (ua.0 as usize) < self.interner.ua_count()),
+                .is_none_or(|ua| ua.index() < self.interner.ua_count()),
             "foreign UaId"
         );
         self.records.push(record);
@@ -213,8 +213,8 @@ impl Trace {
         self.records.reserve(other.len());
         for r in other.records() {
             let mut record = *r;
-            record.url = url_map[r.url.0 as usize];
-            record.ua = r.ua.map(|ua| ua_map[ua.0 as usize]);
+            record.url = url_map[r.url.index()];
+            record.ua = r.ua.map(|ua| ua_map[ua.index()]);
             self.records.push(record);
         }
     }

@@ -232,8 +232,7 @@ fn build_domains(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<DomainInfo> {
         .collect();
     (0..config.domains)
         .map(|i| {
-            let industry = IndustryCategory::ALL
-                [weighted_index(rng, &weights).expect("non-zero industry weights")];
+            let industry = IndustryCategory::ALL[weighted_index(rng, &weights).unwrap_or(0)];
             let profile = industry.cache_profile();
             let roll: f64 = rng.gen();
             let cache_policy = if roll < profile.never {
@@ -529,7 +528,7 @@ fn build_clients(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<ClientInfo> {
 
     (0..config.clients)
         .map(|i| {
-            let device = devices[weighted_index(rng, &device_weights).expect("weights")];
+            let device = devices[weighted_index(rng, &device_weights).unwrap_or(0)];
             let browser = match device {
                 DeviceType::Mobile => rng.gen_bool(mobile_browser_fraction),
                 DeviceType::Desktop => true,
@@ -589,7 +588,10 @@ fn plant_periodic_flows(
         } else {
             polls.pop().or_else(|| telemetry.pop())
         };
-        candidates.push(next.expect("one list is non-empty"));
+        match next {
+            Some(object) => candidates.push(object),
+            None => break,
+        }
     }
 
     let duration = config.duration;
@@ -602,7 +604,7 @@ fn plant_periodic_flows(
         let period_secs = match truth.periodic_objects.get(&object) {
             Some(p) => p.as_secs(),
             None => {
-                let idx = weighted_index(rng, &period_weights).expect("weights");
+                let idx = weighted_index(rng, &period_weights).unwrap_or(0);
                 PERIOD_SPIKES[idx].0
             }
         };
@@ -778,7 +780,7 @@ fn plan_client_traffic(
         // Find a content domain that has templates (popularity-weighted).
         let mut chosen: Option<(usize, usize)> = None;
         for _ in 0..32 {
-            let d = weighted_index(rng, &domain_weights).expect("weights");
+            let d = weighted_index(rng, &domain_weights).unwrap_or(0);
             if !templates[d].is_empty() {
                 chosen = Some((d, rng.gen_range(0..templates[d].len())));
                 break;
@@ -854,7 +856,7 @@ fn plan_client_traffic(
             // client's whole traffic mix.
             let mut pool = Vec::new();
             for _ in 0..2 {
-                let d = weighted_index(rng, &domain_weights).expect("weights");
+                let d = weighted_index(rng, &domain_weights).unwrap_or(0);
                 pool.extend_from_slice(&universe.api_pools[d]);
             }
             pool

@@ -5,6 +5,7 @@
 //! `examples/` and cross-crate integration tests in `tests/`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use jcdn_cdnsim as cdnsim;
 pub use jcdn_core as core;

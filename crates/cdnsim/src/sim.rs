@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use jcdn_obs::metrics::{key, MetricsSnapshot};
 use jcdn_stats::Summary;
 use jcdn_trace::{
     CacheStatus, ClientId, LogRecord, MimeType, RecordFlags, SimDuration, SimTime, Trace, UaId,
@@ -255,6 +256,104 @@ pub struct SimOutput {
     pub trace: Trace,
     /// Aggregate counters and latency summaries.
     pub stats: SimStats,
+    /// Per-edge observability counters (`sim.hits{edge=0}`, …), keyed for
+    /// the run manifest. Deterministic: every stream behind them is
+    /// per-edge seeded, so the snapshot is identical for any shard or
+    /// thread count (`merge` across per-edge runs equals the combined
+    /// run's snapshot).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Per-edge counter deltas captured around one request completion, so the
+/// counters mirror `SimStats` exactly without re-instrumenting every
+/// branch of `complete_request`.
+#[derive(Clone, Copy, Default)]
+struct StatsMark {
+    hits: u64,
+    misses: u64,
+    not_cacheable: u64,
+    stale_serves: u64,
+    neg_cache_serves: u64,
+    coalesced_waits: u64,
+    retries_issued: u64,
+    origin_errors: u64,
+    end_user_failures: u64,
+}
+
+impl StatsMark {
+    fn capture(stats: &SimStats) -> StatsMark {
+        StatsMark {
+            hits: stats.hits,
+            misses: stats.misses,
+            not_cacheable: stats.not_cacheable,
+            stale_serves: stats.stale_serves,
+            neg_cache_serves: stats.neg_cache_serves,
+            coalesced_waits: stats.coalesced_waits,
+            retries_issued: stats.retries_issued,
+            origin_errors: stats.origin_errors,
+            end_user_failures: stats.end_user_failures,
+        }
+    }
+
+    /// Adds `stats - self` into `edge`'s counter tallies.
+    fn attribute(&self, stats: &SimStats, edge: &mut EdgeCounters) {
+        edge.requests += 1;
+        edge.hits += stats.hits - self.hits;
+        edge.misses += stats.misses - self.misses;
+        edge.not_cacheable += stats.not_cacheable - self.not_cacheable;
+        edge.stale_serves += stats.stale_serves - self.stale_serves;
+        edge.neg_cache_serves += stats.neg_cache_serves - self.neg_cache_serves;
+        edge.coalesced_waits += stats.coalesced_waits - self.coalesced_waits;
+        edge.retries_issued += stats.retries_issued - self.retries_issued;
+        edge.origin_errors += stats.origin_errors - self.origin_errors;
+        edge.end_user_failures += stats.end_user_failures - self.end_user_failures;
+    }
+}
+
+/// One edge's observability tallies for the run manifest.
+#[derive(Clone, Copy, Default)]
+struct EdgeCounters {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    not_cacheable: u64,
+    stale_serves: u64,
+    neg_cache_serves: u64,
+    coalesced_waits: u64,
+    retries_issued: u64,
+    origin_errors: u64,
+    end_user_failures: u64,
+}
+
+impl EdgeCounters {
+    /// Converts the tallies into labeled snapshot counters. Zero-valued
+    /// counters create no keys, so per-edge subset runs merge to exactly
+    /// the combined run's snapshot.
+    fn record_into(&self, edge: usize, snapshot: &mut MetricsSnapshot) {
+        let e = edge as u64;
+        snapshot.inc(&key("sim.requests", &[("edge", e)]), self.requests);
+        snapshot.inc(&key("sim.hits", &[("edge", e)]), self.hits);
+        snapshot.inc(&key("sim.misses", &[("edge", e)]), self.misses);
+        snapshot.inc(
+            &key("sim.not_cacheable", &[("edge", e)]),
+            self.not_cacheable,
+        );
+        snapshot.inc(&key("sim.stale_serves", &[("edge", e)]), self.stale_serves);
+        snapshot.inc(
+            &key("sim.neg_cache_serves", &[("edge", e)]),
+            self.neg_cache_serves,
+        );
+        snapshot.inc(&key("sim.coalesced", &[("edge", e)]), self.coalesced_waits);
+        snapshot.inc(&key("sim.retries", &[("edge", e)]), self.retries_issued);
+        snapshot.inc(
+            &key("sim.origin_errors", &[("edge", e)]),
+            self.origin_errors,
+        );
+        snapshot.inc(
+            &key("sim.end_user_failures", &[("edge", e)]),
+            self.end_user_failures,
+        );
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -332,6 +431,11 @@ fn run_inner(
     only_edge: Option<usize>,
 ) -> SimOutput {
     assert!(config.edges > 0, "need at least one edge");
+    let _span = match only_edge {
+        Some(e) => jcdn_obs::span!("simulate.edge", edge = e as u64),
+        None => jcdn_obs::span!("simulate.run"),
+    };
+    let mut edge_counters: Vec<EdgeCounters> = vec![EdgeCounters::default(); config.edges];
     let mut rngs: Vec<StdRng> = (0..config.edges)
         .map(|e| StdRng::seed_from_u64(edge_seed(config.seed, e)))
         .collect();
@@ -496,6 +600,7 @@ fn run_inner(
                         else {
                             continue;
                         };
+                        let mark = StatsMark::capture(&stats);
                         complete_request(
                             widx,
                             attempt,
@@ -515,6 +620,7 @@ fn run_inner(
                             &mut heap,
                             &mut seq,
                         );
+                        mark.attribute(&stats, &mut edge_counters[edge]);
                         dispatch(
                             &mut edges[edge],
                             edge,
@@ -540,7 +646,15 @@ fn run_inner(
     // equal-time records never depends on edge interleaving, so per-edge
     // subset runs concatenate to exactly this log.
     trace.sort_canonical();
-    SimOutput { trace, stats }
+    let mut metrics = MetricsSnapshot::default();
+    for (e, counters) in edge_counters.iter().enumerate() {
+        counters.record_into(e, &mut metrics);
+    }
+    SimOutput {
+        trace,
+        stats,
+        metrics,
+    }
 }
 
 /// Runs with the no-op policy.
@@ -565,7 +679,7 @@ pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> S
     {
         return run_default(workload, config);
     }
-    let outputs = jcdn_exec::scatter_gather(config.edges, threads, |e| {
+    let outputs = jcdn_exec::scatter_gather_labeled("sim.edges", config.edges, threads, |e| {
         run_inner(workload, config, &mut NoopPolicy, Some(e))
     });
 
@@ -574,16 +688,22 @@ pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> S
         return run_default(workload, config);
     };
     let mut stats = first.stats;
+    let mut metrics = first.metrics;
     // Every per-edge run pre-interns the full object and client tables, so
     // the interners are identical and records concatenate directly.
     let (interner, mut records) = first.trace.into_parts();
     for out in outputs {
         stats.merge(&out.stats);
+        metrics.merge(&out.metrics);
         records.extend(out.trace.into_parts().1);
     }
     let mut trace = Trace::from_parts(interner, records);
     trace.sort_canonical();
-    SimOutput { trace, stats }
+    SimOutput {
+        trace,
+        stats,
+        metrics,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1021,7 +1141,41 @@ mod tests {
                 sequential.stats.latency_normal.count(),
                 sharded.stats.latency_normal.count()
             );
+            // Per-edge observability counters are part of the determinism
+            // contract: the merged per-edge snapshots must be byte-identical
+            // to the combined run's snapshot.
+            assert_eq!(
+                sequential.metrics.counters_json(),
+                sharded.metrics.counters_json(),
+                "{threads} threads"
+            );
         }
+    }
+
+    #[test]
+    fn metrics_counters_mirror_sim_stats() {
+        let w = build(&WorkloadConfig::tiny(29));
+        let config = SimConfig {
+            edges: 3,
+            error_fraction: 0.02,
+            ..SimConfig::default()
+        };
+        let out = run_default(&w, &config);
+        let total = |name: &str| out.metrics.counter_prefix_sum(name);
+        assert_eq!(total("sim.requests{"), out.stats.requests);
+        assert_eq!(total("sim.hits{"), out.stats.hits);
+        assert_eq!(total("sim.misses{"), out.stats.misses);
+        assert_eq!(total("sim.stale_serves{"), out.stats.stale_serves);
+        assert_eq!(total("sim.coalesced{"), out.stats.coalesced_waits);
+        assert_eq!(total("sim.retries{"), out.stats.retries_issued);
+        assert_eq!(total("sim.origin_errors{"), out.stats.origin_errors);
+        // More than one edge actually served traffic.
+        let edges_hit = out
+            .metrics
+            .counters()
+            .filter(|(k, _)| k.starts_with("sim.requests{"))
+            .count();
+        assert!(edges_hit > 1, "expected traffic on multiple edges");
     }
 
     #[test]

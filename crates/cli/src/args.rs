@@ -48,6 +48,12 @@ commands:
                   <trace> <trace> [...] --out PATH
   trend         print the Figure 1 monthly series as CSV
                   [--months N] [--seed N]
+
+observability (every command):
+  --obs off|summary|full     stderr run summary (default off)
+  --obs-out PATH             write the JSON run manifest; its \"counters\"
+                             section is deterministic (byte-identical for
+                             any shard/thread count), \"perf\" is wall-clock
 ";
 
 /// Parsed arguments: flags and positionals.
@@ -95,6 +101,11 @@ impl Args {
     /// A string flag with a default.
     pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
         self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// An optional string flag.
+    pub fn maybe(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
     }
 
     /// A required string flag.

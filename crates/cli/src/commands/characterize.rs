@@ -10,9 +10,13 @@ use jcdn_ua::DeviceType;
 use jcdn_workload::IndustryCategory;
 
 use crate::args::Args;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["shards", "threads"])?;
+    let mut allowed = vec!["shards", "threads"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("characterize", &args)?;
     let path = args.positional("trace path")?;
     let threads: usize = args.number("threads", 1usize)?;
     if threads == 0 {
@@ -21,12 +25,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     // The file's own shard frames are the default partitioning; --shards
     // re-partitions (e.g. a v1/v2 single-frame file analyzed on 8 threads).
-    let mut sharded = jcdn_trace::codec::read_file_sharded(Path::new(path))
-        .map_err(|e| format!("{path}: {e}"))?;
+    // The read is tolerant: a damaged file analyzes what survived, with
+    // the loss counted and surfaced instead of silently aborting the run.
+    let (mut sharded, decode_stats) =
+        jcdn_trace::codec::read_file_sharded_tolerant(Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
     let shards: usize = args.number("shards", 0)?; // 0 = keep the file's framing
     if shards > 0 && shards != sharded.shard_count() {
         sharded = ShardedTrace::from_trace(sharded.into_trace(), shards);
     }
+    obs.manifest.param("trace", path);
+    obs.manifest.param("shards", sharded.shard_count());
+    obs.manifest.param("threads", threads);
+    obs.manifest.codec_version = jcdn_trace::codec::VERSION;
+    obs.manifest
+        .metrics
+        .inc("codec.records.decoded", decode_stats.records_decoded);
+    obs.manifest
+        .metrics
+        .inc("codec.records.dropped", decode_stats.records_dropped);
+    obs.manifest
+        .metrics
+        .inc("codec.frames.dropped", decode_stats.frames_dropped);
     let report = CharacterizationReport::compute_sharded(&sharded, &TokenCategoryProvider, threads);
 
     let sources = &report.sources;
@@ -86,5 +106,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
 
     println!("\n{}", availability_section(&report.availability));
-    Ok(())
+    if !decode_stats.is_clean() {
+        println!(
+            "\ndecode: dropped {} record(s) and {} shard frame(s) from a \
+             damaged input ({} decoded)",
+            decode_stats.records_dropped, decode_stats.frames_dropped, decode_stats.records_decoded
+        );
+    }
+    obs.finish()
 }

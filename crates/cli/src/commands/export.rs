@@ -4,12 +4,21 @@ use std::io::Write as _;
 
 use crate::args::Args;
 use crate::commands::load_trace;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["jsonl"])?;
+    let mut allowed = vec!["jsonl"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("export", &args)?;
     let input = args.positional("trace path")?;
     let output = args.require("jsonl")?;
     let trace = load_trace(input)?;
+    obs.manifest.param("trace", input);
+    obs.manifest.param("jsonl", output);
+    obs.manifest
+        .metrics
+        .inc("export.records", trace.len() as u64);
 
     let file = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
     let mut writer = std::io::BufWriter::new(file);
@@ -19,5 +28,5 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     writer.flush().map_err(|e| format!("{output}: {e}"))?;
     eprintln!("wrote {} JSONL records to {output}", trace.len());
-    Ok(())
+    obs.finish()
 }

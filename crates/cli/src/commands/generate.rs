@@ -9,13 +9,16 @@ use jcdn_workload::{build_parallel, WorkloadConfig};
 
 use crate::args::Args;
 use crate::fault_args;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut allowed = vec![
         "preset", "seed", "scale", "out", "edges", "shards", "threads",
     ];
     allowed.extend_from_slice(fault_args::FAULT_FLAGS);
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("generate", &args)?;
     let seed: u64 = args.number("seed", 42)?;
     let scale: f64 = args.number("scale", 1.0)?;
     if !(scale > 0.0 && scale.is_finite()) {
@@ -55,7 +58,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ..SimConfig::default()
     };
 
+    let edges = sim.edges;
     let data = simulate_workload_parallel(workload, &sim, threads);
+    // Reproduction parameters + the simulator's deterministic counters.
+    obs.manifest.param("preset", preset);
+    obs.manifest.param("seed", seed);
+    obs.manifest.param("scale", scale);
+    obs.manifest.param("edges", edges);
+    obs.manifest.param("shards", shards);
+    obs.manifest.param("threads", threads);
+    obs.manifest.param("out", out);
+    obs.manifest.codec_version = jcdn_trace::codec::VERSION;
+    if !sim.fault.is_empty() {
+        obs.manifest.fault_digest = Some(format!(
+            "{:016x}",
+            jcdn_obs::manifest::fnv1a64(format!("{:?}", sim.fault).as_bytes())
+        ));
+    }
+    obs.manifest.metrics.merge(&data.metrics);
     let (records, urls, uas) = (
         data.trace.len(),
         data.trace.url_count(),
@@ -86,5 +106,5 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         );
     }
     println!("{summary_row}");
-    Ok(())
+    obs.finish()
 }

@@ -8,12 +8,20 @@ use jcdn_trace::MimeType;
 
 use crate::args::Args;
 use crate::commands::load_trace;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["top"])?;
+    let mut allowed = vec!["top"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("inspect", &args)?;
     let path = args.positional("trace path")?;
     let top: usize = args.number("top", 10)?;
     let trace = load_trace(path)?;
+    obs.manifest.param("trace", path);
+    obs.manifest
+        .metrics
+        .inc("inspect.records", trace.len() as u64);
 
     let summary = DatasetSummary::compute(path, &trace);
     println!(
@@ -50,5 +58,5 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         table.row(&[host.to_string(), count.to_string()]);
     }
     println!("top {top} domains:\n{}", table.render());
-    Ok(())
+    obs.finish()
 }

@@ -3,18 +3,27 @@
 use std::path::Path;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::load_trace_tolerant;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["out"])?;
+    let mut allowed = vec!["out"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("merge", &args)?;
     let out = args.require("out")?;
     let inputs = args.positionals();
     if inputs.len() < 2 {
         return Err("merge needs at least two input traces".into());
     }
-    let mut merged = load_trace(&inputs[0])?;
+    // Inputs load tolerantly: one damaged file costs its corrupt records,
+    // not the whole merge — with the loss counted and reported below.
+    let mut decode_stats = jcdn_trace::codec::DecodeStats::default();
+    let (mut merged, first_stats) = load_trace_tolerant(&inputs[0])?;
+    decode_stats = accumulate(decode_stats, first_stats);
     for path in &inputs[1..] {
-        let next = load_trace(path)?;
+        let (next, stats) = load_trace_tolerant(path)?;
+        decode_stats = accumulate(decode_stats, stats);
         merged.merge(&next);
     }
     merged.sort_canonical();
@@ -25,5 +34,38 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         merged.len(),
         merged.url_count()
     );
-    Ok(())
+    if !decode_stats.is_clean() {
+        eprintln!(
+            "decode: dropped {} record(s) and {} shard frame(s) across the \
+             inputs ({} decoded)",
+            decode_stats.records_dropped, decode_stats.frames_dropped, decode_stats.records_decoded
+        );
+    }
+    obs.manifest.param("out", out);
+    obs.manifest.param("inputs", inputs.len());
+    obs.manifest.codec_version = jcdn_trace::codec::VERSION;
+    obs.manifest
+        .metrics
+        .inc("codec.records.decoded", decode_stats.records_decoded);
+    obs.manifest
+        .metrics
+        .inc("codec.records.dropped", decode_stats.records_dropped);
+    obs.manifest
+        .metrics
+        .inc("codec.frames.dropped", decode_stats.frames_dropped);
+    obs.manifest
+        .metrics
+        .inc("merge.records", merged.len() as u64);
+    obs.finish()
+}
+
+/// Adds one file's decode tallies into the running totals.
+fn accumulate(
+    mut total: jcdn_trace::codec::DecodeStats,
+    one: jcdn_trace::codec::DecodeStats,
+) -> jcdn_trace::codec::DecodeStats {
+    total.records_decoded += one.records_decoded;
+    total.records_dropped += one.records_dropped;
+    total.frames_dropped += one.frames_dropped;
+    total
 }

@@ -11,9 +11,19 @@ pub mod trend;
 
 use std::path::Path;
 
+use jcdn_trace::codec::DecodeStats;
 use jcdn_trace::Trace;
 
 /// Loads a binary trace file with a readable error.
 pub fn load_trace(path: &str) -> Result<Trace, String> {
     jcdn_trace::codec::read_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a binary trace file tolerantly: a damaged payload yields what
+/// could be salvaged plus the drop tallies (see
+/// [`jcdn_trace::codec::decode_sharded_tolerant`]).
+pub fn load_trace_tolerant(path: &str) -> Result<(Trace, DecodeStats), String> {
+    let (sharded, stats) = jcdn_trace::codec::read_file_sharded_tolerant(Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok((sharded.into_trace(), stats))
 }

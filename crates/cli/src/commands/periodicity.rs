@@ -6,13 +6,16 @@ use jcdn_signal::periodicity::PeriodicityConfig;
 
 use crate::args::Args;
 use crate::commands::load_trace;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(
-        argv,
-        &["permutations", "max-bins", "min-requests", "min-clients"],
-    )?;
-    let trace = load_trace(args.positional("trace path")?)?;
+    let mut allowed = vec!["permutations", "max-bins", "min-requests", "min-clients"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("periodicity", &args)?;
+    let path = args.positional("trace path")?;
+    let trace = load_trace(path)?;
+    obs.manifest.param("trace", path);
 
     let config = PeriodicityStudyConfig {
         detector: PeriodicityConfig {
@@ -66,5 +69,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             trace.url(flow.url)
         );
     }
-    Ok(())
+    obs.manifest
+        .metrics
+        .inc("periodicity.flows", report.periodic_flows.len() as u64);
+    obs.finish()
 }

@@ -5,10 +5,16 @@ use jcdn_core::report::TextTable;
 
 use crate::args::Args;
 use crate::commands::load_trace;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["history", "k", "train-percent"])?;
-    let trace = load_trace(args.positional("trace path")?)?;
+    let mut allowed = vec!["history", "k", "train-percent"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("predict", &args)?;
+    let path = args.positional("trace path")?;
+    let trace = load_trace(path)?;
+    obs.manifest.param("trace", path);
 
     let config = PredictionStudyConfig {
         history: args.number("history", 1usize)?,
@@ -38,5 +44,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "{} test transitions over {} held-out clients ({} trained)",
         report.test_transitions, report.test_clients, report.train_clients
     );
-    Ok(())
+    obs.manifest
+        .metrics
+        .inc("predict.test_transitions", report.test_transitions as u64);
+    obs.finish()
 }

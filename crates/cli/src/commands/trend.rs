@@ -3,9 +3,13 @@
 use jcdn_workload::trend::TrendModel;
 
 use crate::args::Args;
+use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["months", "seed"])?;
+    let mut allowed = vec!["months", "seed"];
+    allowed.extend_from_slice(obs_args::OBS_FLAGS);
+    let args = Args::parse(argv, &allowed)?;
+    let mut obs = obs_args::begin("trend", &args)?;
     let model = TrendModel {
         months: args.number("months", 42usize)?,
         seed: args.number("seed", 2016u64)?,
@@ -25,5 +29,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             point.json_mean_size
         );
     }
-    Ok(())
+    obs.manifest.param("months", model.months);
+    obs.manifest.param("seed", model.seed);
+    obs.manifest
+        .metrics
+        .inc("trend.months", model.months as u64);
+    obs.finish()
 }

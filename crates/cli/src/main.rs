@@ -22,6 +22,7 @@
 mod args;
 mod commands;
 mod fault_args;
+mod obs_args;
 
 use std::process::ExitCode;
 

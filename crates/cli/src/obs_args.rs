@@ -1,0 +1,61 @@
+//! The `--obs` / `--obs-out` flags shared by every subcommand.
+//!
+//! Each command opens an [`Obs`] with [`begin`] before doing any work and
+//! calls [`Obs::finish`] as its last step. In between, instrumented crates
+//! file spans and pool reports into the `jcdn-obs` globals, and the
+//! command merges its deterministic counters into `obs.manifest.metrics`.
+//! At `finish`, the manifest captures the perf side, prints the stderr
+//! summary (`--obs summary|full`), and writes the JSON artifact
+//! (`--obs-out <path>`).
+
+use std::path::PathBuf;
+
+use jcdn_obs::{ObsLevel, RunManifest};
+
+use crate::args::Args;
+
+/// The flag names added to every subcommand's allowlist.
+pub const OBS_FLAGS: &[&str] = &["obs", "obs-out"];
+
+/// One command's observability session.
+pub struct Obs {
+    /// How much to print on stderr at the end.
+    pub level: ObsLevel,
+    /// Where to write the JSON manifest, when requested.
+    pub out: Option<PathBuf>,
+    /// The manifest under construction.
+    pub manifest: RunManifest,
+}
+
+/// Parses the obs flags and starts the run manifest (which resets the
+/// span ring and pool sink so this command's perf data is its own).
+pub fn begin(command: &str, args: &Args) -> Result<Obs, String> {
+    let level: ObsLevel = args.get_or("obs", "off").parse()?;
+    let out = args.maybe("obs-out").map(PathBuf::from);
+    // Pool fan-outs log their one-line summaries live at summary/full.
+    jcdn_obs::pool::set_logging(level != ObsLevel::Off);
+    Ok(Obs {
+        level,
+        out,
+        manifest: RunManifest::start(command),
+    })
+}
+
+impl Obs {
+    /// Finalizes the manifest: captures perf data, prints the stderr
+    /// summary, and writes the JSON artifact.
+    pub fn finish(mut self) -> Result<(), String> {
+        self.manifest.finish();
+        jcdn_obs::pool::set_logging(false);
+        if self.level != ObsLevel::Off {
+            eprintln!("{}", self.manifest.summary_text(self.level));
+        }
+        if let Some(path) = &self.out {
+            self.manifest
+                .write(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("wrote run manifest to {}", path.display());
+        }
+        Ok(())
+    }
+}

@@ -1,6 +1,7 @@
 //! Dataset assembly: workload generation → CDN simulation → trace.
 
 use jcdn_cdnsim::{run_default, run_sharded, SimConfig, SimOutput, SimStats};
+use jcdn_obs::MetricsSnapshot;
 use jcdn_trace::summary::DatasetSummary;
 use jcdn_trace::Trace;
 use jcdn_workload::{build, Workload, WorkloadConfig};
@@ -15,6 +16,9 @@ pub struct Dataset {
     pub trace: Trace,
     /// Simulator counters.
     pub stats: SimStats,
+    /// Per-edge observability counters from the simulator, ready to merge
+    /// into a run manifest.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Dataset {
@@ -39,11 +43,16 @@ pub fn simulate_with(config: &WorkloadConfig, sim: &SimConfig) -> Dataset {
 /// refers to the workload itself — e.g. fault windows targeting a domain
 /// that must first be resolved to its index.
 pub fn simulate_workload(workload: Workload, sim: &SimConfig) -> Dataset {
-    let SimOutput { trace, stats } = run_default(&workload, sim);
+    let SimOutput {
+        trace,
+        stats,
+        metrics,
+    } = run_default(&workload, sim);
     Dataset {
         workload,
         trace,
         stats,
+        metrics,
     }
 }
 
@@ -52,11 +61,16 @@ pub fn simulate_workload(workload: Workload, sim: &SimConfig) -> Dataset {
 /// parallel path applies). Trace records are identical to the sequential
 /// run for any thread count.
 pub fn simulate_workload_parallel(workload: Workload, sim: &SimConfig, threads: usize) -> Dataset {
-    let SimOutput { trace, stats } = run_sharded(&workload, sim, threads);
+    let SimOutput {
+        trace,
+        stats,
+        metrics,
+    } = run_sharded(&workload, sim, threads);
     Dataset {
         workload,
         trace,
         stats,
+        metrics,
     }
 }
 

@@ -131,11 +131,19 @@ impl CharacterizationReport {
         threads: usize,
     ) -> Self {
         let classes = UaClassTable::build(sharded.interner());
-        let partials = jcdn_exec::scatter_gather(sharded.shard_count(), threads, |i| {
-            let mut partial = PartialReport::default();
-            partial.accumulate(&sharded.shard_stream(i), &classes, provider);
-            partial
-        });
+        let accumulate_span = jcdn_obs::span!("characterize.accumulate");
+        let partials = jcdn_exec::scatter_gather_labeled(
+            "characterize.shards",
+            sharded.shard_count(),
+            threads,
+            |i| {
+                let mut partial = PartialReport::default();
+                partial.accumulate(&sharded.shard_stream(i), &classes, provider);
+                partial
+            },
+        );
+        drop(accumulate_span);
+        let _merge_span = jcdn_obs::span!("characterize.merge");
         let mut total = PartialReport::default();
         for partial in &partials {
             total.merge(partial);

@@ -15,18 +15,75 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jcdn_obs::clock::Stopwatch;
+use jcdn_obs::metrics::Histogram;
+use jcdn_obs::pool::PoolReport;
+
 /// Runs `f(0..items)` on a pool of `threads` workers and returns the
 /// results indexed by item, exactly as `(0..items).map(f).collect()`
 /// would. Items are pulled from a shared queue, so uneven item costs
 /// balance across workers. A panicking worker propagates the panic.
+///
+/// Equivalent to [`scatter_gather_labeled`] with the label `"exec.pool"`;
+/// call sites in the pipeline pass a stage label so their pool reports
+/// are attributable.
 pub fn scatter_gather<T, F>(items: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    scatter_gather_labeled("exec.pool", items, threads, f)
+}
+
+/// Per-worker tallies, gathered after the scope joins.
+struct WorkerStats {
+    tasks: u64,
+    busy_us: u64,
+    latency: Histogram,
+}
+
+/// [`scatter_gather`] with an attribution label. Every fan-out files a
+/// [`PoolReport`] (per-worker task counts, gather-queue high-water mark,
+/// task-latency histogram) into the `jcdn-obs` pool sink, so a starved
+/// worker or a backed-up channel is visible in the run manifest instead
+/// of silent; with `jcdn_obs::pool::set_logging(true)` each fan-out also
+/// logs a one-line summary. The report is wall-clock perf data — the
+/// *results* stay deterministic for any thread count, exactly as before.
+pub fn scatter_gather_labeled<T, F>(
+    label: &'static str,
+    items: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let wall = Stopwatch::start();
     let threads = threads.min(items);
     if threads <= 1 {
-        return (0..items).map(f).collect();
+        let mut stats = WorkerStats {
+            tasks: 0,
+            busy_us: 0,
+            latency: Histogram::default(),
+        };
+        let results = (0..items)
+            .map(|i| {
+                let task = Stopwatch::start();
+                let value = f(i);
+                let us = task.elapsed_us();
+                stats.tasks += 1;
+                stats.busy_us += us;
+                stats.latency.observe(us);
+                value
+            })
+            .collect();
+        if items > 0 {
+            file_report(label, items, vec![stats], 0, wall.elapsed_us());
+        }
+        return results;
     }
 
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
@@ -37,37 +94,97 @@ where
     }
     drop(job_tx);
 
+    // Results waiting in the gather channel: workers increment after
+    // sending, the gatherer decrements after receiving and tracks the
+    // high-water mark — the "channel backing up" signal.
+    let backlog = AtomicU64::new(0);
     let f = &f;
-    let slots = crossbeam::thread::scope(|scope| {
+    let backlog = &backlog;
+    let (slots, worker_stats, high_water) = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let jobs = job_rx.clone();
             let results = result_tx.clone();
-            scope.spawn(move |_| {
+            handles.push(scope.spawn(move |_| {
+                let mut stats = WorkerStats {
+                    tasks: 0,
+                    busy_us: 0,
+                    latency: Histogram::default(),
+                };
                 while let Ok(i) = jobs.recv() {
-                    if results.send((i, f(i))).is_err() {
+                    let task = Stopwatch::start();
+                    let value = f(i);
+                    let us = task.elapsed_us();
+                    stats.tasks += 1;
+                    stats.busy_us += us;
+                    stats.latency.observe(us);
+                    // Increment BEFORE the send: the gatherer decrements
+                    // after each recv, so incrementing after would let the
+                    // decrement land first and wrap the counter below zero.
+                    backlog.fetch_add(1, Ordering::Relaxed);
+                    if results.send((i, value)).is_err() {
                         // Gatherer gone (a sibling panicked); stop early.
-                        return;
+                        backlog.fetch_sub(1, Ordering::Relaxed);
+                        break;
                     }
                 }
-            });
+                stats
+            }));
         }
         drop(result_tx);
         drop(job_rx);
 
+        let mut high_water = 0u64;
         let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
         while let Ok((i, value)) = result_rx.recv() {
+            // Sample depth before decrementing: this recv observed the
+            // queue at its fullest from the gatherer's point of view.
+            high_water = high_water.max(backlog.load(Ordering::Relaxed));
+            backlog.fetch_sub(1, Ordering::Relaxed);
             slots[i] = Some(value);
         }
-        slots
+        let worker_stats: Vec<WorkerStats> = handles
+            .into_iter()
+            // jcdn-lint: allow(D3) -- a panicked worker makes the enclosing scope Err below; this join only runs on clean workers
+            .map(|h| h.join().expect("worker joined"))
+            .collect();
+        (slots, worker_stats, high_water)
     })
     // jcdn-lint: allow(D3) -- scope Err means a worker panicked; re-panicking propagates it (documented contract)
     .expect("worker pool joined");
 
+    file_report(label, items, worker_stats, high_water, wall.elapsed_us());
     slots
         .into_iter()
         // jcdn-lint: allow(D3) -- the scope joined without panic, so every index was sent exactly once
         .map(|slot| slot.expect("every item produced a result"))
         .collect()
+}
+
+/// Assembles and files the [`PoolReport`] for one fan-out.
+fn file_report(
+    label: &str,
+    items: usize,
+    worker_stats: Vec<WorkerStats>,
+    queue_high_water: u64,
+    wall_us: u64,
+) {
+    let mut report = PoolReport {
+        label: label.to_string(),
+        items: items as u64,
+        workers: worker_stats.len() as u64,
+        worker_tasks: Vec::with_capacity(worker_stats.len()),
+        queue_high_water,
+        busy_us: 0,
+        wall_us,
+        task_latency_us: Histogram::default(),
+    };
+    for stats in worker_stats {
+        report.worker_tasks.push(stats.tasks);
+        report.busy_us += stats.busy_us;
+        report.task_latency_us.merge(&stats.latency);
+    }
+    jcdn_obs::pool::record(report);
 }
 
 /// Splits `len` items into at most `parts` contiguous index ranges of
@@ -146,6 +263,35 @@ mod tests {
         // Near-equal sizes: 10 into 3 → 4,3,3.
         let sizes: Vec<usize> = partition(10, 3).iter().map(|r| r.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn fan_out_files_a_pool_report() {
+        // The sink is process-global; filter to this test's unique label
+        // rather than assuming an empty sink.
+        let _ = scatter_gather_labeled("exec.test.report", 16, 4, |i| i);
+        let (reports, _) = jcdn_obs::pool::drain();
+        let report = reports
+            .iter()
+            .find(|r| r.label == "exec.test.report")
+            .expect("fan-out filed a report");
+        assert_eq!(report.items, 16);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.worker_tasks.iter().sum::<u64>(), 16);
+        assert_eq!(report.task_latency_us.count(), 16);
+    }
+
+    #[test]
+    fn sequential_path_files_a_report_too() {
+        let _ = scatter_gather_labeled("exec.test.seq", 5, 1, |i| i * 2);
+        let (reports, _) = jcdn_obs::pool::drain();
+        let report = reports
+            .iter()
+            .find(|r| r.label == "exec.test.seq")
+            .expect("sequential fan-out filed a report");
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.worker_tasks, vec![5]);
+        assert_eq!(report.queue_high_water, 0);
     }
 
     #[test]

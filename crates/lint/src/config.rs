@@ -67,6 +67,7 @@ impl Config {
                 "crates/cdnsim/src/**".to_string(),
                 "crates/exec/src/**".to_string(),
                 "crates/lint/src/**".to_string(),
+                "crates/obs/src/**".to_string(),
                 "src/**".to_string(),
             ],
         );
@@ -83,14 +84,15 @@ impl Config {
                 "crates/trace/src/**".to_string(),
             ],
         );
-        // D6: the three crates whose public API the paper-reproduction
-        // contract documents.
+        // D6: the crates whose public API the paper-reproduction contract
+        // documents (obs joins them: manifests are a documented artifact).
         scopes.insert(
             "D6".to_string(),
             vec![
                 "crates/core/src/**".to_string(),
                 "crates/trace/src/**".to_string(),
                 "crates/stats/src/**".to_string(),
+                "crates/obs/src/**".to_string(),
             ],
         );
 

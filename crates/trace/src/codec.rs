@@ -47,9 +47,12 @@ use crate::time::SimTime;
 use crate::trace::Trace;
 
 const MAGIC: &[u8; 4] = b"JCDN";
-const VERSION: u16 = 3;
+/// The binary format version the encoder writes (decoders accept
+/// [`MIN_VERSION`]..=[`VERSION`]).
+pub const VERSION: u16 = 3;
 /// Oldest version [`decode`] still accepts.
-const MIN_VERSION: u16 = 1;
+/// The oldest binary format version decoders still read.
+pub const MIN_VERSION: u16 = 1;
 
 /// Encoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -397,9 +400,57 @@ pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
     decode_sharded(buf).map(ShardedTrace::into_trace)
 }
 
+/// Tallies from a tolerant decode: how much of the payload survived.
+///
+/// `records_dropped` counts records the frame headers promised but that
+/// could not be decoded (corrupt bytes, dangling table references, frames
+/// failing their checksum). `frames_dropped` counts v3 shard frames
+/// abandoned wholesale (bad checksum, or truncation before the frame's
+/// payload). A clean decode has both at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Records successfully decoded.
+    pub records_decoded: u64,
+    /// Records promised by headers but lost to corruption.
+    pub records_dropped: u64,
+    /// Whole v3 frames abandoned (checksum failure or truncation).
+    pub frames_dropped: u64,
+}
+
+impl DecodeStats {
+    /// True when nothing was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.records_dropped == 0 && self.frames_dropped == 0
+    }
+}
+
 /// Decodes a binary trace, preserving its shard frames. Version 1 and 2
 /// payloads (which predate framing) decode into a single shard.
-pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
+pub fn decode_sharded(buf: Bytes) -> Result<ShardedTrace, DecodeError> {
+    decode_sharded_impl(buf, None)
+}
+
+/// Decodes a binary trace, salvaging what it can from a damaged payload
+/// instead of failing outright.
+///
+/// Header and string-table errors (bad magic, unsupported version,
+/// truncation before the record streams) are still hard errors — there is
+/// nothing to salvage without the tables. Past that point the decode is
+/// best-effort: a record that fails to decode drops the rest of its frame
+/// (record boundaries are not self-synchronizing), a frame failing its
+/// CRC is dropped whole, and truncation mid-stream keeps everything
+/// already decoded. The returned [`DecodeStats`] says exactly what was
+/// lost, so callers can surface the damage instead of hiding it.
+pub fn decode_sharded_tolerant(buf: Bytes) -> Result<(ShardedTrace, DecodeStats), DecodeError> {
+    let mut stats = DecodeStats::default();
+    let trace = decode_sharded_impl(buf, Some(&mut stats))?;
+    Ok((trace, stats))
+}
+
+fn decode_sharded_impl(
+    mut buf: Bytes,
+    mut tolerate: Option<&mut DecodeStats>,
+) -> Result<ShardedTrace, DecodeError> {
     if buf.remaining() < 6 {
         return Err(DecodeError::Truncated);
     }
@@ -443,14 +494,22 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
         let record_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
         let mut records = Vec::with_capacity(record_count.min(1 << 24));
         let mut prev_time: i64 = 0;
-        for _ in 0..record_count {
-            records.push(get_record(
-                &mut buf,
-                version,
-                &mut prev_time,
-                &url_map,
-                &ua_map,
-            )?);
+        for decoded in 0..record_count {
+            match get_record(&mut buf, version, &mut prev_time, &url_map, &ua_map) {
+                Ok(record) => records.push(record),
+                Err(e) => match tolerate.as_deref_mut() {
+                    // The stream is undelimited, so record boundaries past a
+                    // bad record are unknowable; keep the decoded prefix.
+                    Some(stats) => {
+                        stats.records_dropped += count_u64(record_count - decoded);
+                        break;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+        if let Some(stats) = tolerate.as_deref_mut() {
+            stats.records_decoded += count_u64(records.len());
         }
         return Ok(ShardedTrace::from_parts(interner, vec![records]));
     }
@@ -458,41 +517,83 @@ pub fn decode_sharded(mut buf: Bytes) -> Result<ShardedTrace, DecodeError> {
     let shard_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
     let mut shards = Vec::with_capacity(shard_count.min(1 << 16));
     for shard in 0..shard_count {
-        if buf.remaining() < 4 {
-            return Err(DecodeError::Truncated);
-        }
-        // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
-        let payload_len = buf.get_u32_le() as usize;
-        let record_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
-        if buf.remaining() < 4 {
-            return Err(DecodeError::Truncated);
-        }
-        let stored_crc = buf.get_u32_le();
-        if buf.remaining() < payload_len {
-            return Err(DecodeError::Truncated);
-        }
+        // Frame header: payload length, record count, CRC. Truncation here
+        // loses this frame and every later one (frame boundaries are gone).
+        let header = read_frame_header(&mut buf);
+        let (payload_len, record_count, stored_crc) = match header {
+            Ok(h) if buf.remaining() >= h.0 => h,
+            other => match tolerate.as_deref_mut() {
+                Some(stats) => {
+                    stats.frames_dropped += count_u64(shard_count - shard);
+                    break;
+                }
+                None => return Err(other.err().unwrap_or(DecodeError::Truncated)),
+            },
+        };
         let mut payload = buf.slice(0..payload_len);
         buf.advance(payload_len);
         if crc32(&payload) != stored_crc {
-            return Err(DecodeError::BadChecksum { shard });
+            match tolerate.as_deref_mut() {
+                // The frame is framed, so only *it* is lost; keep its slot
+                // (as an empty shard) so shard indices stay stable.
+                Some(stats) => {
+                    stats.frames_dropped += 1;
+                    stats.records_dropped += count_u64(record_count);
+                    shards.push(Vec::new());
+                    continue;
+                }
+                None => return Err(DecodeError::BadChecksum { shard }),
+            }
         }
         let mut records = Vec::with_capacity(record_count.min(1 << 24));
         let mut prev_time: i64 = 0;
-        for _ in 0..record_count {
-            records.push(get_record(
-                &mut payload,
-                version,
-                &mut prev_time,
-                &url_map,
-                &ua_map,
-            )?);
+        let mut bad_record = None;
+        for decoded in 0..record_count {
+            match get_record(&mut payload, version, &mut prev_time, &url_map, &ua_map) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    bad_record = Some((e, decoded));
+                    break;
+                }
+            }
         }
-        if payload.has_remaining() {
-            return Err(DecodeError::FrameMismatch);
+        match bad_record {
+            Some((e, decoded)) => match tolerate.as_deref_mut() {
+                Some(stats) => stats.records_dropped += count_u64(record_count - decoded),
+                None => return Err(e),
+            },
+            None => {
+                if payload.has_remaining() && tolerate.is_none() {
+                    return Err(DecodeError::FrameMismatch);
+                }
+            }
+        }
+        if let Some(stats) = tolerate.as_deref_mut() {
+            stats.records_decoded += count_u64(records.len());
         }
         shards.push(records);
     }
     Ok(ShardedTrace::from_parts(interner, shards))
+}
+
+/// Reads one v3 frame header: `(payload_len, record_count, stored_crc)`.
+fn read_frame_header(buf: &mut Bytes) -> Result<(usize, usize, u32), DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
+    let payload_len = buf.get_u32_le() as usize;
+    let record_count = to_usize(get_varint(buf)?, DecodeError::Truncated)?;
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((payload_len, record_count, buf.get_u32_le()))
+}
+
+/// Widens a count for the [`DecodeStats`] tallies.
+fn count_u64(n: usize) -> u64 {
+    // jcdn-lint: allow(D4) -- usize → u64 widens; it cannot truncate
+    n as u64
 }
 
 fn method_tag(m: Method) -> u8 {
@@ -582,6 +683,18 @@ pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
 pub fn read_file_sharded(path: &std::path::Path) -> std::io::Result<ShardedTrace> {
     let data = std::fs::read(path)?;
     decode_sharded(Bytes::from(data))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Reads a binary trace file tolerantly (see [`decode_sharded_tolerant`]):
+/// a damaged file yields what could be salvaged plus the drop tallies
+/// instead of an error, so batch pipelines can report corruption without
+/// aborting on it.
+pub fn read_file_sharded_tolerant(
+    path: &std::path::Path,
+) -> std::io::Result<(ShardedTrace, DecodeStats)> {
+    let data = std::fs::read(path)?;
+    decode_sharded_tolerant(Bytes::from(data))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -716,6 +829,116 @@ mod tests {
             decode(Bytes::from_static(b"JCDN\xff\x00")).unwrap_err(),
             DecodeError::BadVersion(255)
         );
+    }
+
+    /// Flips one byte inside frame 0's payload so its CRC fails while the
+    /// other frames stay intact.
+    fn corrupt_first_frame_payload(encoded: &Bytes) -> Bytes {
+        let mut buf = encoded.clone();
+        buf.advance(6); // magic + version
+        for _ in 0..get_varint(&mut buf).unwrap() {
+            get_string(&mut buf).unwrap(); // url table
+        }
+        for _ in 0..get_varint(&mut buf).unwrap() {
+            get_string(&mut buf).unwrap(); // ua table
+        }
+        get_varint(&mut buf).unwrap(); // shard count
+        buf.advance(4); // payload_len
+        get_varint(&mut buf).unwrap(); // record count
+        buf.advance(4); // crc
+        let payload_offset = encoded.len() - buf.remaining();
+        let mut bytes = encoded.to_vec();
+        bytes[payload_offset] ^= 0xFF;
+        Bytes::from(bytes)
+    }
+
+    #[test]
+    fn tolerant_decode_of_clean_payload_is_clean() {
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let encoded = encode_sharded(&sharded).unwrap();
+        let (decoded, stats) = decode_sharded_tolerant(encoded).unwrap();
+        assert!(stats.is_clean(), "{stats:?}");
+        assert_eq!(stats.records_decoded, 100);
+        assert_eq!(decoded.shard_count(), 4);
+        for i in 0..4 {
+            assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_salvages_frames_around_a_bad_checksum() {
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let encoded = encode_sharded(&sharded).unwrap();
+        let corrupted = corrupt_first_frame_payload(&encoded);
+
+        // Strict decode refuses the whole file.
+        assert_eq!(
+            decode_sharded(corrupted.clone()).unwrap_err(),
+            DecodeError::BadChecksum { shard: 0 }
+        );
+
+        // Tolerant decode loses exactly frame 0 and keeps the rest.
+        let lost = sharded.shard_records(0).len() as u64;
+        let (decoded, stats) = decode_sharded_tolerant(corrupted).unwrap();
+        assert_eq!(stats.frames_dropped, 1);
+        assert_eq!(stats.records_dropped, lost);
+        assert_eq!(stats.records_decoded, 100 - lost);
+        assert_eq!(decoded.shard_count(), 4, "dropped frame keeps its slot");
+        assert!(decoded.shard_records(0).is_empty());
+        for i in 1..4 {
+            assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_keeps_prefix_of_a_truncated_file() {
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let encoded = encode_sharded(&sharded).unwrap();
+        // Cut into the last frame's payload.
+        let truncated = encoded.slice(0..encoded.len() - 5);
+
+        assert_eq!(
+            decode_sharded(truncated.clone()).unwrap_err(),
+            DecodeError::Truncated
+        );
+
+        let (decoded, stats) = decode_sharded_tolerant(truncated).unwrap();
+        assert_eq!(stats.frames_dropped, 1, "only the cut frame is lost");
+        assert_eq!(decoded.shard_count(), 3);
+        for i in 0..3 {
+            assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_of_undelimited_stream_keeps_record_prefix() {
+        // A v1 payload promising two records but carrying one: the strict
+        // decoder errors, the tolerant one keeps the decoded prefix.
+        let mut buf = BytesMut::with_capacity(128);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(1);
+        put_varint(&mut buf, 1); // url table
+        put_string(&mut buf, "https://legacy.example/v1");
+        put_varint(&mut buf, 0); // ua table
+        put_varint(&mut buf, 2); // record count (one short)
+        put_varint(&mut buf, zigzag(1_000_000));
+        put_varint(&mut buf, 7); // client
+        put_varint(&mut buf, 0); // ua absent
+        put_varint(&mut buf, 0); // url id
+        buf.put_u8(0); // method = GET
+        buf.put_u8(0); // mime = JSON
+        buf.put_u8(0); // cache = hit
+        put_varint(&mut buf, 200); // status
+        put_varint(&mut buf, 512); // bytes
+        let bytes = buf.freeze();
+
+        assert_eq!(decode(bytes.clone()).unwrap_err(), DecodeError::Truncated);
+        let (decoded, stats) = decode_sharded_tolerant(bytes).unwrap();
+        assert_eq!(stats.records_decoded, 1);
+        assert_eq!(stats.records_dropped, 1);
+        let trace = decoded.into_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.records()[0].client, ClientId(7));
     }
 
     #[test]

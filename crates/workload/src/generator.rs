@@ -145,6 +145,9 @@ pub fn build(config: &WorkloadConfig) -> Workload {
 /// driven entirely by the private per-client RNGs) is parallel, gathered
 /// in client order, and finished with a total-order sort.
 pub fn build_parallel(config: &WorkloadConfig, threads: usize) -> Workload {
+    // Phase spans: planning (sequential, main RNG) vs generation (parallel,
+    // private RNGs). Wall-time only — neither affects the output.
+    let plan_span = jcdn_obs::span!("workload.plan");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let domains = build_domains(config, &mut rng);
@@ -204,9 +207,12 @@ pub fn build_parallel(config: &WorkloadConfig, threads: usize) -> Workload {
             )
         })
         .collect();
-    let per_client = jcdn_exec::scatter_gather(plans.len(), threads, |i| {
-        generate_planned(&plans[i], config.duration)
-    });
+    drop(plan_span);
+    let _generate_span = jcdn_obs::span!("workload.generate");
+    let per_client =
+        jcdn_exec::scatter_gather_labeled("workload.generate", plans.len(), threads, |i| {
+            generate_planned(&plans[i], config.duration)
+        });
     for client_events in per_client {
         events.extend(client_events);
     }

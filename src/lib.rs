@@ -11,6 +11,7 @@ pub use jcdn_cdnsim as cdnsim;
 pub use jcdn_core as core;
 pub use jcdn_json as json;
 pub use jcdn_ngram as ngram;
+pub use jcdn_obs as obs;
 pub use jcdn_prefetch as prefetch;
 pub use jcdn_signal as signal;
 pub use jcdn_stats as stats;

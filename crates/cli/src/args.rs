@@ -1,10 +1,11 @@
 //! Tiny flag parser shared by the subcommands.
 //!
 //! Deliberately minimal (the workspace adds no CLI dependency): flags are
-//! `--name value` pairs plus positional arguments, with typed accessors
-//! and an unknown-flag check.
+//! `--name value` pairs (plus valueless `--name` switches such as
+//! `--resume`) and positional arguments, with typed accessors and an
+//! unknown-flag check.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The top-level usage text.
 pub const USAGE: &str = "\
@@ -21,6 +22,10 @@ commands:
                   --shards N                 codec-v3 shard frames (default 1)
                   --threads N                worker pool width; output is
                                              identical for any value (default 1)
+                  --resume                   reuse shards a killed run already
+                                             committed (same params only); the
+                                             finished file is byte-identical to
+                                             an uninterrupted run's
                 fault injection (comma-separate multiple windows):
                   --outage DOMAIN:START:END          origin hard-down [s]
                   --degrade DOMAIN:START:END:FACTOR  slow origin (xFACTOR)
@@ -35,9 +40,11 @@ commands:
   inspect       summarize a trace file
                   <trace>                    positional path
   characterize  run the §4 analyses on a trace, incl. availability
-                  <trace> [--shards N] [--threads N]
+                  <trace> [--shards N] [--threads N] [--resume]
                   (per-shard partial statistics merge exactly, so every
-                   shard/thread combination prints the same report)
+                   shard/thread combination prints the same report;
+                   --resume falls back to the staged shards of an
+                   unfinished generate run when the final file is absent)
   periodicity   run the §5.1 periodicity study
                   <trace> [--permutations N] [--max-bins N]
   predict       run the §5.2 prediction study (Table 3)
@@ -54,22 +61,47 @@ observability (every command):
   --obs-out PATH             write the JSON run manifest; its \"counters\"
                              section is deterministic (byte-identical for
                              any shard/thread count), \"perf\" is wall-clock
+
+exit codes:
+  0  success, output is complete
+  1  error (bad input, I/O failure, internal panic)
+  2  usage error
+  3  completed with salvage: the command finished and printed a report,
+     but part of the input was lost (dropped frames/records, missing
+     staged shards, or quarantined worker tasks) — the output is the
+     exact analysis of what survived
 ";
 
-/// Parsed arguments: flags and positionals.
+/// Parsed arguments: flags, valueless switches, and positionals.
 pub struct Args {
     flags: HashMap<String, String>,
+    switches: HashSet<String>,
     positional: Vec<String>,
 }
 
 impl Args {
     /// Parses `argv`, accepting only the given flag names.
     pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Args, String> {
+        Args::parse_with_switches(argv, allowed, &[])
+    }
+
+    /// Parses `argv`, accepting `allowed` as `--name value` flags and
+    /// `switch_names` as valueless `--name` switches.
+    pub fn parse_with_switches(
+        argv: &[String],
+        allowed: &[&str],
+        switch_names: &[&str],
+    ) -> Result<Args, String> {
         let mut flags = HashMap::new();
+        let mut switches = HashSet::new();
         let mut positional = Vec::new();
         let mut iter = argv.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    switches.insert(name.to_owned());
+                    continue;
+                }
                 if !allowed.contains(&name) {
                     return Err(format!("unknown flag --{name}"));
                 }
@@ -81,7 +113,16 @@ impl Args {
                 positional.push(arg.clone());
             }
         }
-        Ok(Args { flags, positional })
+        Ok(Args {
+            flags,
+            switches,
+            positional,
+        })
+    }
+
+    /// Whether a valueless switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// All positional arguments.
@@ -167,6 +208,22 @@ mod tests {
     fn rejects_unknown_flags_and_missing_values() {
         assert!(Args::parse(&argv(&["--nope", "1"]), &["seed"]).is_err());
         assert!(Args::parse(&argv(&["--seed"]), &["seed"]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            &argv(&["t.jcdn", "--resume", "--seed", "7"]),
+            &["seed"],
+            &["resume"],
+        )
+        .unwrap();
+        assert!(a.switch("resume"));
+        assert!(!a.switch("force"));
+        assert_eq!(a.number::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.positional("trace").unwrap(), "t.jcdn");
+        // A switch name is not silently accepted as a value flag.
+        assert!(Args::parse(&argv(&["--resume"]), &["seed"]).is_err());
     }
 
     #[test]

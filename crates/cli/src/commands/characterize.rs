@@ -1,21 +1,31 @@
 //! `jcdn characterize` — the §4 analyses over a trace file.
+//!
+//! Robustness contract: the read is tolerant (a damaged file analyzes
+//! what survived), shard accumulation is panic-isolated (a shard whose
+//! task panics twice is quarantined, not fatal), and `--resume` falls
+//! back to the staged shards of an unfinished `generate` run when the
+//! final file does not exist. Whenever any of that loses input, the
+//! report is printed with an explicit footer and the command exits with
+//! code 3 (completed with salvage) instead of 0.
 
 use std::path::Path;
 
 use jcdn_core::characterize::TokenCategoryProvider;
-use jcdn_core::pipeline::CharacterizationReport;
+use jcdn_core::pipeline::{CharacterizationReport, ExecHealth};
 use jcdn_core::report::{availability_section, pct, TextTable};
+use jcdn_trace::codec::DecodeStats;
 use jcdn_trace::ShardedTrace;
 use jcdn_ua::DeviceType;
 use jcdn_workload::IndustryCategory;
 
 use crate::args::Args;
+use crate::commands::Outcome;
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["shards", "threads"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
-    let args = Args::parse(argv, &allowed)?;
+    let args = Args::parse_with_switches(argv, &allowed, &["resume"])?;
     let mut obs = obs_args::begin("characterize", &args)?;
     let path = args.positional("trace path")?;
     let threads: usize = args.number("threads", 1usize)?;
@@ -27,9 +37,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // re-partitions (e.g. a v1/v2 single-frame file analyzed on 8 threads).
     // The read is tolerant: a damaged file analyzes what survived, with
     // the loss counted and surfaced instead of silently aborting the run.
-    let (mut sharded, decode_stats) =
-        jcdn_trace::codec::read_file_sharded_tolerant(Path::new(path))
-            .map_err(|e| format!("{path}: {e}"))?;
+    let (mut sharded, decode_stats, shards_missing) = read_input(path, args.switch("resume"))?;
     let shards: usize = args.number("shards", 0)?; // 0 = keep the file's framing
     if shards > 0 && shards != sharded.shard_count() {
         sharded = ShardedTrace::from_trace(sharded.into_trace(), shards);
@@ -46,8 +54,21 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .inc("codec.records.dropped", decode_stats.records_dropped);
     obs.manifest
         .metrics
-        .inc("codec.frames.dropped", decode_stats.frames_dropped);
-    let report = CharacterizationReport::compute_sharded(&sharded, &TokenCategoryProvider, threads);
+        .inc("codec.frames.crc_failed", decode_stats.frames_crc_failed);
+    obs.manifest
+        .metrics
+        .inc("codec.frames.truncated", decode_stats.frames_truncated);
+    obs.manifest
+        .metrics
+        .inc("store.shards_missing", shards_missing);
+    let (report, health) =
+        CharacterizationReport::compute_sharded_isolated(&sharded, &TokenCategoryProvider, threads);
+    obs.manifest
+        .metrics
+        .inc("exec.task_panics", health.task_panics);
+    obs.manifest
+        .metrics
+        .inc("exec.shards_quarantined", health.quarantined.len() as u64);
 
     let sources = &report.sources;
     let mut table = TextTable::new(&["Device", "Requests", "UA strings"]);
@@ -106,12 +127,68 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
 
     println!("\n{}", availability_section(&report.availability));
-    if !decode_stats.is_clean() {
+    let salvage = print_salvage_footer(&decode_stats, shards_missing, &health);
+    obs.finish()?;
+    Ok(if salvage {
+        Outcome::Salvaged
+    } else {
+        Outcome::Clean
+    })
+}
+
+/// Loads the input: the final trace file, or — with `--resume`, when the
+/// final file is absent — whatever an unfinished `generate` run staged.
+/// Returns the sharded trace, the decode tallies, and the count of shard
+/// slots with no usable data.
+fn read_input(path: &str, resume: bool) -> Result<(ShardedTrace, DecodeStats, u64), String> {
+    let p = Path::new(path);
+    if resume && !p.exists() {
+        let (sharded, stats) = jcdn_trace::store::read_staged(p).map_err(|e| {
+            format!("{path}: {e} (no final file, and the staging area is unusable)")
+        })?;
+        eprintln!(
+            "resume: final file absent; analyzing {} of {} staged shard(s)",
+            stats.shard_count as u64 - stats.shards_missing,
+            stats.shard_count
+        );
+        return Ok((sharded, stats.decode, stats.shards_missing));
+    }
+    let (sharded, stats) =
+        jcdn_trace::codec::read_file_sharded_tolerant(p).map_err(|e| format!("{path}: {e}"))?;
+    Ok((sharded, stats, 0))
+}
+
+/// Prints the explicit partial-result footer when anything was lost on
+/// the way to the report; returns whether the run salvaged.
+fn print_salvage_footer(decode: &DecodeStats, shards_missing: u64, health: &ExecHealth) -> bool {
+    let dirty = !decode.is_clean() || shards_missing > 0 || !health.is_complete();
+    if !decode.is_clean() {
+        let offset = decode
+            .first_error_offset
+            .map(|o| format!("; first error at byte {o}"))
+            .unwrap_or_default();
         println!(
-            "\ndecode: dropped {} record(s) and {} shard frame(s) from a \
-             damaged input ({} decoded)",
-            decode_stats.records_dropped, decode_stats.frames_dropped, decode_stats.records_decoded
+            "\ndecode: dropped {} record(s) ({} CRC-failed frame(s), {} truncated \
+             frame(s){offset}; {} decoded)",
+            decode.records_dropped,
+            decode.frames_crc_failed,
+            decode.frames_truncated,
+            decode.records_decoded
         );
     }
-    obs.finish()
+    if shards_missing > 0 {
+        println!("store: {shards_missing} staged shard(s) missing or damaged, analyzed without them");
+    }
+    if !health.is_complete() {
+        let list: Vec<String> = health.quarantined.iter().map(usize::to_string).collect();
+        println!(
+            "exec: quarantined shard(s) [{}] after {} caught panic(s); report excludes them",
+            list.join(", "),
+            health.task_panics
+        );
+    }
+    if dirty {
+        println!("partial result: the numbers above cover exactly the surviving input");
+    }
+    dirty
 }

@@ -3,10 +3,10 @@
 use std::io::Write as _;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::{load_trace, Outcome};
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["jsonl"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -28,5 +28,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     writer.flush().map_err(|e| format!("{output}: {e}"))?;
     eprintln!("wrote {} JSONL records to {output}", trace.len());
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
 }

@@ -1,23 +1,33 @@
 //! `jcdn generate` — build a workload, simulate the CDN, write the trace.
+//!
+//! The trace reaches disk through the crash-safe store
+//! ([`jcdn_trace::store`]): each shard frame is committed durably to a
+//! staging area with a shard index before the final file is assembled by
+//! concatenation. `--resume` reuses whatever a killed run already
+//! committed (verified against the index, and only when the generation
+//! parameters match) and recomputes the rest — producing a final file
+//! byte-identical to an uninterrupted run's.
 
 use std::path::Path;
 
 use jcdn_cdnsim::SimConfig;
 use jcdn_core::dataset::simulate_workload_parallel;
+use jcdn_trace::store::StoreWriter;
 use jcdn_trace::ShardedTrace;
 use jcdn_workload::{build_parallel, WorkloadConfig};
 
 use crate::args::Args;
+use crate::commands::Outcome;
 use crate::fault_args;
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec![
         "preset", "seed", "scale", "out", "edges", "shards", "threads",
     ];
     allowed.extend_from_slice(fault_args::FAULT_FLAGS);
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
-    let args = Args::parse(argv, &allowed)?;
+    let args = Args::parse_with_switches(argv, &allowed, &["resume"])?;
     let mut obs = obs_args::begin("generate", &args)?;
     let seed: u64 = args.number("seed", 42)?;
     let scale: f64 = args.number("scale", 1.0)?;
@@ -34,6 +44,23 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let edges: usize = args.number("edges", 3usize)?;
+    let resume = args.switch("resume");
+
+    // The digest ties staged shards to the parameters that produced them,
+    // so a resume never splices shards from a different run. Everything
+    // that changes the trace bytes is in; --threads and --out are not.
+    let digest = params_digest(&args, preset, seed, scale, edges, shards);
+    let writer = StoreWriter::open(Path::new(out), shards, digest, resume, jcdn_chaos::handle())
+        .map_err(|e| format!("{out}: {e}"))?;
+    if writer.already_complete() {
+        eprintln!("{out} is already complete for these parameters; nothing to do (--resume)");
+        obs.manifest.param("out", out);
+        obs.manifest.metrics.inc("store.resume_noop", 1);
+        obs.finish()?;
+        return Ok(Outcome::Clean);
+    }
+    let mut writer = writer;
 
     let config = match preset {
         "short" => WorkloadConfig::short_term(seed),
@@ -52,13 +79,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // output — generation and simulation are shard-invariant by design.
     let workload = build_parallel(&config, threads);
     let sim = SimConfig {
-        edges: args.number("edges", 3usize)?,
+        edges,
         fault: fault_args::fault_plan(&args, &workload)?,
         resilience: fault_args::resilience(&args)?,
         ..SimConfig::default()
     };
 
-    let edges = sim.edges;
     let data = simulate_workload_parallel(workload, &sim, threads);
     // Reproduction parameters + the simulator's deterministic counters.
     obs.manifest.param("preset", preset);
@@ -82,19 +108,43 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         data.trace.ua_count(),
     );
     let summary_row = data.summary().table_row();
+    let mut last_time = None;
+    let mut index_base = 0;
     if shards > 1 {
         let sharded = ShardedTrace::from_trace(data.trace, shards);
-        jcdn_trace::codec::write_file_sharded(&sharded, Path::new(out))
+        writer
+            .commit_interner(sharded.interner())
             .map_err(|e| format!("{out}: {e}"))?;
+        for i in 0..sharded.shard_count() {
+            writer
+                .write_shard(i, sharded.shard_records(i), &mut last_time, &mut index_base)
+                .map_err(|e| format!("{out}: shard {i}: {e}"))?;
+        }
         eprintln!(
             "wrote {records} records in {} shard frames ({urls} distinct URLs, {uas} UAs) to {out}",
             sharded.shard_count()
         );
     } else {
-        jcdn_trace::codec::write_file(&data.trace, Path::new(out))
+        // One frame over the trace's own record order — byte-identical to
+        // the non-store `codec::write_file` output.
+        writer
+            .commit_interner(data.trace.interner())
+            .map_err(|e| format!("{out}: {e}"))?;
+        writer
+            .write_shard(0, data.trace.records(), &mut last_time, &mut index_base)
             .map_err(|e| format!("{out}: {e}"))?;
         eprintln!("wrote {records} records ({urls} distinct URLs, {uas} UAs) to {out}");
     }
+    obs.manifest
+        .metrics
+        .inc("store.shards_reused", writer.shards_reused());
+    if writer.shards_reused() > 0 {
+        eprintln!(
+            "resume: reused {} committed shard(s) from the interrupted run",
+            writer.shards_reused()
+        );
+    }
+    writer.finalize().map_err(|e| format!("{out}: {e}"))?;
     if !sim.fault.is_empty() {
         eprintln!(
             "faults: {} end-user failures ({} origin errors, {} retries, \
@@ -106,5 +156,30 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         );
     }
     println!("{summary_row}");
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
+}
+
+/// FNV-1a digest over everything that determines the trace bytes: codec
+/// version, preset, seed, scale, edges, shard count, and any fault or
+/// resilience flags. `--threads` and `--out` are deliberately excluded —
+/// neither changes the output.
+fn params_digest(
+    args: &Args,
+    preset: &str,
+    seed: u64,
+    scale: f64,
+    edges: usize,
+    shards: usize,
+) -> u64 {
+    let mut spec = format!(
+        "v{};preset={preset};seed={seed};scale={scale};edges={edges};shards={shards}",
+        jcdn_trace::codec::VERSION
+    );
+    for &flag in fault_args::FAULT_FLAGS {
+        if let Some(value) = args.maybe(flag) {
+            spec.push_str(&format!(";{flag}={value}"));
+        }
+    }
+    jcdn_trace::fnv1a(spec.as_bytes())
 }

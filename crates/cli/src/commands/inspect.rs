@@ -7,10 +7,10 @@ use jcdn_trace::summary::DatasetSummary;
 use jcdn_trace::MimeType;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::{load_trace, Outcome};
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["top"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -58,5 +58,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         table.row(&[host.to_string(), count.to_string()]);
     }
     println!("top {top} domains:\n{}", table.render());
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
 }

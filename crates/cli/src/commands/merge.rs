@@ -3,10 +3,10 @@
 use std::path::Path;
 
 use crate::args::Args;
-use crate::commands::load_trace_tolerant;
+use crate::commands::{load_trace_tolerant, Outcome};
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["out"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -20,10 +20,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // not the whole merge — with the loss counted and reported below.
     let mut decode_stats = jcdn_trace::codec::DecodeStats::default();
     let (mut merged, first_stats) = load_trace_tolerant(&inputs[0])?;
-    decode_stats = accumulate(decode_stats, first_stats);
+    decode_stats.merge(&first_stats);
     for path in &inputs[1..] {
         let (next, stats) = load_trace_tolerant(path)?;
-        decode_stats = accumulate(decode_stats, stats);
+        decode_stats.merge(&stats);
         merged.merge(&next);
     }
     merged.sort_canonical();
@@ -36,9 +36,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
     if !decode_stats.is_clean() {
         eprintln!(
-            "decode: dropped {} record(s) and {} shard frame(s) across the \
-             inputs ({} decoded)",
-            decode_stats.records_dropped, decode_stats.frames_dropped, decode_stats.records_decoded
+            "decode: dropped {} record(s) ({} CRC-failed frame(s), {} truncated \
+             frame(s)) across the inputs ({} decoded)",
+            decode_stats.records_dropped,
+            decode_stats.frames_crc_failed,
+            decode_stats.frames_truncated,
+            decode_stats.records_decoded
         );
     }
     obs.manifest.param("out", out);
@@ -52,20 +55,17 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .inc("codec.records.dropped", decode_stats.records_dropped);
     obs.manifest
         .metrics
-        .inc("codec.frames.dropped", decode_stats.frames_dropped);
+        .inc("codec.frames.crc_failed", decode_stats.frames_crc_failed);
+    obs.manifest
+        .metrics
+        .inc("codec.frames.truncated", decode_stats.frames_truncated);
     obs.manifest
         .metrics
         .inc("merge.records", merged.len() as u64);
-    obs.finish()
-}
-
-/// Adds one file's decode tallies into the running totals.
-fn accumulate(
-    mut total: jcdn_trace::codec::DecodeStats,
-    one: jcdn_trace::codec::DecodeStats,
-) -> jcdn_trace::codec::DecodeStats {
-    total.records_decoded += one.records_decoded;
-    total.records_dropped += one.records_dropped;
-    total.frames_dropped += one.frames_dropped;
-    total
+    obs.finish()?;
+    Ok(if decode_stats.is_clean() {
+        Outcome::Clean
+    } else {
+        Outcome::Salvaged
+    })
 }

@@ -14,6 +14,18 @@ use std::path::Path;
 use jcdn_trace::codec::DecodeStats;
 use jcdn_trace::Trace;
 
+/// How a command finished. `Clean` maps to exit code 0; `Salvaged` maps
+/// to exit code 3 — the command completed and printed a report, but part
+/// of the input was lost (dropped frames/records, missing staged shards,
+/// quarantined worker tasks), so the output covers only what survived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Output is complete.
+    Clean,
+    /// Output is the exact analysis of a salvaged subset.
+    Salvaged,
+}
+
 /// Loads a binary trace file with a readable error.
 pub fn load_trace(path: &str) -> Result<Trace, String> {
     jcdn_trace::codec::read_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))

@@ -5,10 +5,10 @@ use jcdn_core::report::pct;
 use jcdn_signal::periodicity::PeriodicityConfig;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::{load_trace, Outcome};
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["permutations", "max-bins", "min-requests", "min-clients"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -72,5 +72,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     obs.manifest
         .metrics
         .inc("periodicity.flows", report.periodic_flows.len() as u64);
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
 }

@@ -4,10 +4,10 @@ use jcdn_core::prediction::{run_study, PredictionStudyConfig};
 use jcdn_core::report::TextTable;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::{load_trace, Outcome};
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["history", "k", "train-percent"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -47,5 +47,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     obs.manifest
         .metrics
         .inc("predict.test_transitions", report.test_transitions as u64);
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
 }

@@ -3,9 +3,10 @@
 use jcdn_workload::trend::TrendModel;
 
 use crate::args::Args;
+use crate::commands::Outcome;
 use crate::obs_args;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["months", "seed"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
@@ -34,5 +35,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     obs.manifest
         .metrics
         .inc("trend.months", model.months as u64);
-    obs.finish()
+    obs.finish()?;
+    Ok(Outcome::Clean)
 }

@@ -26,14 +26,39 @@ mod obs_args;
 
 use std::process::ExitCode;
 
+use commands::Outcome;
+
+/// Exit code for a command that completed on a salvaged subset of its
+/// input (see the usage text's exit-code table).
+const EXIT_SALVAGED: u8 = 3;
+
 fn main() -> ExitCode {
+    // Deterministic fault injection for the chaos test suite: a plan in
+    // JCDN_CHAOS (e.g. "seed=7; write-error:4; panic:characterize.shards:0")
+    // installs fail points that the store and worker pool consult. Unset —
+    // the production case — this is a no-op.
+    if let Ok(spec) = std::env::var("JCDN_CHAOS") {
+        match jcdn_chaos::FailPlan::parse(&spec) {
+            Ok(plan) => {
+                jcdn_chaos::install(plan);
+            }
+            Err(e) => {
+                eprintln!("JCDN_CHAOS: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Panics are reported through the catch_unwind boundaries below (the
+    // exec pool's quarantine path, or the last-resort trap here) — the
+    // default hook's raw backtrace would only duplicate that as noise,
+    // and a benign broken pipe from `jcdn inspect | head` should print
+    // nothing at all.
+    std::panic::set_hook(Box::new(|_| {}));
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", args::USAGE);
         return ExitCode::from(2);
     };
-    // Piping into `head` closes stdout early; treat the resulting broken
-    // pipe as a normal exit instead of a panic (the usual CLI convention).
     let run = || match command.as_str() {
         "generate" => commands::generate::run(rest),
         "inspect" => commands::inspect::run(rest),
@@ -45,7 +70,7 @@ fn main() -> ExitCode {
         "trend" => commands::trend::run(rest),
         "--help" | "-h" | "help" => {
             println!("{}", args::USAGE);
-            Ok(())
+            Ok(Outcome::Clean)
         }
         other => Err(format!("unknown command {other:?}\n\n{}", args::USAGE)),
     };
@@ -56,15 +81,22 @@ fn main() -> ExitCode {
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("");
+                .unwrap_or("<non-string panic payload>");
+            // Piping into `head` closes stdout early; treat the resulting
+            // broken pipe as a normal exit (the usual CLI convention).
             if message.contains("Broken pipe") {
                 return ExitCode::SUCCESS;
             }
-            std::panic::resume_unwind(payload);
+            // Anything else that escaped the library layers is still a
+            // controlled failure: report it and exit 1 instead of aborting
+            // with a raw panic trace.
+            eprintln!("error: internal panic: {message}");
+            return ExitCode::FAILURE;
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Salvaged) => ExitCode::from(EXIT_SALVAGED),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE

@@ -151,9 +151,64 @@ impl CharacterizationReport {
         total.finalize(&classes, provider, HEATMAP_BUCKETS)
     }
 
+    /// Like [`compute_sharded`][Self::compute_sharded] but panic-isolated:
+    /// a shard whose accumulation panics (after the pool's one sequential
+    /// retry) is dropped from the merge instead of aborting the process,
+    /// and its index is reported in [`ExecHealth::quarantined`]. With no
+    /// quarantined shards the report is bit-identical to
+    /// `compute_sharded`'s; with some it is the exact report of the
+    /// surviving shards — callers must surface the partial-result fact.
+    pub fn compute_sharded_isolated(
+        sharded: &ShardedTrace,
+        provider: &(dyn CategoryProvider + Sync),
+        threads: usize,
+    ) -> (Self, ExecHealth) {
+        let classes = UaClassTable::build(sharded.interner());
+        let accumulate_span = jcdn_obs::span!("characterize.accumulate");
+        let gathered = jcdn_exec::scatter_gather_isolated(
+            "characterize.shards",
+            sharded.shard_count(),
+            threads,
+            |i| {
+                let mut partial = PartialReport::default();
+                partial.accumulate(&sharded.shard_stream(i), &classes, provider);
+                partial
+            },
+        );
+        drop(accumulate_span);
+        let _merge_span = jcdn_obs::span!("characterize.merge");
+        let mut total = PartialReport::default();
+        for partial in gathered.results.iter().flatten() {
+            total.merge(partial);
+        }
+        let health = ExecHealth {
+            task_panics: gathered.task_panics,
+            quarantined: gathered.quarantined,
+        };
+        (total.finalize(&classes, provider, HEATMAP_BUCKETS), health)
+    }
+
     /// The JSON:HTML request-count ratio, when the trace has HTML traffic.
     pub fn json_html_ratio(&self) -> Option<f64> {
         self.mix.ratio()
+    }
+}
+
+/// Worker-pool health from a panic-isolated characterization: how many
+/// task panics were caught, and which shards (if any) contributed nothing
+/// to the report because they failed both attempts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecHealth {
+    /// Panics caught at the pool's unwind boundary (recovered or not).
+    pub task_panics: u64,
+    /// Shard indices excluded from the merged report.
+    pub quarantined: Vec<usize>,
+}
+
+impl ExecHealth {
+    /// Whether every shard contributed to the report.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
     }
 }
 
@@ -202,6 +257,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn isolated_route_matches_plain_sharded_route() {
+        // With no panics in play the isolated pool must be a drop-in:
+        // same partials, same merge order, same report.
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let plain = CharacterizationReport::compute_sharded(&sharded, &TokenCategoryProvider, 2);
+        let (isolated, health) =
+            CharacterizationReport::compute_sharded_isolated(&sharded, &TokenCategoryProvider, 2);
+        assert!(health.is_complete());
+        assert_eq!(health.task_panics, 0);
+        assert_eq!(isolated.sources, plain.sources);
+        assert_eq!(isolated.requests, plain.requests);
+        assert_eq!(isolated.heatmap, plain.heatmap);
+        assert_eq!(isolated.availability, plain.availability);
+        assert_eq!(isolated.mix, plain.mix);
     }
 
     #[test]

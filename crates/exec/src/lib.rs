@@ -11,10 +11,31 @@
 //! index-tagged result channel so out-of-order completion never reorders
 //! results. With `threads <= 1` it degrades to a plain sequential map —
 //! callers need no separate serial path.
+//!
+//! ## Panic isolation
+//!
+//! Every task runs inside the workspace's one sanctioned unwind boundary
+//! ([`run_quarantined`]): a panicking task costs *that item*, never the
+//! pool. A failed item is retried once, sequentially, after the pool
+//! drains — transient failures (a poisoned scratch state, an injected
+//! fault that fires once) recover with no caller involvement. Items that
+//! fail both attempts are **quarantined**:
+//!
+//! * [`scatter_gather_isolated`] reports them explicitly — the result slot
+//!   stays `None` and the index lands in [`Gathered::quarantined`] so the
+//!   caller can finish with a partial result and say so.
+//! * [`scatter_gather`] / [`scatter_gather_labeled`] keep their historical
+//!   contract — if any item is still failing after the retry, the first
+//!   panic payload is re-raised on the calling thread.
+//!
+//! Both surface `task_panics` in the filed [`PoolReport`], so a run
+//! manifest shows every caught panic even when the retry recovered it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use jcdn_obs::clock::Stopwatch;
@@ -24,7 +45,8 @@ use jcdn_obs::pool::PoolReport;
 /// Runs `f(0..items)` on a pool of `threads` workers and returns the
 /// results indexed by item, exactly as `(0..items).map(f).collect()`
 /// would. Items are pulled from a shared queue, so uneven item costs
-/// balance across workers. A panicking worker propagates the panic.
+/// balance across workers. A panicking item is retried once sequentially;
+/// if it panics again the original panic propagates to the caller.
 ///
 /// Equivalent to [`scatter_gather_labeled`] with the label `"exec.pool"`;
 /// call sites in the pipeline pass a stage label so their pool reports
@@ -37,6 +59,30 @@ where
     scatter_gather_labeled("exec.pool", items, threads, f)
 }
 
+/// Outcome of a panic-isolated fan-out ([`scatter_gather_isolated`]).
+///
+/// `results` is indexed by item; a `None` slot means the item panicked in
+/// the pool *and* in the sequential retry, and its index is listed in
+/// `quarantined`. Callers that merge partials should skip `None` slots and
+/// surface the quarantined shard list to the user — a partial report that
+/// says it is partial beats an aborted pipeline.
+pub struct Gathered<T> {
+    /// Per-item results; `None` marks a quarantined item.
+    pub results: Vec<Option<T>>,
+    /// Total panics caught, counting a pool failure and its failed retry
+    /// separately (so a recovered item contributes 1, a quarantined one 2).
+    pub task_panics: u64,
+    /// Item indices (sorted) that failed both attempts.
+    pub quarantined: Vec<usize>,
+}
+
+impl<T> Gathered<T> {
+    /// Whether every item produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 /// Per-worker tallies, gathered after the scope joins.
 struct WorkerStats {
     tasks: u64,
@@ -44,13 +90,219 @@ struct WorkerStats {
     latency: Histogram,
 }
 
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            tasks: 0,
+            busy_us: 0,
+            latency: Histogram::default(),
+        }
+    }
+}
+
+/// Internal result of one pool pass plus its retry bookkeeping.
+struct PoolRun<T> {
+    results: Vec<Option<T>>,
+    task_panics: u64,
+    quarantined: Vec<usize>,
+    first_panic: Option<Box<dyn Any + Send>>,
+    worker_stats: Vec<WorkerStats>,
+    high_water: u64,
+}
+
+/// Runs one task inside the unwind boundary, after giving an installed
+/// chaos plan the chance to inject a fault for this `(label, index)`.
+///
+/// This is the single sanctioned `catch_unwind` site in the workspace
+/// (jcdn-lint D3 flags any other): the boundary exists so a panic in one
+/// shard's task is converted into a typed per-item failure instead of
+/// tearing down the whole pipeline, and every use of it funnels through
+/// the quarantine-and-retry policy above.
+fn run_quarantined<T, F>(label: &'static str, index: usize, f: &F) -> Result<T, Box<dyn Any + Send>>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    // jcdn-lint: allow(D3) -- the one sanctioned unwind boundary: converts a task panic into a per-item failure that the quarantine/retry policy handles
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        jcdn_chaos::handle().on_task(label, index);
+        f(index)
+    }))
+}
+
+/// One pass over `0..items` with `threads` workers, panics caught per
+/// item. Does not file a report — callers do, after folding in any retry.
+fn pool_run<T, F>(label: &'static str, items: usize, threads: usize, f: &F) -> PoolRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(items);
+    if threads <= 1 {
+        let mut stats = WorkerStats::new();
+        let mut run = PoolRun {
+            results: Vec::with_capacity(items),
+            task_panics: 0,
+            quarantined: Vec::new(),
+            first_panic: None,
+            worker_stats: Vec::new(),
+            high_water: 0,
+        };
+        for i in 0..items {
+            let task = Stopwatch::start();
+            let outcome = run_quarantined(label, i, f);
+            let us = task.elapsed_us();
+            stats.tasks += 1;
+            stats.busy_us += us;
+            stats.latency.observe(us);
+            match outcome {
+                Ok(value) => run.results.push(Some(value)),
+                Err(payload) => {
+                    run.results.push(None);
+                    run.task_panics += 1;
+                    run.quarantined.push(i);
+                    if run.first_panic.is_none() {
+                        run.first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        run.worker_stats.push(stats);
+        return run;
+    }
+
+    type TaskOutcome<T> = Result<T, Box<dyn Any + Send>>;
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, TaskOutcome<T>)>();
+    for i in 0..items {
+        // jcdn-lint: allow(D3) -- job_rx is dropped only after the scope below; send cannot fail yet
+        job_tx.send(i).expect("job receiver alive");
+    }
+    drop(job_tx);
+
+    // Results waiting in the gather channel: workers increment after
+    // sending, the gatherer decrements after receiving and tracks the
+    // high-water mark — the "channel backing up" signal.
+    let backlog = AtomicU64::new(0);
+    let backlog = &backlog;
+    let (mut run, worker_stats) = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let jobs = job_rx.clone();
+            let results = result_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut stats = WorkerStats::new();
+                while let Ok(i) = jobs.recv() {
+                    let task = Stopwatch::start();
+                    let outcome = run_quarantined(label, i, f);
+                    let us = task.elapsed_us();
+                    stats.tasks += 1;
+                    stats.busy_us += us;
+                    stats.latency.observe(us);
+                    // Increment BEFORE the send: the gatherer decrements
+                    // after each recv, so incrementing after would let the
+                    // decrement land first and wrap the counter below zero.
+                    backlog.fetch_add(1, Ordering::Relaxed);
+                    if results.send((i, outcome)).is_err() {
+                        // Gatherer gone; stop early.
+                        backlog.fetch_sub(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                stats
+            }));
+        }
+        drop(result_tx);
+        drop(job_rx);
+
+        let mut run = PoolRun {
+            results: (0..items).map(|_| None).collect(),
+            task_panics: 0,
+            quarantined: Vec::new(),
+            first_panic: None,
+            worker_stats: Vec::new(),
+            high_water: 0,
+        };
+        while let Ok((i, outcome)) = result_rx.recv() {
+            // Sample depth before decrementing: this recv observed the
+            // queue at its fullest from the gatherer's point of view.
+            run.high_water = run.high_water.max(backlog.load(Ordering::Relaxed));
+            backlog.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(value) => run.results[i] = Some(value),
+                Err(payload) => {
+                    run.task_panics += 1;
+                    run.quarantined.push(i);
+                    if run.first_panic.is_none() {
+                        run.first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        let worker_stats: Vec<WorkerStats> = handles
+            .into_iter()
+            // jcdn-lint: allow(D3) -- task panics are caught inside run_quarantined, so a worker thread body cannot unwind
+            .map(|h| h.join().expect("worker joined"))
+            .collect();
+        (run, worker_stats)
+    })
+    // jcdn-lint: allow(D3) -- scope Err requires a spawned thread to panic, and every task panic is already caught inside run_quarantined
+    .expect("worker pool joined");
+
+    // Arrival order is scheduling-dependent; sort so the retry pass and
+    // the caller-visible quarantine list are deterministic.
+    run.quarantined.sort_unstable();
+    run.worker_stats = worker_stats;
+    run
+}
+
+/// Retries each quarantined item once, sequentially, on the calling
+/// thread. Recovered items fill their result slot; persistent failures
+/// stay quarantined. Retry timings are appended as one extra
+/// [`WorkerStats`] entry so the filed report covers all work done.
+fn retry_quarantined<T, F>(label: &'static str, run: &mut PoolRun<T>, f: &F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if run.quarantined.is_empty() {
+        return;
+    }
+    let failed = std::mem::take(&mut run.quarantined);
+    let mut stats = WorkerStats::new();
+    for i in failed {
+        let task = Stopwatch::start();
+        let outcome = run_quarantined(label, i, f);
+        let us = task.elapsed_us();
+        stats.tasks += 1;
+        stats.busy_us += us;
+        stats.latency.observe(us);
+        match outcome {
+            Ok(value) => run.results[i] = Some(value),
+            Err(payload) => {
+                run.task_panics += 1;
+                run.quarantined.push(i);
+                if run.first_panic.is_none() {
+                    run.first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    run.worker_stats.push(stats);
+}
+
 /// [`scatter_gather`] with an attribution label. Every fan-out files a
 /// [`PoolReport`] (per-worker task counts, gather-queue high-water mark,
-/// task-latency histogram) into the `jcdn-obs` pool sink, so a starved
-/// worker or a backed-up channel is visible in the run manifest instead
-/// of silent; with `jcdn_obs::pool::set_logging(true)` each fan-out also
-/// logs a one-line summary. The report is wall-clock perf data — the
-/// *results* stay deterministic for any thread count, exactly as before.
+/// task-latency histogram, caught-panic count) into the `jcdn-obs` pool
+/// sink, so a starved worker or a backed-up channel is visible in the run
+/// manifest instead of silent; with `jcdn_obs::pool::set_logging(true)`
+/// each fan-out also logs a one-line summary. The report is wall-clock
+/// perf data — the *results* stay deterministic for any thread count,
+/// exactly as before.
+///
+/// Panic contract: a panicking item is retried once sequentially; if it
+/// panics both times, the first captured payload is re-raised here after
+/// the report is filed. Use [`scatter_gather_isolated`] to receive the
+/// partial result instead.
 pub fn scatter_gather_labeled<T, F>(
     label: &'static str,
     items: usize,
@@ -62,103 +314,62 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let wall = Stopwatch::start();
-    let threads = threads.min(items);
-    if threads <= 1 {
-        let mut stats = WorkerStats {
-            tasks: 0,
-            busy_us: 0,
-            latency: Histogram::default(),
-        };
-        let results = (0..items)
-            .map(|i| {
-                let task = Stopwatch::start();
-                let value = f(i);
-                let us = task.elapsed_us();
-                stats.tasks += 1;
-                stats.busy_us += us;
-                stats.latency.observe(us);
-                value
-            })
-            .collect();
-        if items > 0 {
-            file_report(label, items, vec![stats], 0, wall.elapsed_us());
-        }
-        return results;
+    let mut run = pool_run(label, items, threads, &f);
+    retry_quarantined(label, &mut run, &f);
+    if items > 0 {
+        file_report(
+            label,
+            items,
+            run.worker_stats,
+            run.high_water,
+            run.task_panics,
+            wall.elapsed_us(),
+        );
     }
-
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
-    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    for i in 0..items {
-        // jcdn-lint: allow(D3) -- job_rx is dropped only after the scope below; send cannot fail yet
-        job_tx.send(i).expect("job receiver alive");
+    if !run.quarantined.is_empty() {
+        if let Some(payload) = run.first_panic {
+            std::panic::resume_unwind(payload);
+        }
     }
-    drop(job_tx);
-
-    // Results waiting in the gather channel: workers increment after
-    // sending, the gatherer decrements after receiving and tracks the
-    // high-water mark — the "channel backing up" signal.
-    let backlog = AtomicU64::new(0);
-    let f = &f;
-    let backlog = &backlog;
-    let (slots, worker_stats, high_water) = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let jobs = job_rx.clone();
-            let results = result_tx.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut stats = WorkerStats {
-                    tasks: 0,
-                    busy_us: 0,
-                    latency: Histogram::default(),
-                };
-                while let Ok(i) = jobs.recv() {
-                    let task = Stopwatch::start();
-                    let value = f(i);
-                    let us = task.elapsed_us();
-                    stats.tasks += 1;
-                    stats.busy_us += us;
-                    stats.latency.observe(us);
-                    // Increment BEFORE the send: the gatherer decrements
-                    // after each recv, so incrementing after would let the
-                    // decrement land first and wrap the counter below zero.
-                    backlog.fetch_add(1, Ordering::Relaxed);
-                    if results.send((i, value)).is_err() {
-                        // Gatherer gone (a sibling panicked); stop early.
-                        backlog.fetch_sub(1, Ordering::Relaxed);
-                        break;
-                    }
-                }
-                stats
-            }));
-        }
-        drop(result_tx);
-        drop(job_rx);
-
-        let mut high_water = 0u64;
-        let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
-        while let Ok((i, value)) = result_rx.recv() {
-            // Sample depth before decrementing: this recv observed the
-            // queue at its fullest from the gatherer's point of view.
-            high_water = high_water.max(backlog.load(Ordering::Relaxed));
-            backlog.fetch_sub(1, Ordering::Relaxed);
-            slots[i] = Some(value);
-        }
-        let worker_stats: Vec<WorkerStats> = handles
-            .into_iter()
-            // jcdn-lint: allow(D3) -- a panicked worker makes the enclosing scope Err below; this join only runs on clean workers
-            .map(|h| h.join().expect("worker joined"))
-            .collect();
-        (slots, worker_stats, high_water)
-    })
-    // jcdn-lint: allow(D3) -- scope Err means a worker panicked; re-panicking propagates it (documented contract)
-    .expect("worker pool joined");
-
-    file_report(label, items, worker_stats, high_water, wall.elapsed_us());
-    slots
+    run.results
         .into_iter()
-        // jcdn-lint: allow(D3) -- the scope joined without panic, so every index was sent exactly once
+        // jcdn-lint: allow(D3) -- quarantined is empty here, so every slot was filled by the pool or the retry
         .map(|slot| slot.expect("every item produced a result"))
         .collect()
+}
+
+/// Panic-isolated fan-out: like [`scatter_gather_labeled`] but instead of
+/// re-raising a persistent panic it returns the partial result, with the
+/// failing items quarantined (see [`Gathered`]). The filed [`PoolReport`]
+/// carries the caught-panic count either way.
+pub fn scatter_gather_isolated<T, F>(
+    label: &'static str,
+    items: usize,
+    threads: usize,
+    f: F,
+) -> Gathered<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let wall = Stopwatch::start();
+    let mut run = pool_run(label, items, threads, &f);
+    retry_quarantined(label, &mut run, &f);
+    if items > 0 {
+        file_report(
+            label,
+            items,
+            run.worker_stats,
+            run.high_water,
+            run.task_panics,
+            wall.elapsed_us(),
+        );
+    }
+    Gathered {
+        results: run.results,
+        task_panics: run.task_panics,
+        quarantined: run.quarantined,
+    }
 }
 
 /// Assembles and files the [`PoolReport`] for one fan-out.
@@ -167,6 +378,7 @@ fn file_report(
     items: usize,
     worker_stats: Vec<WorkerStats>,
     queue_high_water: u64,
+    task_panics: u64,
     wall_us: u64,
 ) {
     let mut report = PoolReport {
@@ -177,6 +389,7 @@ fn file_report(
         queue_high_water,
         busy_us: 0,
         wall_us,
+        task_panics,
         task_latency_us: Histogram::default(),
     };
     for stats in worker_stats {
@@ -211,6 +424,7 @@ pub fn partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn matches_sequential_map_for_any_thread_count() {
@@ -279,6 +493,7 @@ mod tests {
         assert_eq!(report.workers, 4);
         assert_eq!(report.worker_tasks.iter().sum::<u64>(), 16);
         assert_eq!(report.task_latency_us.count(), 16);
+        assert_eq!(report.task_panics, 0);
     }
 
     #[test]
@@ -303,5 +518,60 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_retry() {
+        // Panics the first time item 3 runs, succeeds on the retry — the
+        // caller sees a complete, ordered result and a panic count of 1.
+        let failures = AtomicUsize::new(0);
+        let got = scatter_gather_labeled("exec.test.retry", 8, 4, |i| {
+            if i == 3 && failures.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            i * 10
+        });
+        assert_eq!(got, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        let (reports, _) = jcdn_obs::pool::drain();
+        let report = reports
+            .iter()
+            .find(|r| r.label == "exec.test.retry")
+            .expect("fan-out filed a report");
+        assert_eq!(report.task_panics, 1);
+        // The retry pass contributes one extra stats entry.
+        assert_eq!(report.workers, 5);
+        assert_eq!(report.worker_tasks.iter().sum::<u64>(), 9);
+    }
+
+    #[test]
+    fn isolated_quarantines_persistent_failures() {
+        let gathered = scatter_gather_isolated("exec.test.isolated", 6, 3, |i| {
+            if i == 2 || i == 4 {
+                panic!("always fails");
+            }
+            i as u64
+        });
+        assert!(!gathered.is_complete());
+        assert_eq!(gathered.quarantined, vec![2, 4]);
+        // Each quarantined item panicked in the pool and in the retry.
+        assert_eq!(gathered.task_panics, 4);
+        let values: Vec<Option<u64>> = gathered.results;
+        assert_eq!(values.len(), 6);
+        assert!(values[2].is_none() && values[4].is_none());
+        assert_eq!(values[0], Some(0));
+        assert_eq!(values[5], Some(5));
+    }
+
+    #[test]
+    fn isolated_sequential_path_also_quarantines() {
+        let gathered = scatter_gather_isolated("exec.test.isolated.seq", 4, 1, |i| {
+            if i == 1 {
+                panic!("always fails");
+            }
+            i
+        });
+        assert_eq!(gathered.quarantined, vec![1]);
+        assert_eq!(gathered.results[0], Some(0));
+        assert_eq!(gathered.results[3], Some(3));
     }
 }

@@ -66,6 +66,7 @@ impl Config {
                 "crates/prefetch/src/**".to_string(),
                 "crates/cdnsim/src/**".to_string(),
                 "crates/exec/src/**".to_string(),
+                "crates/chaos/src/**".to_string(),
                 "crates/lint/src/**".to_string(),
                 "crates/obs/src/**".to_string(),
                 "src/**".to_string(),

@@ -121,14 +121,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              a hash type in the same file."
         }
         "D3" => {
-            "D3 — `unwrap`/`expect`/`panic!` in non-test library code\n\
+            "D3 — `unwrap`/`expect`/`panic!`/`catch_unwind` in non-test library code\n\
              \n\
              Library crates return typed errors (`EncodeError`, intern-overflow\n\
              errors, …). A panic inside a shard worker aborts the whole\n\
              scatter-gather pipeline and loses the partial results; a typed\n\
-             error propagates and reports. Test modules (`#[cfg(test)]`,\n\
-             `#[test]`) are exempt, as are the CLI binary and bench harness\n\
-             (fail-fast is correct there).\n\
+             error propagates and reports. `catch_unwind` is flagged too: the\n\
+             one sanctioned unwind boundary lives in jcdn-exec, where a caught\n\
+             panic enters the quarantine/retry policy and is counted — an\n\
+             ad-hoc boundary elsewhere swallows panics invisibly. Test modules\n\
+             (`#[cfg(test)]`, `#[test]`) are exempt, as are the CLI binary and\n\
+             bench harness (fail-fast is correct there).\n\
              \n\
              Fix: restructure so the invariant needs no panic (`total_cmp`\n\
              instead of `partial_cmp(..).expect`, `if let` instead of\n\

@@ -542,9 +542,11 @@ impl<'a> FileCtx<'a> {
 
     // ----------------------------------------------------------------- D3
 
-    /// D3: `unwrap`/`expect`/`panic!` in non-test library code. Library
-    /// crates return typed errors (`EncodeError`, `InternError`, …); a
-    /// panic in a shard worker takes down the whole pipeline.
+    /// D3: `unwrap`/`expect`/`panic!`/`catch_unwind` in non-test library
+    /// code. Library crates return typed errors (`EncodeError`,
+    /// `InternError`, …); a panic in a shard worker takes down the whole
+    /// pipeline, and ad-hoc unwind boundaries hide panics from the one
+    /// sanctioned quarantine/retry policy in jcdn-exec.
     fn rule_d3(&self, out: &mut Vec<Finding>) {
         for i in 0..self.tokens.len() {
             if self.in_test(i) {
@@ -575,6 +577,16 @@ impl<'a> FileCtx<'a> {
                     "D3",
                     i,
                     "`panic!` in library code; return a typed error instead".to_string(),
+                );
+            } else if ident == "catch_unwind" && self.is(i + 1, TokKind::Punct, "(") {
+                self.push(
+                    out,
+                    "D3",
+                    i,
+                    "`catch_unwind` outside the sanctioned jcdn-exec isolation \
+                     boundary; panics must reach the quarantine/retry policy, \
+                     not be swallowed ad hoc"
+                        .to_string(),
                 );
             }
         }

@@ -10,6 +10,10 @@ fn parse(input: &str) -> u64 {
     n
 }
 
+fn shield(input: &str) -> u64 {
+    std::panic::catch_unwind(|| input.parse::<u64>().unwrap_or(0)).unwrap_or(0) // line 14: D3
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

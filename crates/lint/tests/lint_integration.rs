@@ -55,7 +55,7 @@ fn bad_d3_flags_panics_outside_tests_only() {
     let findings = lint_fixture("bad", "d3_panics.rs");
     assert_eq!(
         rule_lines(&findings),
-        vec![("D3", 5), ("D3", 6), ("D3", 8)],
+        vec![("D3", 5), ("D3", 6), ("D3", 8), ("D3", 14)],
         "{findings:?}"
     );
 }

@@ -43,6 +43,9 @@ pub struct PoolReport {
     pub busy_us: u64,
     /// End-to-end wall time of the fan-out, µs.
     pub wall_us: u64,
+    /// Panics caught at the pool's unwind boundary (a retried-and-
+    /// recovered item counts 1; a quarantined item counts both attempts).
+    pub task_panics: u64,
     /// Per-task wall-time histogram (µs).
     pub task_latency_us: Histogram,
 }
@@ -80,6 +83,9 @@ impl PoolReport {
         if starved > 0 && self.items >= self.workers {
             line.push_str(&format!(", {starved} starved worker(s)"));
         }
+        if self.task_panics > 0 {
+            line.push_str(&format!(", {} caught panic(s)", self.task_panics));
+        }
         line
     }
 
@@ -113,6 +119,7 @@ impl PoolReport {
         w.field_u64("starved_workers", self.starved_workers());
         w.field_u64("busy_us", self.busy_us);
         w.field_u64("wall_us", self.wall_us);
+        w.field_u64("task_panics", self.task_panics);
         w.field_raw("task_latency_us", &self.task_latency_us.to_json());
         w.end();
         out
@@ -196,6 +203,7 @@ mod tests {
             queue_high_water: 2,
             busy_us: 800,
             wall_us: 400,
+            task_panics: 0,
             task_latency_us: hist,
         }
     }

@@ -176,7 +176,7 @@ const fn crc_table() -> [u32; 256] {
     table
 }
 
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
         // jcdn-lint: allow(D4) -- masked to 8 bits before the cast
@@ -185,7 +185,7 @@ fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         // jcdn-lint: allow(D4) -- masked to 7 bits before the cast
         let byte = (v & 0x7f) as u8;
@@ -224,7 +224,7 @@ fn unzigzag(v: u64) -> i64 {
 }
 
 /// `usize → u64`, lossless on every supported target (usize ≤ 64 bits).
-fn len_u64(len: usize) -> u64 {
+pub(crate) fn len_u64(len: usize) -> u64 {
     // jcdn-lint: allow(D4) -- usize → u64 cannot truncate on ≤64-bit targets
     len as u64
 }
@@ -329,14 +329,16 @@ fn get_record(
     })
 }
 
-/// Encodes tables plus one frame per record slice. `shards` must together
-/// form a non-decreasing time sequence.
-fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, EncodeError> {
-    let total: usize = shards.iter().map(|s| s.len()).sum();
-    let mut buf = BytesMut::with_capacity(total * 16 + 1024);
+/// Encodes the file prologue — magic, version, and both string tables —
+/// *without* the shard-count varint that follows it in a complete file.
+/// The durable store (see [`crate::store`]) persists this prologue once
+/// per run and assembles `prologue + varint(shard_count) + frames` at
+/// finalize time, which makes a resumed run byte-identical to an
+/// uninterrupted one by construction.
+pub(crate) fn encode_tables(interner: &Interner) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1024);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
-
     put_varint(&mut buf, len_u64(interner.url_table().len()));
     for url in interner.url_table() {
         put_string(&mut buf, url);
@@ -345,36 +347,72 @@ fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, 
     for ua in interner.ua_table() {
         put_string(&mut buf, ua);
     }
+    buf.freeze()
+}
 
+/// One encoded v3 shard frame: the full frame bytes (length prefix,
+/// record count, CRC, payload) plus its record count for index keeping.
+pub(crate) struct EncodedFrame {
+    /// The complete frame bytes, ready for concatenation.
+    pub bytes: Bytes,
+    /// Records the frame carries (what the shard index stores).
+    pub records: u64,
+}
+
+/// Encodes one shard frame. `index_base`/`last_time` thread the
+/// cross-shard time-ordering check through successive calls, so encoding
+/// shard by shard enforces exactly what [`encode_frames`] enforces in one
+/// pass.
+pub(crate) fn encode_frame(
+    records: &[LogRecord],
+    index_base: usize,
+    last_time: &mut Option<SimTime>,
+    shard_idx: usize,
+) -> Result<EncodedFrame, EncodeError> {
+    let mut payload = BytesMut::with_capacity(records.len() * 16 + 16);
+    let mut prev_time: i64 = 0;
+    for (offset, r) in records.iter().enumerate() {
+        if let Some(prev) = *last_time {
+            if r.time < prev {
+                return Err(EncodeError::OutOfOrder {
+                    index: index_base + offset,
+                    prev,
+                    next: r.time,
+                });
+            }
+        }
+        *last_time = Some(r.time);
+        put_record(&mut payload, r, &mut prev_time);
+    }
+    let payload = payload.freeze();
+    let payload_len = u32::try_from(payload.len()).map_err(|_| EncodeError::FrameTooLarge {
+        shard: shard_idx,
+        bytes: payload.len(),
+    })?;
+    let mut frame = BytesMut::with_capacity(payload.len() + 16);
+    frame.put_u32_le(payload_len);
+    put_varint(&mut frame, len_u64(records.len()));
+    frame.put_u32_le(crc32(&payload));
+    frame.put_slice(&payload);
+    Ok(EncodedFrame {
+        bytes: frame.freeze(),
+        records: len_u64(records.len()),
+    })
+}
+
+/// Encodes tables plus one frame per record slice. `shards` must together
+/// form a non-decreasing time sequence.
+fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, EncodeError> {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    let mut buf = BytesMut::with_capacity(total * 16 + 1024);
+    buf.put_slice(&encode_tables(interner));
     put_varint(&mut buf, len_u64(shards.len()));
     let mut index = 0usize;
     let mut last_time: Option<SimTime> = None;
     for (shard_idx, shard) in shards.iter().enumerate() {
-        let mut payload = BytesMut::with_capacity(shard.len() * 16 + 16);
-        let mut prev_time: i64 = 0;
-        for r in *shard {
-            if let Some(prev) = last_time {
-                if r.time < prev {
-                    return Err(EncodeError::OutOfOrder {
-                        index,
-                        prev,
-                        next: r.time,
-                    });
-                }
-            }
-            last_time = Some(r.time);
-            put_record(&mut payload, r, &mut prev_time);
-            index += 1;
-        }
-        let payload = payload.freeze();
-        let payload_len = u32::try_from(payload.len()).map_err(|_| EncodeError::FrameTooLarge {
-            shard: shard_idx,
-            bytes: payload.len(),
-        })?;
-        buf.put_u32_le(payload_len);
-        put_varint(&mut buf, len_u64(shard.len()));
-        buf.put_u32_le(crc32(&payload));
-        buf.put_slice(&payload);
+        let frame = encode_frame(shard, index, &mut last_time, shard_idx)?;
+        index += shard.len();
+        buf.put_slice(&frame.bytes);
     }
     Ok(buf.freeze())
 }
@@ -400,27 +438,63 @@ pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
     decode_sharded(buf).map(ShardedTrace::into_trace)
 }
 
-/// Tallies from a tolerant decode: how much of the payload survived.
+/// Tallies from a tolerant decode: how much of the payload survived, and
+/// why the rest did not.
 ///
 /// `records_dropped` counts records the frame headers promised but that
 /// could not be decoded (corrupt bytes, dangling table references, frames
-/// failing their checksum). `frames_dropped` counts v3 shard frames
-/// abandoned wholesale (bad checksum, or truncation before the frame's
-/// payload). A clean decode has both at zero.
+/// failing their checksum). Whole-frame losses are split by cause —
+/// `frames_crc_failed` for frames whose payload failed its CRC-32 (bytes
+/// present but corrupt) and `frames_truncated` for frames cut off by a
+/// short file (bytes missing) — because the two call for different
+/// recoveries: a CRC failure means regenerate or restore that shard, a
+/// truncation means the tail of the file is gone. A clean decode has
+/// every drop counter at zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DecodeStats {
     /// Records successfully decoded.
     pub records_decoded: u64,
     /// Records promised by headers but lost to corruption.
     pub records_dropped: u64,
-    /// Whole v3 frames abandoned (checksum failure or truncation).
-    pub frames_dropped: u64,
+    /// Whole v3 frames abandoned because their payload failed its CRC-32.
+    pub frames_crc_failed: u64,
+    /// Whole v3 frames abandoned because the file ended inside or before
+    /// them.
+    pub frames_truncated: u64,
+    /// Byte offset (from the start of the decoded buffer) of the first
+    /// error encountered, when anything was dropped. Localizes damage for
+    /// the operator: a truncation offset near the file size means a torn
+    /// tail, a small one means the file is mostly gone.
+    pub first_error_offset: Option<u64>,
 }
 
 impl DecodeStats {
     /// True when nothing was dropped.
     pub fn is_clean(&self) -> bool {
-        self.records_dropped == 0 && self.frames_dropped == 0
+        self.records_dropped == 0 && self.frames_dropped() == 0
+    }
+
+    /// Total v3 frames abandoned wholesale, either cause.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_crc_failed + self.frames_truncated
+    }
+
+    /// Folds another tally into this one (the shard-merge direction: the
+    /// earliest error offset wins, counters add).
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.records_decoded += other.records_decoded;
+        self.records_dropped += other.records_dropped;
+        self.frames_crc_failed += other.frames_crc_failed;
+        self.frames_truncated += other.frames_truncated;
+        self.first_error_offset = match (self.first_error_offset, other.first_error_offset) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Records the byte offset of an error; the first one sticks.
+    fn note_error(&mut self, offset: u64) {
+        self.first_error_offset.get_or_insert(offset);
     }
 }
 
@@ -451,6 +525,7 @@ fn decode_sharded_impl(
     mut buf: Bytes,
     mut tolerate: Option<&mut DecodeStats>,
 ) -> Result<ShardedTrace, DecodeError> {
+    let total_len = buf.remaining();
     if buf.remaining() < 6 {
         return Err(DecodeError::Truncated);
     }
@@ -495,6 +570,7 @@ fn decode_sharded_impl(
         let mut records = Vec::with_capacity(record_count.min(1 << 24));
         let mut prev_time: i64 = 0;
         for decoded in 0..record_count {
+            let record_at = count_u64(total_len - buf.remaining());
             match get_record(&mut buf, version, &mut prev_time, &url_map, &ua_map) {
                 Ok(record) => records.push(record),
                 Err(e) => match tolerate.as_deref_mut() {
@@ -502,6 +578,7 @@ fn decode_sharded_impl(
                     // bad record are unknowable; keep the decoded prefix.
                     Some(stats) => {
                         stats.records_dropped += count_u64(record_count - decoded);
+                        stats.note_error(record_at);
                         break;
                     }
                     None => return Err(e),
@@ -519,17 +596,20 @@ fn decode_sharded_impl(
     for shard in 0..shard_count {
         // Frame header: payload length, record count, CRC. Truncation here
         // loses this frame and every later one (frame boundaries are gone).
+        let frame_at = count_u64(total_len - buf.remaining());
         let header = read_frame_header(&mut buf);
         let (payload_len, record_count, stored_crc) = match header {
             Ok(h) if buf.remaining() >= h.0 => h,
             other => match tolerate.as_deref_mut() {
                 Some(stats) => {
-                    stats.frames_dropped += count_u64(shard_count - shard);
+                    stats.frames_truncated += count_u64(shard_count - shard);
+                    stats.note_error(frame_at);
                     break;
                 }
                 None => return Err(other.err().unwrap_or(DecodeError::Truncated)),
             },
         };
+        let payload_at = count_u64(total_len - buf.remaining());
         let mut payload = buf.slice(0..payload_len);
         buf.advance(payload_len);
         if crc32(&payload) != stored_crc {
@@ -537,8 +617,9 @@ fn decode_sharded_impl(
                 // The frame is framed, so only *it* is lost; keep its slot
                 // (as an empty shard) so shard indices stay stable.
                 Some(stats) => {
-                    stats.frames_dropped += 1;
+                    stats.frames_crc_failed += 1;
                     stats.records_dropped += count_u64(record_count);
+                    stats.note_error(payload_at);
                     shards.push(Vec::new());
                     continue;
                 }
@@ -549,17 +630,21 @@ fn decode_sharded_impl(
         let mut prev_time: i64 = 0;
         let mut bad_record = None;
         for decoded in 0..record_count {
+            let record_at = payload_at + count_u64(payload_len - payload.remaining());
             match get_record(&mut payload, version, &mut prev_time, &url_map, &ua_map) {
                 Ok(record) => records.push(record),
                 Err(e) => {
-                    bad_record = Some((e, decoded));
+                    bad_record = Some((e, decoded, record_at));
                     break;
                 }
             }
         }
         match bad_record {
-            Some((e, decoded)) => match tolerate.as_deref_mut() {
-                Some(stats) => stats.records_dropped += count_u64(record_count - decoded),
+            Some((e, decoded, record_at)) => match tolerate.as_deref_mut() {
+                Some(stats) => {
+                    stats.records_dropped += count_u64(record_count - decoded);
+                    stats.note_error(record_at);
+                }
                 None => return Err(e),
             },
             None => {
@@ -665,13 +750,20 @@ fn encode_io_error(e: EncodeError) -> std::io::Error {
 
 /// Writes a trace to a file in the binary format. The trace must be
 /// time-sorted; an unsorted trace fails with `InvalidInput`.
+///
+/// The write is durable (write-temp, fsync, rename — see
+/// [`crate::store::durable_write`]): a crash mid-write leaves either the
+/// previous file or the new one, never a torn hybrid.
 pub fn write_file(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, encode(trace).map_err(encode_io_error)?)
+    let bytes = encode(trace).map_err(encode_io_error)?;
+    crate::store::durable_write(path, bytes.to_vec(), "codec.write", jcdn_chaos::handle())
 }
 
-/// Writes a sharded trace to a file, one frame per shard.
+/// Writes a sharded trace to a file, one frame per shard. Durable, like
+/// [`write_file`].
 pub fn write_file_sharded(trace: &ShardedTrace, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, encode_sharded(trace).map_err(encode_io_error)?)
+    let bytes = encode_sharded(trace).map_err(encode_io_error)?;
+    crate::store::durable_write(path, bytes.to_vec(), "codec.write", jcdn_chaos::handle())
 }
 
 /// Reads a binary trace file.
@@ -880,8 +972,14 @@ mod tests {
         // Tolerant decode loses exactly frame 0 and keeps the rest.
         let lost = sharded.shard_records(0).len() as u64;
         let (decoded, stats) = decode_sharded_tolerant(corrupted).unwrap();
-        assert_eq!(stats.frames_dropped, 1);
+        assert_eq!(stats.frames_crc_failed, 1);
+        assert_eq!(stats.frames_truncated, 0);
+        assert_eq!(stats.frames_dropped(), 1);
         assert_eq!(stats.records_dropped, lost);
+        assert!(
+            stats.first_error_offset.is_some(),
+            "corruption is localized"
+        );
         assert_eq!(stats.records_decoded, 100 - lost);
         assert_eq!(decoded.shard_count(), 4, "dropped frame keeps its slot");
         assert!(decoded.shard_records(0).is_empty());
@@ -903,7 +1001,8 @@ mod tests {
         );
 
         let (decoded, stats) = decode_sharded_tolerant(truncated).unwrap();
-        assert_eq!(stats.frames_dropped, 1, "only the cut frame is lost");
+        assert_eq!(stats.frames_truncated, 1, "only the cut frame is lost");
+        assert_eq!(stats.frames_crc_failed, 0);
         assert_eq!(decoded.shard_count(), 3);
         for i in 0..3 {
             assert_eq!(decoded.shard_records(i), sharded.shard_records(i));

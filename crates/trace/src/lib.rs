@@ -35,6 +35,8 @@ pub mod flows;
 mod interner;
 mod record;
 mod sharded;
+/// Durable, resumable on-disk trace store (crash-safety contract).
+pub mod store;
 mod stream;
 /// Per-dataset summary statistics (Table 1 of the paper).
 pub mod summary;

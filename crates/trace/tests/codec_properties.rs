@@ -255,4 +255,56 @@ proptest! {
         data[idx] ^= 1 << flip_bit;
         let _ = decode(Bytes::from(data)); // may fail, must not panic
     }
+
+    // The crash-safety contract for the tolerant reader: arbitrary
+    // single-byte corruption of a valid sharded payload never panics and
+    // never invents records — whatever survives is a subset of what was
+    // encoded, and the stats account for the loss.
+    #[test]
+    fn tolerant_decode_of_bit_flipped_shards_never_over_returns(
+        records in prop::collection::vec(arb_record(), 1..80),
+        shards in 1usize..6,
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let sharded = ShardedTrace::from_trace(build_trace(&records), shards);
+        let encoded_records = sharded.len();
+        let mut data = encode_sharded(&sharded).expect("sorted shards encode").to_vec();
+        let idx = flip_at.index(data.len());
+        data[idx] ^= 1 << flip_bit;
+        // May fail outright (header/table damage), must not panic; on
+        // success the surviving records and the drop tally partition the
+        // encoded set — nothing is duplicated or fabricated.
+        if let Ok((survived, stats)) = jcdn_trace::codec::decode_sharded_tolerant(Bytes::from(data)) {
+            prop_assert!(survived.len() <= encoded_records, "over-returned records");
+            prop_assert_eq!(stats.records_decoded, survived.len() as u64);
+            prop_assert!(
+                stats.records_decoded + stats.records_dropped <= encoded_records as u64,
+                "decoded + dropped exceeds what was encoded"
+            );
+            if !stats.is_clean() {
+                prop_assert!(stats.first_error_offset.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_of_truncated_shards_never_panics_or_over_returns(
+        records in prop::collection::vec(arb_record(), 1..80),
+        shards in 1usize..6,
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let sharded = ShardedTrace::from_trace(build_trace(&records), shards);
+        let encoded_records = sharded.len();
+        let mut data = encode_sharded(&sharded).expect("sorted shards encode").to_vec();
+        data.truncate(cut_at.index(data.len()));
+        if let Ok((survived, stats)) = jcdn_trace::codec::decode_sharded_tolerant(Bytes::from(data)) {
+            prop_assert!(survived.len() <= encoded_records, "over-returned records");
+            prop_assert_eq!(stats.records_decoded, survived.len() as u64);
+            prop_assert!(
+                stats.records_decoded + stats.records_dropped <= encoded_records as u64,
+                "decoded + dropped exceeds what was encoded"
+            );
+        }
+    }
 }

@@ -68,9 +68,16 @@ fn main() -> ExitCode {
     let generate_us = generate.elapsed_us().max(1);
     let records = data.trace.len() as u64;
 
-    let codec = Stopwatch::start();
+    // Partitioning (a canonical sort of the full trace) is timed apart
+    // from the codec: earlier baselines folded it into
+    // `codec_roundtrip_us`, which hid ~1s of sort time inside the codec
+    // number on this workload.
+    let shard_clock = Stopwatch::start();
     let sharded = ShardedTrace::from_trace(data.trace, shards);
-    let encoded = match jcdn_trace::codec::encode_sharded(&sharded) {
+    let shard_us = shard_clock.elapsed_us().max(1);
+
+    let codec = Stopwatch::start();
+    let encoded = match jcdn_trace::codec::encode_sharded_parallel(&sharded, threads) {
         Ok(bytes) => bytes,
         Err(e) => {
             eprintln!("encode failed: {e}");
@@ -78,7 +85,7 @@ fn main() -> ExitCode {
         }
     };
     let encoded_bytes = encoded.len() as u64;
-    let decoded = match jcdn_trace::codec::decode_sharded(encoded) {
+    let decoded = match jcdn_trace::codec::decode_sharded_parallel(&encoded, threads) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("own encoding failed to decode: {e}");
@@ -103,6 +110,7 @@ fn main() -> ExitCode {
     w.field_u64("records", records);
     w.field_u64("encoded_bytes", encoded_bytes);
     w.field_u64("generate_us", generate_us);
+    w.field_u64("shard_us", shard_us);
     w.field_u64("codec_roundtrip_us", codec_us);
     w.field_u64("characterize_us", characterize_us);
     w.field_u64("generate_records_per_sec", per_sec(generate_us));

@@ -1,0 +1,165 @@
+//! Emits `BENCH_codec_v4.json`: before/after codec round-trip times for
+//! the columnar v4 format against the retired row-major v3 layout, on the
+//! same ~1M-record workload the pipeline baseline uses, at 1 and 8 shards.
+//!
+//! ```sh
+//! cargo run --release -p jcdn-bench --bin codec                 # 1M records
+//! cargo run --release -p jcdn-bench --bin codec -- --scale 0.1  # quick look
+//! ```
+//!
+//! The v3 side encodes through the frozen [`jcdn_trace::compat`] writers
+//! (the live codec no longer produces v3) and decodes through the live
+//! decoder's back-compat path — exactly what a v3 file on disk pays today.
+
+use std::process::ExitCode;
+
+use jcdn_cdnsim::SimConfig;
+use jcdn_core::dataset::simulate_workload_parallel;
+use jcdn_obs::clock::Stopwatch;
+use jcdn_obs::json::ObjectWriter;
+use jcdn_obs::manifest::peak_rss_kb;
+use jcdn_trace::ShardedTrace;
+use jcdn_workload::{build_parallel, WorkloadConfig};
+
+struct RoundTrip {
+    encode_us: u64,
+    decode_us: u64,
+    bytes: u64,
+}
+
+fn time_round_trip(
+    encode: impl FnOnce() -> Result<bytes::Bytes, jcdn_trace::codec::EncodeError>,
+    decode: impl FnOnce(bytes::Bytes) -> Result<ShardedTrace, jcdn_trace::codec::DecodeError>,
+    expect_records: usize,
+) -> Result<RoundTrip, String> {
+    let clock = Stopwatch::start();
+    let encoded = encode().map_err(|e| format!("encode failed: {e}"))?;
+    let encode_us = clock.elapsed_us().max(1);
+    let bytes = encoded.len() as u64;
+    let clock = Stopwatch::start();
+    let decoded = decode(encoded).map_err(|e| format!("own encoding failed to decode: {e}"))?;
+    let decode_us = clock.elapsed_us().max(1);
+    if decoded.len() != expect_records {
+        return Err(format!(
+            "round-trip lost records: {} != {expect_records}",
+            decoded.len()
+        ));
+    }
+    Ok(RoundTrip {
+        encode_us,
+        decode_us,
+        bytes,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut scale = 2.0f64;
+    let mut seed = 2019u64;
+    let mut threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut out = String::from("BENCH_codec_v4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => scale = parse(&value("--scale"), "--scale"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--threads" => threads = parse(&value("--threads"), "--threads"),
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = WorkloadConfig::short_term(seed).scaled(scale);
+    eprintln!(
+        "codec bench: ~{} events, {} threads",
+        config.target_events, threads
+    );
+    let workload = build_parallel(&config, threads);
+    let data = simulate_workload_parallel(workload, &SimConfig::default(), threads);
+    let records = data.trace.len();
+
+    let mut body = String::new();
+    let mut w = ObjectWriter::begin(&mut body);
+    w.field_str("benchmark", "codec-v3-vs-v4-roundtrip");
+    w.field_str("preset", "short");
+    w.field_raw("scale", &format!("{scale}"));
+    w.field_u64("seed", seed);
+    w.field_u64("threads", threads as u64);
+    w.field_u64("records", records as u64);
+
+    for shards in [1usize, 8] {
+        let sharded = ShardedTrace::from_trace(data.trace.clone(), shards);
+        let v3 = match time_round_trip(
+            || jcdn_trace::compat::encode_sharded_v3(&sharded),
+            |b| jcdn_trace::codec::decode_sharded_parallel(&b, threads),
+            records,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("v3 shards={shards}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let v4 = match time_round_trip(
+            || jcdn_trace::codec::encode_sharded_parallel(&sharded, threads),
+            |b| jcdn_trace::codec::decode_sharded_parallel(&b, threads),
+            records,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("v4 shards={shards}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let v3_total = v3.encode_us + v3.decode_us;
+        let v4_total = v4.encode_us + v4.decode_us;
+        w.field_u64(&format!("v3_shards{shards}_encode_us"), v3.encode_us);
+        w.field_u64(&format!("v3_shards{shards}_decode_us"), v3.decode_us);
+        w.field_u64(&format!("v3_shards{shards}_roundtrip_us"), v3_total);
+        w.field_u64(&format!("v3_shards{shards}_bytes"), v3.bytes);
+        w.field_u64(&format!("v4_shards{shards}_encode_us"), v4.encode_us);
+        w.field_u64(&format!("v4_shards{shards}_decode_us"), v4.decode_us);
+        w.field_u64(&format!("v4_shards{shards}_roundtrip_us"), v4_total);
+        w.field_u64(&format!("v4_shards{shards}_bytes"), v4.bytes);
+        w.field_raw(
+            &format!("v4_shards{shards}_speedup"),
+            &format!("{:.2}", v3_total as f64 / v4_total as f64),
+        );
+        eprintln!(
+            "shards={shards}: v3 {v3_total} µs, v4 {v4_total} µs ({:.2}x), \
+             bytes {} -> {}",
+            v3_total as f64 / v4_total as f64,
+            v3.bytes,
+            v4.bytes
+        );
+    }
+    match peak_rss_kb() {
+        Some(kb) => w.field_u64("peak_rss_kb", kb),
+        None => w.field_raw("peak_rss_kb", "null"),
+    }
+    w.end();
+
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("{out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, what: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{what}: cannot parse {raw:?}");
+        std::process::exit(2)
+    })
+}

@@ -266,26 +266,28 @@ impl Chaos for FailPlan {
         let nth_now = self.writes_seen.fetch_add(1, Ordering::SeqCst) + 1;
         for (salt, planned) in self.points.iter().enumerate() {
             match &planned.point {
-                FailPoint::WriteError { nth } if *nth == nth_now => {
-                    if !planned.fired.swap(true, Ordering::SeqCst) {
-                        return Err(InjectedIoError {
-                            what: format!("write #{nth_now} [{label}]"),
-                        });
-                    }
+                FailPoint::WriteError { nth }
+                    if *nth == nth_now && !planned.fired.swap(true, Ordering::SeqCst) =>
+                {
+                    return Err(InjectedIoError {
+                        what: format!("write #{nth_now} [{label}]"),
+                    });
                 }
-                FailPoint::TruncateWrite { nth, keep } if *nth == nth_now => {
-                    if !planned.fired.swap(true, Ordering::SeqCst) {
-                        let len = bytes.len() as u64;
-                        let keep = keep.unwrap_or_else(|| self.derived(salt as u64, len.max(1)));
-                        bytes.truncate(keep.min(len) as usize);
-                    }
+                FailPoint::TruncateWrite { nth, keep }
+                    if *nth == nth_now && !planned.fired.swap(true, Ordering::SeqCst) =>
+                {
+                    let len = bytes.len() as u64;
+                    let keep = keep.unwrap_or_else(|| self.derived(salt as u64, len.max(1)));
+                    bytes.truncate(keep.min(len) as usize);
                 }
-                FailPoint::BitFlipWrite { nth, offset } if *nth == nth_now => {
-                    if !planned.fired.swap(true, Ordering::SeqCst) && !bytes.is_empty() {
-                        let len = bytes.len() as u64;
-                        let at = offset.unwrap_or_else(|| self.derived(salt as u64, len)) % len;
-                        bytes[at as usize] ^= 0x01;
-                    }
+                FailPoint::BitFlipWrite { nth, offset }
+                    if *nth == nth_now
+                        && !planned.fired.swap(true, Ordering::SeqCst)
+                        && !bytes.is_empty() =>
+                {
+                    let len = bytes.len() as u64;
+                    let at = offset.unwrap_or_else(|| self.derived(salt as u64, len)) % len;
+                    bytes[at as usize] ^= 0x01;
                 }
                 _ => {}
             }
@@ -296,11 +298,11 @@ impl Chaos for FailPlan {
     fn on_task(&self, label: &str, index: usize) {
         for planned in &self.points {
             match &planned.point {
-                FailPoint::PanicOnce { label: l, index: k } if l == label && *k == index => {
-                    if !planned.fired.swap(true, Ordering::SeqCst) {
-                        // jcdn-lint: allow(D3) -- panicking is this fail point's entire purpose; fires only from an installed test plan
-                        panic!("chaos: injected panic in task {index} of {label}");
-                    }
+                FailPoint::PanicOnce { label: l, index: k }
+                    if l == label && *k == index && !planned.fired.swap(true, Ordering::SeqCst) =>
+                {
+                    // jcdn-lint: allow(D3) -- panicking is this fail point's entire purpose; fires only from an installed test plan
+                    panic!("chaos: injected panic in task {index} of {label}");
                 }
                 FailPoint::PanicAlways { label: l, index: k } if l == label && *k == index => {
                     // jcdn-lint: allow(D3) -- panicking is this fail point's entire purpose; fires only from an installed test plan

@@ -28,16 +28,14 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let args = Args::parse_with_switches(argv, &allowed, &["resume"])?;
     let mut obs = obs_args::begin("characterize", &args)?;
     let path = args.positional("trace path")?;
-    let threads: usize = args.number("threads", 1usize)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
+    let threads = crate::commands::parse_threads(&args)?;
 
     // The file's own shard frames are the default partitioning; --shards
     // re-partitions (e.g. a v1/v2 single-frame file analyzed on 8 threads).
     // The read is tolerant: a damaged file analyzes what survived, with
     // the loss counted and surfaced instead of silently aborting the run.
-    let (mut sharded, decode_stats, shards_missing) = read_input(path, args.switch("resume"))?;
+    let (mut sharded, decode_stats, shards_missing) =
+        read_input(path, args.switch("resume"), threads)?;
     let shards: usize = args.number("shards", 0)?; // 0 = keep the file's framing
     if shards > 0 && shards != sharded.shard_count() {
         sharded = ShardedTrace::from_trace(sharded.into_trace(), shards);
@@ -140,7 +138,11 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
 /// final file is absent — whatever an unfinished `generate` run staged.
 /// Returns the sharded trace, the decode tallies, and the count of shard
 /// slots with no usable data.
-fn read_input(path: &str, resume: bool) -> Result<(ShardedTrace, DecodeStats, u64), String> {
+fn read_input(
+    path: &str,
+    resume: bool,
+    threads: usize,
+) -> Result<(ShardedTrace, DecodeStats, u64), String> {
     let p = Path::new(path);
     if resume && !p.exists() {
         let (sharded, stats) = jcdn_trace::store::read_staged(p).map_err(|e| {
@@ -153,8 +155,8 @@ fn read_input(path: &str, resume: bool) -> Result<(ShardedTrace, DecodeStats, u6
         );
         return Ok((sharded, stats.decode, stats.shards_missing));
     }
-    let (sharded, stats) =
-        jcdn_trace::codec::read_file_sharded_tolerant(p).map_err(|e| format!("{path}: {e}"))?;
+    let (sharded, stats) = jcdn_trace::codec::read_file_sharded_tolerant_parallel(p, threads)
+        .map_err(|e| format!("{path}: {e}"))?;
     Ok((sharded, stats, 0))
 }
 
@@ -177,7 +179,9 @@ fn print_salvage_footer(decode: &DecodeStats, shards_missing: u64, health: &Exec
         );
     }
     if shards_missing > 0 {
-        println!("store: {shards_missing} staged shard(s) missing or damaged, analyzed without them");
+        println!(
+            "store: {shards_missing} staged shard(s) missing or damaged, analyzed without them"
+        );
     }
     if !health.is_complete() {
         let list: Vec<String> = health.quarantined.iter().map(usize::to_string).collect();

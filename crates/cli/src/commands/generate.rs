@@ -108,18 +108,17 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         data.trace.ua_count(),
     );
     let summary_row = data.summary().table_row();
-    let mut last_time = None;
-    let mut index_base = 0;
     if shards > 1 {
         let sharded = ShardedTrace::from_trace(data.trace, shards);
         writer
             .commit_interner(sharded.interner())
             .map_err(|e| format!("{out}: {e}"))?;
-        for i in 0..sharded.shard_count() {
-            writer
-                .write_shard(i, sharded.shard_records(i), &mut last_time, &mut index_base)
-                .map_err(|e| format!("{out}: shard {i}: {e}"))?;
-        }
+        let slices: Vec<&[jcdn_trace::LogRecord]> = (0..sharded.shard_count())
+            .map(|i| sharded.shard_records(i))
+            .collect();
+        writer
+            .write_shards(&slices, threads)
+            .map_err(|e| format!("{out}: {e}"))?;
         eprintln!(
             "wrote {records} records in {} shard frames ({urls} distinct URLs, {uas} UAs) to {out}",
             sharded.shard_count()
@@ -131,7 +130,7 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
             .commit_interner(data.trace.interner())
             .map_err(|e| format!("{out}: {e}"))?;
         writer
-            .write_shard(0, data.trace.records(), &mut last_time, &mut index_base)
+            .write_shards(&[data.trace.records()], threads)
             .map_err(|e| format!("{out}: {e}"))?;
         eprintln!("wrote {records} records ({urls} distinct URLs, {uas} UAs) to {out}");
     }

@@ -3,27 +3,33 @@
 use std::path::Path;
 
 use crate::args::Args;
-use crate::commands::{load_trace_tolerant, Outcome};
+use crate::commands::{load_trace_tolerant, parse_threads, Outcome};
 use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<Outcome, String> {
-    let mut allowed = vec!["out"];
+    let mut allowed = vec!["out", "threads"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
     let mut obs = obs_args::begin("merge", &args)?;
     let out = args.require("out")?;
+    let threads = parse_threads(&args)?;
     let inputs = args.positionals();
     if inputs.len() < 2 {
         return Err("merge needs at least two input traces".into());
     }
     // Inputs load tolerantly: one damaged file costs its corrupt records,
     // not the whole merge — with the loss counted and reported below.
+    // Stats are kept per input because `first_error_offset` is an offset
+    // into that input's buffer; a minimum across files is meaningless.
     let mut decode_stats = jcdn_trace::codec::DecodeStats::default();
-    let (mut merged, first_stats) = load_trace_tolerant(&inputs[0])?;
-    decode_stats.merge(&first_stats);
-    for path in &inputs[1..] {
-        let (next, stats) = load_trace_tolerant(path)?;
+    let mut damaged: Vec<(&str, jcdn_trace::codec::DecodeStats)> = Vec::new();
+    let mut merged = jcdn_trace::Trace::new();
+    for path in inputs {
+        let (next, stats) = load_trace_tolerant(path, threads)?;
         decode_stats.merge(&stats);
+        if !stats.is_clean() {
+            damaged.push((path, stats));
+        }
         merged.merge(&next);
     }
     merged.sort_canonical();
@@ -36,16 +42,30 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     );
     if !decode_stats.is_clean() {
         eprintln!(
-            "decode: dropped {} record(s) ({} CRC-failed frame(s), {} truncated \
+            "decode: dropped {} record(s) ({} CRC-failed, {} truncated, {} header-damaged \
              frame(s)) across the inputs ({} decoded)",
             decode_stats.records_dropped,
             decode_stats.frames_crc_failed,
             decode_stats.frames_truncated,
+            decode_stats.frames_header_damaged,
             decode_stats.records_decoded
         );
+        for (path, stats) in &damaged {
+            match stats.first_error_offset {
+                Some(at) => eprintln!(
+                    "decode: {path}: first error at byte {at}, {} record(s) dropped",
+                    stats.records_dropped
+                ),
+                None => eprintln!(
+                    "decode: {path}: {} record(s) dropped",
+                    stats.records_dropped
+                ),
+            }
+        }
     }
     obs.manifest.param("out", out);
     obs.manifest.param("inputs", inputs.len());
+    obs.manifest.param("threads", threads);
     obs.manifest.codec_version = jcdn_trace::codec::VERSION;
     obs.manifest
         .metrics
@@ -59,6 +79,10 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     obs.manifest
         .metrics
         .inc("codec.frames.truncated", decode_stats.frames_truncated);
+    obs.manifest.metrics.inc(
+        "codec.frames.header_damaged",
+        decode_stats.frames_header_damaged,
+    );
     obs.manifest
         .metrics
         .inc("merge.records", merged.len() as u64);

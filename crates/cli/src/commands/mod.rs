@@ -26,16 +26,28 @@ pub enum Outcome {
     Salvaged,
 }
 
-/// Loads a binary trace file with a readable error.
-pub fn load_trace(path: &str) -> Result<Trace, String> {
-    jcdn_trace::codec::read_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+/// Loads a binary trace file with a readable error, decoding shard
+/// frames on up to `threads` workers.
+pub fn load_trace(path: &str, threads: usize) -> Result<Trace, String> {
+    jcdn_trace::codec::read_file_parallel(Path::new(path), threads)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 /// Loads a binary trace file tolerantly: a damaged payload yields what
 /// could be salvaged plus the drop tallies (see
 /// [`jcdn_trace::codec::decode_sharded_tolerant`]).
-pub fn load_trace_tolerant(path: &str) -> Result<(Trace, DecodeStats), String> {
-    let (sharded, stats) = jcdn_trace::codec::read_file_sharded_tolerant(Path::new(path))
-        .map_err(|e| format!("{path}: {e}"))?;
+pub fn load_trace_tolerant(path: &str, threads: usize) -> Result<(Trace, DecodeStats), String> {
+    let (sharded, stats) =
+        jcdn_trace::codec::read_file_sharded_tolerant_parallel(Path::new(path), threads)
+            .map_err(|e| format!("{path}: {e}"))?;
     Ok((sharded.into_trace(), stats))
+}
+
+/// Parses the shared `--threads` flag (decode/encode fan-out width).
+pub fn parse_threads(args: &crate::args::Args) -> Result<usize, String> {
+    let threads: usize = args.number("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
 }

@@ -4,16 +4,17 @@ use jcdn_core::prediction::{run_study, PredictionStudyConfig};
 use jcdn_core::report::TextTable;
 
 use crate::args::Args;
-use crate::commands::{load_trace, Outcome};
+use crate::commands::{load_trace, parse_threads, Outcome};
 use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<Outcome, String> {
-    let mut allowed = vec!["history", "k", "train-percent"];
+    let mut allowed = vec!["history", "k", "train-percent", "threads"];
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse(argv, &allowed)?;
     let mut obs = obs_args::begin("predict", &args)?;
     let path = args.positional("trace path")?;
-    let trace = load_trace(path)?;
+    let threads = parse_threads(&args)?;
+    let trace = load_trace(path, threads)?;
     obs.manifest.param("trace", path);
 
     let config = PredictionStudyConfig {

@@ -12,7 +12,7 @@
 //! When `JCDN_CHAOS_ARTIFACTS` names a directory, every invocation also
 //! writes its obs run manifest there for upload.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn shards() -> usize {
@@ -87,7 +87,7 @@ fn generate_args<'a>(out: &'a str, n_shards: &'a str, extra: &[&'a str]) -> Vec<
 
 /// Clean baseline run in `dir`: returns the trace bytes and the
 /// characterize stdout every recovery path must reproduce exactly.
-fn baseline(tag: &str, dir: &PathBuf) -> (Vec<u8>, String) {
+fn baseline(tag: &str, dir: &Path) -> (Vec<u8>, String) {
     let trace = dir.join("clean.jcdn");
     let trace_str = trace.to_str().unwrap();
     let n = shards().to_string();
@@ -98,7 +98,11 @@ fn baseline(tag: &str, dir: &PathBuf) -> (Vec<u8>, String) {
     );
     assert!(out.status.success(), "{}", stderr_of(&out));
     let bytes = std::fs::read(&trace).expect("baseline trace");
-    let out = jcdn(&format!("{tag}-baseline-char"), &["characterize", trace_str], None);
+    let out = jcdn(
+        &format!("{tag}-baseline-char"),
+        &["characterize", trace_str],
+        None,
+    );
     assert!(out.status.success(), "{}", stderr_of(&out));
     (bytes, stdout_of(&out))
 }
@@ -116,9 +120,15 @@ fn write_error_mid_generate_then_resume_is_byte_identical() {
     let failed_shard = shards() / 2;
     let spec = format!("write-error:{}", shard_write_ordinal(failed_shard));
     let out = jcdn("werr-kill", &generate_args(trace_str, &n, &[]), Some(&spec));
-    assert!(!out.status.success(), "injected write error must fail the run");
+    assert!(
+        !out.status.success(),
+        "injected write error must fail the run"
+    );
     assert_no_abort(&out);
-    assert!(!trace.exists(), "no final file may appear from a failed run");
+    assert!(
+        !trace.exists(),
+        "no final file may appear from a failed run"
+    );
 
     // Resume recomputes only what is missing and reuses the rest.
     let out = jcdn(
@@ -129,9 +139,7 @@ fn write_error_mid_generate_then_resume_is_byte_identical() {
     assert!(out.status.success(), "{}", stderr_of(&out));
     if failed_shard > 0 {
         assert!(
-            stderr_of(&out).contains(&format!(
-                "resume: reused {failed_shard} committed shard(s)"
-            )),
+            stderr_of(&out).contains(&format!("resume: reused {failed_shard} committed shard(s)")),
             "{}",
             stderr_of(&out)
         );
@@ -153,7 +161,11 @@ fn write_error_mid_generate_then_resume_is_byte_identical() {
         None,
     );
     assert!(out.status.success(), "{}", stderr_of(&out));
-    assert!(stderr_of(&out).contains("already complete"), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("already complete"),
+        "{}",
+        stderr_of(&out)
+    );
     assert_eq!(std::fs::read(&trace).expect("trace"), clean_bytes);
 
     std::fs::remove_dir_all(&dir).ok();
@@ -171,7 +183,10 @@ fn torn_shard_write_is_caught_at_finalize_and_resume_heals() {
     // write. The CRC check at finalize must refuse to publish it.
     let spec = format!("seed=3;truncate:{}:*", shard_write_ordinal(0));
     let out = jcdn("torn-kill", &generate_args(trace_str, &n, &[]), Some(&spec));
-    assert!(!out.status.success(), "torn staged shard must fail finalize");
+    assert!(
+        !out.status.success(),
+        "torn staged shard must fail finalize"
+    );
     assert_no_abort(&out);
     assert!(
         stderr_of(&out).contains("missing or damaged"),
@@ -204,7 +219,10 @@ fn bit_flipped_shard_write_is_caught_at_finalize_and_resume_heals() {
     let last = shards() - 1;
     let spec = format!("seed=9;bitflip:{}:*", shard_write_ordinal(last));
     let out = jcdn("flip-kill", &generate_args(trace_str, &n, &[]), Some(&spec));
-    assert!(!out.status.success(), "bit-flipped staged shard must fail finalize");
+    assert!(
+        !out.status.success(),
+        "bit-flipped staged shard must fail finalize"
+    );
     assert_no_abort(&out);
     assert!(!trace.exists());
 
@@ -263,7 +281,11 @@ fn corrupted_final_file_salvages_with_exit_code_3() {
     let last = bytes.len() - 1;
     bytes[last] ^= 0x40;
     std::fs::write(&flipped, &bytes).expect("write corrupted copy");
-    let out = jcdn("corr-flip", &["characterize", flipped.to_str().unwrap()], None);
+    let out = jcdn(
+        "corr-flip",
+        &["characterize", flipped.to_str().unwrap()],
+        None,
+    );
     assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
     assert_no_abort(&out);
     let report = stdout_of(&out);

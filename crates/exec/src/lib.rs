@@ -338,6 +338,32 @@ where
         .collect()
 }
 
+/// Fallible fan-out: [`scatter_gather_labeled`] for tasks returning
+/// `Result`. Every item runs (the pool does not cancel work in flight);
+/// if any failed, the error of the **lowest-indexed** failing item is
+/// returned — exactly what a sequential loop stopping at its first
+/// failure would report, so parallel callers keep deterministic,
+/// order-independent error behavior.
+pub fn try_scatter_gather_labeled<T, E, F>(
+    label: &'static str,
+    items: usize,
+    threads: usize,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items);
+    // Results come back in item order, so the first `?` hit below is the
+    // lowest-indexed error.
+    for result in scatter_gather_labeled(label, items, threads, f) {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
 /// Panic-isolated fan-out: like [`scatter_gather_labeled`] but instead of
 /// re-raising a persistent panic it returns the partial result, with the
 /// failing items quarantined (see [`Gathered`]). The filed [`PoolReport`]
@@ -507,6 +533,28 @@ mod tests {
         assert_eq!(report.workers, 1);
         assert_eq!(report.worker_tasks, vec![5]);
         assert_eq!(report.queue_high_water, 0);
+    }
+
+    #[test]
+    fn try_fan_out_returns_all_results_on_success() {
+        let got: Result<Vec<usize>, &str> =
+            try_scatter_gather_labeled("exec.test.try-ok", 9, 3, |i| Ok(i * 3));
+        assert_eq!(got.unwrap(), (0..9).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_fan_out_reports_the_lowest_indexed_error() {
+        for threads in [1, 4] {
+            let got: Result<Vec<usize>, usize> =
+                try_scatter_gather_labeled("exec.test.try-err", 12, threads, |i| {
+                    if i == 7 || i == 3 || i == 11 {
+                        Err(i)
+                    } else {
+                        Ok(i)
+                    }
+                });
+            assert_eq!(got.unwrap_err(), 3, "{threads} threads");
+        }
     }
 
     #[test]

@@ -4,41 +4,67 @@
 //! written once and re-analyzed cheaply; JSONL exists for interop with
 //! external tooling (and is, fittingly for this paper, JSON).
 //!
-//! Version 3 layout (integers little-endian or LEB128 varint):
+//! Version 4 layout (integers little-endian or LEB128 varint):
 //!
 //! ```text
 //! magic  b"JCDN"            4 bytes
-//! version u16               (currently 3)
+//! version u16               (currently 4)
 //! url table: varint count, then per string: varint len + UTF-8 bytes
 //! ua  table: same
 //! shard count: varint
 //! shard frames, each:
-//!   payload length u32 LE   (bytes of record data in this frame)
-//!   record count  varint
-//!   crc32         u32 LE    (IEEE CRC-32 of the payload bytes)
-//!   payload: records, each:
-//!     time   varint (delta from previous record in the SAME frame, µs;
-//!                    the delta base resets to 0 at every frame start)
-//!     client varint
-//!     ua     varint (0 = absent, else UaId + 1)
-//!     url    varint (UrlId)
-//!     method u8, mime u8, cache u8
-//!     retry  u8  (attempt number, 0 = first try)
-//!     flags  u8  (RecordFlags bit set)
-//!     status varint
-//!     bytes  varint
+//!   body length    u32 LE   (descriptor + columns)
+//!   descriptor crc u32 LE   (CRC-32 of the descriptor bytes)
+//!   descriptor:
+//!     record count varint
+//!     9 × (column length varint, column crc u32 LE), in column order
+//!   columns, concatenated in order (n = record count):
+//!     0 times    n varints: zigzag(delta µs); the delta base resets to 0
+//!                at every frame start
+//!     1 clients  group-varint64: per 4 values one control byte (2-bit
+//!                width codes → {1,2,4,8} bytes), then the values LE
+//!     2 uas      group-varint32 (widths {1,2,3,4}) of 0 = absent,
+//!                else UaId + 1
+//!     3 urls     group-varint32 of UrlId
+//!     4 mmc      n bytes: method << 5 | mime << 2 | cache
+//!     5 flags    ⌈n/2⌉ bytes: two RecordFlags nibbles per byte, record
+//!                i in byte i/2, even i in the low nibble
+//!     6 retries  sparse exceptions: varint count, then per nonzero
+//!                retry: varint index delta (first is absolute; later
+//!                deltas must be ≥ 1), u8 value
+//!     7 statuses varint dict length, dict entries u16 LE in first-
+//!                appearance order, then n indices (u8 if the dict has
+//!                ≤ 256 entries, else u16 LE)
+//!     8 bytes    n varints: response sizes
 //! ```
 //!
-//! Length-prefixed frames let a reader skip or hand whole shards to worker
-//! threads without parsing records, and the per-frame CRC localizes
-//! corruption to one shard. Version 1 (no retry/flags bytes) and version 2
-//! (unframed record stream) payloads still decode — into a single shard.
+//! A trailing group-varint group with fewer than 4 values still writes one
+//! control byte; the decoder knows `n`, and unused control slots code 0.
+//!
+//! Columnar frames let the decoder bulk-read each field into a pre-sized
+//! vector instead of re-dispatching per record, and the whole decode
+//! borrows from the input buffer — no intermediate copies. The
+//! CRC-protected descriptor means a flipped record count or column length
+//! is always *detected* (the v3 frame header was unprotected, so an
+//! inflated count could silently skew salvage accounting), and per-column
+//! CRCs localize payload damage. Length-prefixed frames let a reader hand
+//! whole shards to worker threads without parsing records; both encode and
+//! decode fan frames out on the `jcdn-exec` pool (see
+//! [`encode_sharded_parallel`] / [`decode_sharded_parallel`]), with output
+//! identical at any thread count.
+//!
+//! Older payloads still decode: version 3 (framed, per-record
+//! interleaved fields), version 2 (unframed record stream) and version 1
+//! (v2 minus the retry/flags bytes) — the last two into a single shard.
+//! Frozen encoders for those versions live in [`crate::compat`].
 //!
 //! Time is delta-encoded, so **traces must be time-sorted before
 //! encoding**; [`encode`] returns [`EncodeError::OutOfOrder`] on a record
 //! whose timestamp precedes its predecessor's.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::interner::Interner;
 use crate::record::{CacheStatus, ClientId, LogRecord, Method, MimeType, RecordFlags, UaId, UrlId};
@@ -46,13 +72,20 @@ use crate::sharded::ShardedTrace;
 use crate::time::SimTime;
 use crate::trace::Trace;
 
-const MAGIC: &[u8; 4] = b"JCDN";
+pub(crate) const MAGIC: &[u8; 4] = b"JCDN";
 /// The binary format version the encoder writes (decoders accept
 /// [`MIN_VERSION`]..=[`VERSION`]).
-pub const VERSION: u16 = 3;
-/// Oldest version [`decode`] still accepts.
+pub const VERSION: u16 = 4;
 /// The oldest binary format version decoders still read.
 pub const MIN_VERSION: u16 = 1;
+
+/// Number of per-field columns in a v4 frame.
+const COLUMNS: usize = 9;
+
+/// Minimum encoded size of one v3 record (each of the 6 varint fields is
+/// at least 1 byte, plus 5 fixed tag bytes). Bounds how many records a
+/// damaged v3 frame header can plausibly promise.
+const MIN_V3_RECORD_BYTES: usize = 11;
 
 /// Encoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,11 +102,11 @@ pub enum EncodeError {
         /// The offending record's timestamp.
         next: SimTime,
     },
-    /// A shard frame's encoded payload exceeded the u32 length prefix.
+    /// A shard frame's encoded body exceeded the u32 length prefix.
     FrameTooLarge {
         /// Index of the oversized shard frame.
         shard: usize,
-        /// Encoded payload size in bytes.
+        /// Encoded body size in bytes.
         bytes: usize,
     },
 }
@@ -89,7 +122,7 @@ impl std::fmt::Display for EncodeError {
             ),
             EncodeError::FrameTooLarge { shard, bytes } => write!(
                 f,
-                "shard frame {shard} payload is {bytes} bytes; the length prefix is u32"
+                "shard frame {shard} body is {bytes} bytes; the length prefix is u32"
             ),
         }
     }
@@ -116,17 +149,21 @@ pub enum DecodeError {
     DanglingId,
     /// A delta-encoded timestamp overflowed the time axis.
     TimeOverflow,
-    /// A shard frame's payload did not match its stored CRC-32.
+    /// A shard frame failed a stored CRC-32 check (descriptor or column
+    /// in v4, whole payload in v3).
     BadChecksum {
         /// Index of the corrupt shard frame.
         shard: usize,
     },
-    /// A shard frame's record data and payload length disagree.
+    /// A shard frame's self-description and its actual bytes disagree.
     FrameMismatch,
     /// A string table overflowed the 32-bit id space.
     TableOverflow,
     /// A status code exceeded 16 bits.
     StatusOverflow,
+    /// A v4 column's values are internally inconsistent (trailing bytes,
+    /// out-of-range dictionary or exception indices, wrong fixed width).
+    BadColumnValue(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -146,6 +183,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::FrameMismatch => write!(f, "shard frame length and records disagree"),
             DecodeError::TableOverflow => write!(f, "string table overflows 32-bit id space"),
             DecodeError::StatusOverflow => write!(f, "status code overflows 16 bits"),
+            DecodeError::BadColumnValue(what) => {
+                write!(f, "malformed {what} column in a columnar frame")
+            }
         }
     }
 }
@@ -198,22 +238,75 @@ pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
-    let mut v: u64 = 0;
-    for shift in (0..64).step_by(7) {
-        if !buf.has_remaining() {
-            return Err(DecodeError::Truncated);
-        }
-        let byte = buf.get_u8();
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(v);
-        }
-    }
-    Err(DecodeError::VarintOverflow)
+/// A zero-copy reader over a byte slice. Every decode path goes through
+/// it: reads borrow from the input buffer, bounds failures surface as
+/// [`DecodeError::Truncated`], and [`Cursor::pos`] gives the absolute
+/// offset the salvage tallies report.
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-fn zigzag(v: i64) -> u64 {
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Borrows the next `len` bytes out of the input.
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+        if end > self.data.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+
+    pub(crate) fn get_u16_le(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// LEB128 varint, at most 10 bytes. The tenth byte may only carry bit
+    /// 63: a continuation bit there, or value bits that a 64-bit shift
+    /// would silently discard, are corruption — both yield
+    /// [`DecodeError::VarintOverflow`] rather than a wrong value.
+    pub(crate) fn get_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte & !0x01 != 0 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::VarintOverflow)
+    }
+}
+
+pub(crate) fn zigzag(v: i64) -> u64 {
     // jcdn-lint: allow(D4) -- zigzag is a bijective bit reinterpretation, not a narrowing
     ((v << 1) ^ (v >> 63)) as u64
 }
@@ -236,51 +329,263 @@ fn to_usize(v: u64, err: DecodeError) -> Result<usize, DecodeError> {
     usize::try_from(v).map_err(|_| err)
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+/// `u32 → usize` table index, lossless on every supported target.
+fn index32(v: u32) -> usize {
+    // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
+    v as usize
+}
+
+/// Widens a count for the [`DecodeStats`] tallies.
+fn count_u64(n: usize) -> u64 {
+    // jcdn-lint: allow(D4) -- usize → u64 widens; it cannot truncate
+    n as u64
+}
+
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
     put_varint(buf, len_u64(s.len()));
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
-    let len = to_usize(get_varint(buf)?, DecodeError::Truncated)?;
-    if buf.remaining() < len {
-        return Err(DecodeError::Truncated);
+fn get_string(cur: &mut Cursor<'_>) -> Result<String, DecodeError> {
+    let len = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
+    // One allocation: validate UTF-8 against the borrowed slice, then copy.
+    std::str::from_utf8(cur.take(len)?)
+        .map(str::to_owned)
+        .map_err(|_| DecodeError::InvalidUtf8)
+}
+
+// ---------------------------------------------------------------------------
+// Group varint: blocks of 4 values share one control byte holding four
+// 2-bit width codes, so the decoder reads widths without per-value branch
+// chains. The 64-bit flavor uses widths {1,2,4,8}; the 32-bit flavor
+// (table ids) uses {1,2,3,4}.
+
+const GV64_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const GV32_WIDTHS: [usize; 4] = [1, 2, 3, 4];
+
+fn gv64_code(v: u64) -> u8 {
+    if v < 1 << 8 {
+        0
+    } else if v < 1 << 16 {
+        1
+    } else if v < 1 << 32 {
+        2
+    } else {
+        3
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
 }
 
-fn put_record(buf: &mut BytesMut, r: &LogRecord, prev_time: &mut i64) {
-    // jcdn-lint: allow(D4) -- the time axis caps at 2^63 µs (~292k simulated years)
-    let t = r.time.as_micros() as i64;
-    put_varint(buf, zigzag(t - *prev_time));
-    *prev_time = t;
-    put_varint(buf, r.client.0);
-    put_varint(buf, r.ua.map_or(0, |ua| u64::from(ua.0) + 1));
-    put_varint(buf, u64::from(r.url.0));
-    buf.put_u8(method_tag(r.method));
-    buf.put_u8(mime_tag(r.mime));
-    buf.put_u8(cache_tag(r.cache));
-    buf.put_u8(r.retries);
-    buf.put_u8(r.flags.bits());
-    put_varint(buf, u64::from(r.status));
-    put_varint(buf, r.response_bytes);
+fn gv32_code(v: u32) -> u8 {
+    if v < 1 << 8 {
+        0
+    } else if v < 1 << 16 {
+        1
+    } else if v < 1 << 24 {
+        2
+    } else {
+        3
+    }
 }
 
+fn put_gv64(out: &mut BytesMut, vals: &[u64]) {
+    for group in vals.chunks(4) {
+        let mut ctrl = 0u8;
+        for (slot, &v) in group.iter().enumerate() {
+            // jcdn-lint: allow(D4) -- slot < 4, so the shift stays in u8 range
+            ctrl |= gv64_code(v) << (2 * slot as u8);
+        }
+        out.put_u8(ctrl);
+        for &v in group {
+            let width = GV64_WIDTHS[usize::from(gv64_code(v))];
+            out.put_slice(&v.to_le_bytes()[..width]);
+        }
+    }
+}
+
+fn put_gv32(out: &mut BytesMut, vals: &[u32]) {
+    for group in vals.chunks(4) {
+        let mut ctrl = 0u8;
+        for (slot, &v) in group.iter().enumerate() {
+            // jcdn-lint: allow(D4) -- slot < 4, so the shift stays in u8 range
+            ctrl |= gv32_code(v) << (2 * slot as u8);
+        }
+        out.put_u8(ctrl);
+        for &v in group {
+            let width = GV32_WIDTHS[usize::from(gv32_code(v))];
+            out.put_slice(&v.to_le_bytes()[..width]);
+        }
+    }
+}
+
+fn get_gv64(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u64>, DecodeError> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let ctrl = cur.get_u8()?;
+        let slots = (n - out.len()).min(4);
+        for slot in 0..slots {
+            // jcdn-lint: allow(D4) -- slot < 4, so the shift stays in u8 range
+            let width = GV64_WIDTHS[usize::from((ctrl >> (2 * slot as u8)) & 0b11)];
+            let bytes = cur.take(width)?;
+            let mut le = [0u8; 8];
+            le[..width].copy_from_slice(bytes);
+            out.push(u64::from_le_bytes(le));
+        }
+    }
+    Ok(out)
+}
+
+fn get_gv32(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u32>, DecodeError> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let ctrl = cur.get_u8()?;
+        let slots = (n - out.len()).min(4);
+        for slot in 0..slots {
+            // jcdn-lint: allow(D4) -- slot < 4, so the shift stays in u8 range
+            let width = GV32_WIDTHS[usize::from((ctrl >> (2 * slot as u8)) & 0b11)];
+            let bytes = cur.take(width)?;
+            let mut le = [0u8; 4];
+            le[..width].copy_from_slice(bytes);
+            out.push(u32::from_le_bytes(le));
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Per-column codecs for the packed v4 columns.
+
+/// Packs method/mime/cache into one byte: `method << 5 | mime << 2 | cache`.
+fn pack_mmc(r: &LogRecord) -> u8 {
+    method_tag(r.method) << 5 | mime_tag(r.mime) << 2 | cache_tag(r.cache)
+}
+
+/// Nibble-packs two records' flag sets per byte (record `i` in byte
+/// `i/2`, even `i` in the low nibble). `RecordFlags` is guaranteed to fit
+/// a nibble by a compile-time assertion next to its definition.
+fn put_flag_column(out: &mut BytesMut, records: &[LogRecord]) {
+    for pair in records.chunks(2) {
+        let low = pair[0].flags.bits();
+        let high = pair.get(1).map_or(0, |r| r.flags.bits());
+        out.put_u8(low | (high << 4));
+    }
+}
+
+/// Sparse exception list: most records retry zero times, so only nonzero
+/// retries are stored as (index delta, value) pairs.
+fn put_retry_column(out: &mut BytesMut, retries: &[u8]) {
+    let count = retries.iter().filter(|&&r| r != 0).count();
+    put_varint(out, len_u64(count));
+    let mut prev = 0usize;
+    let mut first = true;
+    for (i, &r) in retries.iter().enumerate() {
+        if r == 0 {
+            continue;
+        }
+        let delta = if first { i } else { i - prev };
+        put_varint(out, len_u64(delta));
+        out.put_u8(r);
+        prev = i;
+        first = false;
+    }
+}
+
+fn get_retry_column(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u8>, DecodeError> {
+    let count = to_usize(cur.get_varint()?, DecodeError::BadColumnValue("retries"))?;
+    if count > n {
+        return Err(DecodeError::BadColumnValue("retries"));
+    }
+    let mut out = vec![0u8; n];
+    let mut index = 0usize;
+    for slot in 0..count {
+        let delta = to_usize(cur.get_varint()?, DecodeError::BadColumnValue("retries"))?;
+        // A zero delta past the first exception would silently overwrite
+        // the previous entry; indices must be strictly increasing.
+        if slot > 0 && delta == 0 {
+            return Err(DecodeError::BadColumnValue("retries"));
+        }
+        index = if slot == 0 {
+            delta
+        } else {
+            index
+                .checked_add(delta)
+                .ok_or(DecodeError::BadColumnValue("retries"))?
+        };
+        if index >= n {
+            return Err(DecodeError::BadColumnValue("retries"));
+        }
+        out[index] = cur.get_u8()?;
+    }
+    Ok(out)
+}
+
+/// Dictionary-codes statuses: the distinct u16 codes in first-appearance
+/// order, then one index per record (u8 while the dictionary stays ≤ 256
+/// entries, which it always does for real HTTP status mixes).
+fn put_status_column(out: &mut BytesMut, statuses: &[u16]) {
+    let mut dict: Vec<u16> = Vec::new();
+    let mut index_of: HashMap<u16, usize> = HashMap::new();
+    let mut indices: Vec<usize> = Vec::with_capacity(statuses.len());
+    for &s in statuses {
+        let next = dict.len();
+        let idx = *index_of.entry(s).or_insert(next);
+        if idx == next {
+            dict.push(s);
+        }
+        indices.push(idx);
+    }
+    put_varint(out, len_u64(dict.len()));
+    for &s in &dict {
+        out.put_u16_le(s);
+    }
+    if dict.len() <= 256 {
+        for &i in &indices {
+            // jcdn-lint: allow(D4) -- the dictionary has ≤ 256 entries, so the index fits u8
+            out.put_u8(i as u8);
+        }
+    } else {
+        for &i in &indices {
+            // jcdn-lint: allow(D4) -- status codes are u16, so the dictionary fits u16 indices
+            out.put_u16_le(i as u16);
+        }
+    }
+}
+
+fn get_status_column(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u16>, DecodeError> {
+    let dict_len = to_usize(cur.get_varint()?, DecodeError::BadColumnValue("status"))?;
+    if dict_len > 1 << 16 || (n > 0 && dict_len == 0) {
+        return Err(DecodeError::BadColumnValue("status"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(cur.get_u16_le()?);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = if dict.len() <= 256 {
+            usize::from(cur.get_u8()?)
+        } else {
+            usize::from(cur.get_u16_le()?)
+        };
+        out.push(*dict.get(idx).ok_or(DecodeError::BadColumnValue("status"))?);
+    }
+    Ok(out)
+}
+
+/// Decodes one v1–v3 interleaved record.
 fn get_record(
-    buf: &mut Bytes,
+    cur: &mut Cursor<'_>,
     version: u16,
     prev_time: &mut i64,
     url_map: &[UrlId],
     ua_map: &[UaId],
 ) -> Result<LogRecord, DecodeError> {
-    let delta = unzigzag(get_varint(buf)?);
+    let delta = unzigzag(cur.get_varint()?);
     let t = prev_time
         .checked_add(delta)
         .ok_or(DecodeError::TimeOverflow)?;
     *prev_time = t;
-    let client = ClientId(get_varint(buf)?);
-    let ua_raw = get_varint(buf)?;
+    let client = ClientId(cur.get_varint()?);
+    let ua_raw = cur.get_varint()?;
     let ua = if ua_raw == 0 {
         None
     } else {
@@ -290,29 +595,25 @@ fn get_record(
             None => return Err(DecodeError::DanglingId),
         }
     };
-    let url_raw = to_usize(get_varint(buf)?, DecodeError::DanglingId)?;
+    let url_raw = to_usize(cur.get_varint()?, DecodeError::DanglingId)?;
     let url = match url_map.get(url_raw) {
         Some(&mapped) => mapped,
         None => return Err(DecodeError::DanglingId),
     };
-    let tag_bytes = if version >= 2 { 5 } else { 3 };
-    if buf.remaining() < tag_bytes {
-        return Err(DecodeError::Truncated);
-    }
-    let method = untag_method(buf.get_u8())?;
-    let mime = untag_mime(buf.get_u8())?;
-    let cache = untag_cache(buf.get_u8())?;
+    let method = untag_method(cur.get_u8()?)?;
+    let mime = untag_mime(cur.get_u8()?)?;
+    let cache = untag_cache(cur.get_u8()?)?;
     let (retries, flags) = if version >= 2 {
-        let retries = buf.get_u8();
-        let raw = buf.get_u8();
+        let retries = cur.get_u8()?;
+        let raw = cur.get_u8()?;
         let flags =
             RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
         (retries, flags)
     } else {
         (0, RecordFlags::NONE)
     };
-    let status = u16::try_from(get_varint(buf)?).map_err(|_| DecodeError::StatusOverflow)?;
-    let response_bytes = get_varint(buf)?;
+    let status = u16::try_from(cur.get_varint()?).map_err(|_| DecodeError::StatusOverflow)?;
+    let response_bytes = cur.get_varint()?;
     Ok(LogRecord {
         // jcdn-lint: allow(D4) -- clamped non-negative, so i64 → u64 is value-preserving
         time: SimTime::from_micros(t.max(0) as u64),
@@ -336,9 +637,15 @@ fn get_record(
 /// finalize time, which makes a resumed run byte-identical to an
 /// uninterrupted one by construction.
 pub(crate) fn encode_tables(interner: &Interner) -> Bytes {
+    encode_tables_versioned(interner, VERSION)
+}
+
+/// [`encode_tables`] with an explicit version stamp; [`crate::compat`]
+/// uses it to emit historical-format fixtures.
+pub(crate) fn encode_tables_versioned(interner: &Interner, version: u16) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(version);
     put_varint(&mut buf, len_u64(interner.url_table().len()));
     for url in interner.url_table() {
         put_string(&mut buf, url);
@@ -350,8 +657,9 @@ pub(crate) fn encode_tables(interner: &Interner) -> Bytes {
     buf.freeze()
 }
 
-/// One encoded v3 shard frame: the full frame bytes (length prefix,
-/// record count, CRC, payload) plus its record count for index keeping.
+/// One encoded shard frame: the full frame bytes (length prefix,
+/// descriptor CRC, descriptor, columns) plus its record count for index
+/// keeping.
 pub(crate) struct EncodedFrame {
     /// The complete frame bytes, ready for concatenation.
     pub bytes: Bytes,
@@ -359,59 +667,163 @@ pub(crate) struct EncodedFrame {
     pub records: u64,
 }
 
-/// Encodes one shard frame. `index_base`/`last_time` thread the
-/// cross-shard time-ordering check through successive calls, so encoding
-/// shard by shard enforces exactly what [`encode_frames`] enforces in one
-/// pass.
+/// Encodes one columnar v4 shard frame. `index_base`/`last_time` thread
+/// the cross-shard time-ordering check through successive calls, so
+/// encoding shard by shard enforces exactly what a single sequential pass
+/// enforces — which is also what makes parallel per-shard encoding
+/// byte-identical to the sequential order (see [`shard_bases`]).
 pub(crate) fn encode_frame(
     records: &[LogRecord],
     index_base: usize,
     last_time: &mut Option<SimTime>,
     shard_idx: usize,
 ) -> Result<EncodedFrame, EncodeError> {
-    let mut payload = BytesMut::with_capacity(records.len() * 16 + 16);
-    let mut prev_time: i64 = 0;
+    let n = records.len();
+
+    // Column 0 — timestamps. The ordering check rides along because the
+    // time column is where disorder becomes unrepresentable.
+    let mut times = BytesMut::with_capacity(n * 2 + 1);
+    let mut prev: i64 = 0;
     for (offset, r) in records.iter().enumerate() {
-        if let Some(prev) = *last_time {
-            if r.time < prev {
+        if let Some(prev_time) = *last_time {
+            if r.time < prev_time {
                 return Err(EncodeError::OutOfOrder {
                     index: index_base + offset,
-                    prev,
+                    prev: prev_time,
                     next: r.time,
                 });
             }
         }
         *last_time = Some(r.time);
-        put_record(&mut payload, r, &mut prev_time);
+        // jcdn-lint: allow(D4) -- the time axis caps at 2^63 µs (~292k simulated years)
+        let t = r.time.as_micros() as i64;
+        put_varint(&mut times, zigzag(t - prev));
+        prev = t;
     }
-    let payload = payload.freeze();
-    let payload_len = u32::try_from(payload.len()).map_err(|_| EncodeError::FrameTooLarge {
+
+    // Columns 1–3 — ids. The +1 on UA ids cannot overflow: the interner
+    // caps tables at u32::MAX entries, so ids stay below u32::MAX.
+    let clients: Vec<u64> = records.iter().map(|r| r.client.0).collect();
+    let mut clients_col = BytesMut::with_capacity(n * 3 + 1);
+    put_gv64(&mut clients_col, &clients);
+    let uas: Vec<u32> = records
+        .iter()
+        .map(|r| r.ua.map_or(0, |ua| ua.0 + 1))
+        .collect();
+    let mut uas_col = BytesMut::with_capacity(n * 2 + 1);
+    put_gv32(&mut uas_col, &uas);
+    let urls: Vec<u32> = records.iter().map(|r| r.url.0).collect();
+    let mut urls_col = BytesMut::with_capacity(n * 2 + 1);
+    put_gv32(&mut urls_col, &urls);
+
+    // Columns 4–8 — packed scalars.
+    let mut mmc_col = BytesMut::with_capacity(n);
+    for r in records {
+        mmc_col.put_u8(pack_mmc(r));
+    }
+    let mut flags_col = BytesMut::with_capacity(n / 2 + 1);
+    put_flag_column(&mut flags_col, records);
+    let retries: Vec<u8> = records.iter().map(|r| r.retries).collect();
+    let mut retries_col = BytesMut::with_capacity(16);
+    put_retry_column(&mut retries_col, &retries);
+    let statuses: Vec<u16> = records.iter().map(|r| r.status).collect();
+    let mut status_col = BytesMut::with_capacity(n + 16);
+    put_status_column(&mut status_col, &statuses);
+    let mut bytes_col = BytesMut::with_capacity(n * 2 + 1);
+    for r in records {
+        put_varint(&mut bytes_col, r.response_bytes);
+    }
+
+    let cols: [Bytes; COLUMNS] = [
+        times.freeze(),
+        clients_col.freeze(),
+        uas_col.freeze(),
+        urls_col.freeze(),
+        mmc_col.freeze(),
+        flags_col.freeze(),
+        retries_col.freeze(),
+        status_col.freeze(),
+        bytes_col.freeze(),
+    ];
+
+    // Descriptor: record count, then each column's length and CRC-32.
+    // Its own CRC (stamped in the frame header) makes the directory
+    // trustworthy before any column is parsed.
+    let mut desc = BytesMut::with_capacity(8 + COLUMNS * 9);
+    put_varint(&mut desc, len_u64(n));
+    for col in &cols {
+        put_varint(&mut desc, len_u64(col.len()));
+        desc.put_u32_le(crc32(col));
+    }
+    let desc = desc.freeze();
+
+    let body_len: usize = desc.len() + cols.iter().map(|c| c.len()).sum::<usize>();
+    let body_len_u32 = u32::try_from(body_len).map_err(|_| EncodeError::FrameTooLarge {
         shard: shard_idx,
-        bytes: payload.len(),
+        bytes: body_len,
     })?;
-    let mut frame = BytesMut::with_capacity(payload.len() + 16);
-    frame.put_u32_le(payload_len);
-    put_varint(&mut frame, len_u64(records.len()));
-    frame.put_u32_le(crc32(&payload));
-    frame.put_slice(&payload);
+    let mut frame = BytesMut::with_capacity(body_len + 8);
+    frame.put_u32_le(body_len_u32);
+    frame.put_u32_le(crc32(&desc));
+    frame.put_slice(&desc);
+    for col in &cols {
+        frame.put_slice(col);
+    }
     Ok(EncodedFrame {
         bytes: frame.freeze(),
-        records: len_u64(records.len()),
+        records: len_u64(n),
+    })
+}
+
+/// Per-shard starting points for the cross-shard ordering check:
+/// `bases[i]` is the global index of shard `i`'s first record and
+/// `prevs[i]` the timestamp of the last record in the nearest preceding
+/// non-empty shard. Seeding [`encode_frame`] with these makes independent
+/// per-shard encodes behave exactly like one sequential pass — same
+/// bytes, and the lowest-indexed ordering error is the one a sequential
+/// encoder would have hit first.
+pub(crate) fn shard_bases(shards: &[&[LogRecord]]) -> (Vec<usize>, Vec<Option<SimTime>>) {
+    let mut bases = Vec::with_capacity(shards.len());
+    let mut prevs = Vec::with_capacity(shards.len());
+    let mut base = 0usize;
+    let mut last: Option<SimTime> = None;
+    for shard in shards {
+        bases.push(base);
+        prevs.push(last);
+        base += shard.len();
+        if let Some(r) = shard.last() {
+            last = Some(r.time);
+        }
+    }
+    (bases, prevs)
+}
+
+/// Encodes one frame per record slice, fanning out on the exec pool.
+pub(crate) fn encode_shard_frames(
+    shards: &[&[LogRecord]],
+    threads: usize,
+) -> Result<Vec<EncodedFrame>, EncodeError> {
+    let (bases, prevs) = shard_bases(shards);
+    jcdn_exec::try_scatter_gather_labeled("codec.encode", shards.len(), threads, |i| {
+        let mut last_time = prevs[i];
+        encode_frame(shards[i], bases[i], &mut last_time, i)
     })
 }
 
 /// Encodes tables plus one frame per record slice. `shards` must together
 /// form a non-decreasing time sequence.
-fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, EncodeError> {
-    let total: usize = shards.iter().map(|s| s.len()).sum();
-    let mut buf = BytesMut::with_capacity(total * 16 + 1024);
-    buf.put_slice(&encode_tables(interner));
+fn encode_frames(
+    interner: &Interner,
+    shards: &[&[LogRecord]],
+    threads: usize,
+) -> Result<Bytes, EncodeError> {
+    let frames = encode_shard_frames(shards, threads)?;
+    let total: usize = frames.iter().map(|f| f.bytes.len()).sum();
+    let tables = encode_tables(interner);
+    let mut buf = BytesMut::with_capacity(tables.len() + total + 10);
+    buf.put_slice(&tables);
     put_varint(&mut buf, len_u64(shards.len()));
-    let mut index = 0usize;
-    let mut last_time: Option<SimTime> = None;
-    for (shard_idx, shard) in shards.iter().enumerate() {
-        let frame = encode_frame(shard, index, &mut last_time, shard_idx)?;
-        index += shard.len();
+    for frame in &frames {
         buf.put_slice(&frame.bytes);
     }
     Ok(buf.freeze())
@@ -422,15 +834,21 @@ fn encode_frames(interner: &Interner, shards: &[&[LogRecord]]) -> Result<Bytes, 
 /// The trace must be time-sorted (the format delta-encodes time); an
 /// out-of-order record yields [`EncodeError::OutOfOrder`].
 pub fn encode(trace: &Trace) -> Result<Bytes, EncodeError> {
-    encode_frames(trace.interner(), &[trace.records()])
+    encode_frames(trace.interner(), &[trace.records()], 1)
 }
 
 /// Encodes a sharded trace, one frame per shard.
 pub fn encode_sharded(trace: &ShardedTrace) -> Result<Bytes, EncodeError> {
+    encode_sharded_parallel(trace, 1)
+}
+
+/// [`encode_sharded`] with per-shard frames encoded on `threads` workers
+/// of the exec pool. The output is byte-identical for any thread count.
+pub fn encode_sharded_parallel(trace: &ShardedTrace, threads: usize) -> Result<Bytes, EncodeError> {
     let shards: Vec<&[LogRecord]> = (0..trace.shard_count())
         .map(|i| trace.shard_records(i))
         .collect();
-    encode_frames(trace.interner(), &shards)
+    encode_frames(trace.interner(), &shards, threads)
 }
 
 /// Decodes a binary trace, flattening any shard frames into one trace.
@@ -441,30 +859,38 @@ pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
 /// Tallies from a tolerant decode: how much of the payload survived, and
 /// why the rest did not.
 ///
-/// `records_dropped` counts records the frame headers promised but that
-/// could not be decoded (corrupt bytes, dangling table references, frames
-/// failing their checksum). Whole-frame losses are split by cause —
-/// `frames_crc_failed` for frames whose payload failed its CRC-32 (bytes
-/// present but corrupt) and `frames_truncated` for frames cut off by a
-/// short file (bytes missing) — because the two call for different
-/// recoveries: a CRC failure means regenerate or restore that shard, a
-/// truncation means the tail of the file is gone. A clean decode has
-/// every drop counter at zero.
+/// `records_dropped` counts records the frame descriptors promised but
+/// that could not be decoded (corrupt bytes, dangling table references,
+/// frames failing a checksum). Whole-frame losses are split by cause —
+/// `frames_crc_failed` for frames failing a stored CRC-32 (bytes present
+/// but corrupt), `frames_truncated` for frames cut off by a short file
+/// (bytes missing), and `frames_header_damaged` for frames whose
+/// self-description contradicts the bytes actually present — because the
+/// causes call for different recoveries: a CRC failure means regenerate
+/// or restore that shard, a truncation means the tail of the file is
+/// gone, header damage means the frame boundary metadata itself is
+/// suspect. A clean decode has every drop counter at zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DecodeStats {
     /// Records successfully decoded.
     pub records_decoded: u64,
     /// Records promised by headers but lost to corruption.
     pub records_dropped: u64,
-    /// Whole v3 frames abandoned because their payload failed its CRC-32.
+    /// Whole frames abandoned because a stored CRC-32 check failed.
     pub frames_crc_failed: u64,
-    /// Whole v3 frames abandoned because the file ended inside or before
+    /// Whole frames abandoned because the file ended inside or before
     /// them.
     pub frames_truncated: u64,
+    /// Frames whose self-description (record count or column directory)
+    /// disagrees with the bytes present. Distinct from a CRC failure: the
+    /// payload may be intact while the header lies about it.
+    pub frames_header_damaged: u64,
     /// Byte offset (from the start of the decoded buffer) of the first
     /// error encountered, when anything was dropped. Localizes damage for
     /// the operator: a truncation offset near the file size means a torn
-    /// tail, a small one means the file is mostly gone.
+    /// tail, a small one means the file is mostly gone. Buffer-relative,
+    /// so it only identifies a location within the *one* input it came
+    /// from — never min offsets across different files.
     pub first_error_offset: Option<u64>,
 }
 
@@ -474,18 +900,23 @@ impl DecodeStats {
         self.records_dropped == 0 && self.frames_dropped() == 0
     }
 
-    /// Total v3 frames abandoned wholesale, either cause.
+    /// Total frames abandoned wholesale, any cause.
     pub fn frames_dropped(&self) -> u64 {
-        self.frames_crc_failed + self.frames_truncated
+        self.frames_crc_failed + self.frames_truncated + self.frames_header_damaged
     }
 
     /// Folds another tally into this one (the shard-merge direction: the
-    /// earliest error offset wins, counters add).
+    /// earliest error offset wins, counters add). Only meaningful for
+    /// tallies over the *same* buffer — offsets are buffer-relative, so
+    /// merging stats from different files keeps the counters honest but
+    /// makes the offset meaningless (see the `merge` command, which
+    /// reports offsets per input instead).
     pub fn merge(&mut self, other: &DecodeStats) {
         self.records_decoded += other.records_decoded;
         self.records_dropped += other.records_dropped;
         self.frames_crc_failed += other.frames_crc_failed;
         self.frames_truncated += other.frames_truncated;
+        self.frames_header_damaged += other.frames_header_damaged;
         self.first_error_offset = match (self.first_error_offset, other.first_error_offset) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -501,7 +932,13 @@ impl DecodeStats {
 /// Decodes a binary trace, preserving its shard frames. Version 1 and 2
 /// payloads (which predate framing) decode into a single shard.
 pub fn decode_sharded(buf: Bytes) -> Result<ShardedTrace, DecodeError> {
-    decode_sharded_impl(buf, None)
+    decode_sharded_parallel(&buf, 1)
+}
+
+/// [`decode_sharded`] with per-shard frames decoded on `threads` workers
+/// of the exec pool. The result is identical for any thread count.
+pub fn decode_sharded_parallel(buf: &[u8], threads: usize) -> Result<ShardedTrace, DecodeError> {
+    decode_sharded_impl(buf, false, threads).map(|(trace, _)| trace)
 }
 
 /// Decodes a binary trace, salvaging what it can from a damaged payload
@@ -510,31 +947,95 @@ pub fn decode_sharded(buf: Bytes) -> Result<ShardedTrace, DecodeError> {
 /// Header and string-table errors (bad magic, unsupported version,
 /// truncation before the record streams) are still hard errors — there is
 /// nothing to salvage without the tables. Past that point the decode is
-/// best-effort: a record that fails to decode drops the rest of its frame
-/// (record boundaries are not self-synchronizing), a frame failing its
-/// CRC is dropped whole, and truncation mid-stream keeps everything
-/// already decoded. The returned [`DecodeStats`] says exactly what was
-/// lost, so callers can surface the damage instead of hiding it.
+/// best-effort: a v4 frame failing any stored CRC or whose descriptor
+/// lies about its bytes is dropped whole (its shard slot stays, empty), a
+/// v3 record that fails to decode drops the rest of its frame (v3 record
+/// boundaries are not self-synchronizing), and truncation mid-stream
+/// keeps everything already decoded. The returned [`DecodeStats`] says
+/// exactly what was lost, so callers can surface the damage instead of
+/// hiding it.
 pub fn decode_sharded_tolerant(buf: Bytes) -> Result<(ShardedTrace, DecodeStats), DecodeError> {
-    let mut stats = DecodeStats::default();
-    let trace = decode_sharded_impl(buf, Some(&mut stats))?;
-    Ok((trace, stats))
+    decode_sharded_impl(&buf, true, 1)
+}
+
+/// [`decode_sharded_tolerant`] with per-shard frames decoded on `threads`
+/// workers of the exec pool. Salvage results and tallies are identical
+/// for any thread count.
+pub fn decode_sharded_tolerant_parallel(
+    buf: &[u8],
+    threads: usize,
+) -> Result<(ShardedTrace, DecodeStats), DecodeError> {
+    decode_sharded_impl(buf, true, threads)
+}
+
+/// One frame's boundaries, borrowed from the input during the cheap
+/// sequential slicing pass; record-level decoding then fans out.
+enum FrameSlice<'a> {
+    V3 {
+        payload: &'a [u8],
+        crc: u32,
+        claim: usize,
+        at: u64,
+    },
+    V4 {
+        body: &'a [u8],
+        desc_crc: u32,
+        at: u64,
+    },
+}
+
+/// Why (part of) a frame was lost, for the tolerant-decode tallies.
+struct FrameLoss {
+    error: DecodeError,
+    at: u64,
+    dropped: u64,
+    crc_failed: bool,
+    header_damaged: bool,
+}
+
+/// Result of decoding one frame: salvaged records plus any loss.
+struct FrameOutcome {
+    records: Vec<LogRecord>,
+    loss: Option<FrameLoss>,
+    trailing_junk: bool,
+}
+
+fn slice_frame<'a>(cur: &mut Cursor<'a>, version: u16) -> Result<FrameSlice<'a>, DecodeError> {
+    if version >= 4 {
+        let body_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
+        let desc_crc = cur.get_u32_le()?;
+        let at = count_u64(cur.pos());
+        let body = cur.take(body_len)?;
+        Ok(FrameSlice::V4 { body, desc_crc, at })
+    } else {
+        let payload_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
+        let claim = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
+        let crc = cur.get_u32_le()?;
+        let at = count_u64(cur.pos());
+        let payload = cur.take(payload_len)?;
+        Ok(FrameSlice::V3 {
+            payload,
+            crc,
+            claim,
+            at,
+        })
+    }
 }
 
 fn decode_sharded_impl(
-    mut buf: Bytes,
-    mut tolerate: Option<&mut DecodeStats>,
-) -> Result<ShardedTrace, DecodeError> {
-    let total_len = buf.remaining();
-    if buf.remaining() < 6 {
+    buf: &[u8],
+    tolerate: bool,
+    threads: usize,
+) -> Result<(ShardedTrace, DecodeStats), DecodeError> {
+    let mut cur = Cursor::new(buf);
+    if cur.remaining() < 6 {
         return Err(DecodeError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = cur.take(4)?;
+    if magic != &MAGIC[..] {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = cur.get_u16_le()?;
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::BadVersion(version));
     }
@@ -543,20 +1044,20 @@ fn decode_sharded_impl(
     // Interning deduplicates, so a (corrupted or adversarial) payload with
     // repeated table strings would otherwise leave record ids pointing past
     // the rebuilt table; map payload indices to interned ids explicitly.
-    let url_count = to_usize(get_varint(&mut buf)?, DecodeError::TableOverflow)?;
+    let url_count = to_usize(cur.get_varint()?, DecodeError::TableOverflow)?;
     let mut url_map = Vec::with_capacity(url_count.min(1 << 20));
     for _ in 0..url_count {
-        let s = get_string(&mut buf)?;
+        let s = get_string(&mut cur)?;
         url_map.push(
             interner
                 .try_intern_url(&s)
                 .map_err(|_| DecodeError::TableOverflow)?,
         );
     }
-    let ua_count = to_usize(get_varint(&mut buf)?, DecodeError::TableOverflow)?;
+    let ua_count = to_usize(cur.get_varint()?, DecodeError::TableOverflow)?;
     let mut ua_map = Vec::with_capacity(ua_count.min(1 << 20));
     for _ in 0..ua_count {
-        let s = get_string(&mut buf)?;
+        let s = get_string(&mut cur)?;
         ua_map.push(
             interner
                 .try_intern_ua(&s)
@@ -564,124 +1065,368 @@ fn decode_sharded_impl(
         );
     }
 
+    let mut stats = DecodeStats::default();
+
     if version < 3 {
         // Pre-framing formats: one undelimited record stream.
-        let record_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
+        let record_count = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
         let mut records = Vec::with_capacity(record_count.min(1 << 24));
         let mut prev_time: i64 = 0;
         for decoded in 0..record_count {
-            let record_at = count_u64(total_len - buf.remaining());
-            match get_record(&mut buf, version, &mut prev_time, &url_map, &ua_map) {
-                Ok(record) => records.push(record),
-                Err(e) => match tolerate.as_deref_mut() {
-                    // The stream is undelimited, so record boundaries past a
-                    // bad record are unknowable; keep the decoded prefix.
-                    Some(stats) => {
-                        stats.records_dropped += count_u64(record_count - decoded);
-                        stats.note_error(record_at);
-                        break;
-                    }
-                    None => return Err(e),
-                },
-            }
-        }
-        if let Some(stats) = tolerate.as_deref_mut() {
-            stats.records_decoded += count_u64(records.len());
-        }
-        return Ok(ShardedTrace::from_parts(interner, vec![records]));
-    }
-
-    let shard_count = to_usize(get_varint(&mut buf)?, DecodeError::Truncated)?;
-    let mut shards = Vec::with_capacity(shard_count.min(1 << 16));
-    for shard in 0..shard_count {
-        // Frame header: payload length, record count, CRC. Truncation here
-        // loses this frame and every later one (frame boundaries are gone).
-        let frame_at = count_u64(total_len - buf.remaining());
-        let header = read_frame_header(&mut buf);
-        let (payload_len, record_count, stored_crc) = match header {
-            Ok(h) if buf.remaining() >= h.0 => h,
-            other => match tolerate.as_deref_mut() {
-                Some(stats) => {
-                    stats.frames_truncated += count_u64(shard_count - shard);
-                    stats.note_error(frame_at);
-                    break;
-                }
-                None => return Err(other.err().unwrap_or(DecodeError::Truncated)),
-            },
-        };
-        let payload_at = count_u64(total_len - buf.remaining());
-        let mut payload = buf.slice(0..payload_len);
-        buf.advance(payload_len);
-        if crc32(&payload) != stored_crc {
-            match tolerate.as_deref_mut() {
-                // The frame is framed, so only *it* is lost; keep its slot
-                // (as an empty shard) so shard indices stay stable.
-                Some(stats) => {
-                    stats.frames_crc_failed += 1;
-                    stats.records_dropped += count_u64(record_count);
-                    stats.note_error(payload_at);
-                    shards.push(Vec::new());
-                    continue;
-                }
-                None => return Err(DecodeError::BadChecksum { shard }),
-            }
-        }
-        let mut records = Vec::with_capacity(record_count.min(1 << 24));
-        let mut prev_time: i64 = 0;
-        let mut bad_record = None;
-        for decoded in 0..record_count {
-            let record_at = payload_at + count_u64(payload_len - payload.remaining());
-            match get_record(&mut payload, version, &mut prev_time, &url_map, &ua_map) {
+            let record_at = count_u64(cur.pos());
+            match get_record(&mut cur, version, &mut prev_time, &url_map, &ua_map) {
                 Ok(record) => records.push(record),
                 Err(e) => {
-                    bad_record = Some((e, decoded, record_at));
+                    if !tolerate {
+                        return Err(e);
+                    }
+                    // The stream is undelimited, so record boundaries past a
+                    // bad record are unknowable; keep the decoded prefix.
+                    stats.records_dropped += count_u64(record_count - decoded);
+                    stats.note_error(record_at);
                     break;
                 }
             }
         }
-        match bad_record {
-            Some((e, decoded, record_at)) => match tolerate.as_deref_mut() {
-                Some(stats) => {
-                    stats.records_dropped += count_u64(record_count - decoded);
-                    stats.note_error(record_at);
+        stats.records_decoded += count_u64(records.len());
+        return Ok((ShardedTrace::from_parts(interner, vec![records]), stats));
+    }
+
+    // Framed formats. First a cheap sequential pass over frame headers
+    // slices the buffer — truncation here loses the cut frame and every
+    // later one (frame boundaries are gone).
+    let shard_count = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
+    let mut slices = Vec::with_capacity(shard_count.min(1 << 16));
+    let mut truncation: Option<u64> = None;
+    for _ in 0..shard_count {
+        let frame_at = count_u64(cur.pos());
+        match slice_frame(&mut cur, version) {
+            Ok(slice) => slices.push(slice),
+            Err(e) => {
+                if !tolerate {
+                    return Err(e);
                 }
-                None => return Err(e),
-            },
-            None => {
-                if payload.has_remaining() && tolerate.is_none() {
-                    return Err(DecodeError::FrameMismatch);
-                }
+                truncation = Some(frame_at);
+                break;
             }
         }
-        if let Some(stats) = tolerate.as_deref_mut() {
-            stats.records_decoded += count_u64(records.len());
+    }
+
+    // Frames decode independently (time deltas reset per frame), so the
+    // record-level work fans out on the exec pool.
+    let outcomes =
+        jcdn_exec::scatter_gather_labeled(
+            "codec.decode",
+            slices.len(),
+            threads,
+            |i| match slices[i] {
+                FrameSlice::V3 {
+                    payload,
+                    crc,
+                    claim,
+                    at,
+                } => decode_frame_v3(payload, crc, claim, at, i, &url_map, &ua_map),
+                FrameSlice::V4 { body, desc_crc, at } => {
+                    decode_frame_v4(body, desc_crc, at, i, &url_map, &ua_map)
+                }
+            },
+        );
+
+    // Fold outcomes in shard order, so the strict error (and the first
+    // noted offset) match what a sequential decode would report.
+    let mut shards = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        if !tolerate {
+            if let Some(loss) = outcome.loss {
+                return Err(loss.error);
+            }
+            if outcome.trailing_junk {
+                return Err(DecodeError::FrameMismatch);
+            }
         }
-        shards.push(records);
+        if let Some(loss) = &outcome.loss {
+            stats.records_dropped += loss.dropped;
+            if loss.crc_failed {
+                stats.frames_crc_failed += 1;
+            }
+            if loss.header_damaged {
+                stats.frames_header_damaged += 1;
+            }
+            stats.note_error(loss.at);
+        }
+        stats.records_decoded += count_u64(outcome.records.len());
+        shards.push(outcome.records);
     }
-    Ok(ShardedTrace::from_parts(interner, shards))
+    if let Some(at) = truncation {
+        stats.frames_truncated += count_u64(shard_count - shards.len());
+        stats.note_error(at);
+    }
+    Ok((ShardedTrace::from_parts(interner, shards), stats))
 }
 
-/// Reads one v3 frame header: `(payload_len, record_count, stored_crc)`.
-fn read_frame_header(buf: &mut Bytes) -> Result<(usize, usize, u32), DecodeError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeError::Truncated);
+/// Decodes one v3 frame (interleaved per-record fields). Kept prefix
+/// semantics: a CRC-valid frame that dies mid-record keeps the records
+/// already decoded.
+fn decode_frame_v3(
+    payload: &[u8],
+    stored_crc: u32,
+    claim: usize,
+    payload_at: u64,
+    shard: usize,
+    url_map: &[UrlId],
+    ua_map: &[UaId],
+) -> FrameOutcome {
+    if crc32(payload) != stored_crc {
+        // The frame is framed, so only *it* is lost; its slot stays (as
+        // an empty shard) so shard indices remain stable.
+        return FrameOutcome {
+            records: Vec::new(),
+            loss: Some(FrameLoss {
+                error: DecodeError::BadChecksum { shard },
+                at: payload_at,
+                dropped: count_u64(claim),
+                crc_failed: true,
+                header_damaged: false,
+            }),
+            trailing_junk: false,
+        };
     }
-    // jcdn-lint: allow(D4) -- u32 → usize cannot truncate on ≥32-bit targets
-    let payload_len = buf.get_u32_le() as usize;
-    let record_count = to_usize(get_varint(buf)?, DecodeError::Truncated)?;
-    if buf.remaining() < 4 {
-        return Err(DecodeError::Truncated);
+    let mut cur = Cursor::new(payload);
+    let mut records = Vec::with_capacity(claim.min(1 << 24));
+    let mut prev_time: i64 = 0;
+    for decoded in 0..claim {
+        let record_start = cur.pos();
+        match get_record(&mut cur, 3, &mut prev_time, url_map, ua_map) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                // The v3 record count is outside the CRC, so an inflated
+                // count must not inflate the drop tally: clamp to how many
+                // records the remaining bytes could possibly hold, and
+                // call out the header damage when the count was a lie.
+                let missing = claim - decoded;
+                let fit = (payload.len() - record_start) / MIN_V3_RECORD_BYTES;
+                return FrameOutcome {
+                    records,
+                    loss: Some(FrameLoss {
+                        error: e,
+                        at: payload_at + count_u64(record_start),
+                        dropped: count_u64(missing.min(fit)),
+                        crc_failed: false,
+                        header_damaged: missing > fit,
+                    }),
+                    trailing_junk: false,
+                };
+            }
+        }
     }
-    Ok((payload_len, record_count, buf.get_u32_le()))
+    FrameOutcome {
+        records,
+        loss: None,
+        trailing_junk: cur.remaining() > 0,
+    }
 }
 
-/// Widens a count for the [`DecodeStats`] tallies.
-fn count_u64(n: usize) -> u64 {
-    // jcdn-lint: allow(D4) -- usize → u64 widens; it cannot truncate
-    n as u64
+/// Parses a v4 frame descriptor: `(record_count, column directory)`.
+fn parse_descriptor(cur: &mut Cursor<'_>) -> Result<(usize, [(usize, u32); COLUMNS]), DecodeError> {
+    let claim = to_usize(cur.get_varint()?, DecodeError::FrameMismatch)?;
+    let mut dir = [(0usize, 0u32); COLUMNS];
+    for slot in dir.iter_mut() {
+        slot.0 = to_usize(cur.get_varint()?, DecodeError::FrameMismatch)?;
+        slot.1 = cur.get_u32_le()?;
+    }
+    Ok((claim, dir))
 }
 
-fn method_tag(m: Method) -> u8 {
+/// Decodes one columnar v4 frame. All-or-nothing per frame: any CRC
+/// failure, directory mismatch, or bad column value drops the frame
+/// whole (its shard slot stays, empty).
+fn decode_frame_v4(
+    body: &[u8],
+    desc_crc: u32,
+    body_at: u64,
+    shard: usize,
+    url_map: &[UrlId],
+    ua_map: &[UaId],
+) -> FrameOutcome {
+    let lost = |error, at, dropped, crc_failed, header_damaged| FrameOutcome {
+        records: Vec::new(),
+        loss: Some(FrameLoss {
+            error,
+            at,
+            dropped,
+            crc_failed,
+            header_damaged,
+        }),
+        trailing_junk: false,
+    };
+
+    let mut cur = Cursor::new(body);
+    let (claim, dir) = match parse_descriptor(&mut cur) {
+        Ok(parsed) => parsed,
+        Err(e) => return lost(e, body_at, 0, false, true),
+    };
+    let desc_len = cur.pos();
+    if crc32(&body[..desc_len]) != desc_crc {
+        // The record count itself is untrusted here, so nothing can be
+        // added to the record drop tally — the frame loss counter carries
+        // the damage report.
+        return lost(DecodeError::BadChecksum { shard }, body_at, 0, true, false);
+    }
+
+    // The descriptor is now authenticated: `claim` is the real record
+    // count, so losses below can be tallied exactly.
+    let mut expected = count_u64(desc_len);
+    let mut overflow = false;
+    for &(len, _) in &dir {
+        match expected.checked_add(count_u64(len)) {
+            Some(sum) => expected = sum,
+            None => overflow = true,
+        }
+    }
+    if overflow || expected != count_u64(body.len()) {
+        return lost(
+            DecodeError::FrameMismatch,
+            body_at,
+            count_u64(claim),
+            false,
+            true,
+        );
+    }
+
+    let mut col_slices: [&[u8]; COLUMNS] = [&[]; COLUMNS];
+    let mut start = desc_len;
+    for (slot, &(len, col_crc)) in dir.iter().enumerate() {
+        let col = &body[start..start + len];
+        if crc32(col) != col_crc {
+            return lost(
+                DecodeError::BadChecksum { shard },
+                body_at + count_u64(start),
+                count_u64(claim),
+                true,
+                false,
+            );
+        }
+        col_slices[slot] = col;
+        start += len;
+    }
+
+    match decode_columns(claim, &col_slices, url_map, ua_map) {
+        Ok(records) => FrameOutcome {
+            records,
+            loss: None,
+            trailing_junk: false,
+        },
+        Err(e) => lost(
+            e,
+            body_at + count_u64(desc_len),
+            count_u64(claim),
+            false,
+            false,
+        ),
+    }
+}
+
+/// Requires a column cursor to be fully consumed — trailing bytes mean
+/// the column length and its values disagree.
+fn column_drained(cur: &Cursor<'_>, what: &'static str) -> Result<(), DecodeError> {
+    if cur.remaining() != 0 {
+        return Err(DecodeError::BadColumnValue(what));
+    }
+    Ok(())
+}
+
+/// Bulk-decodes the nine columns of a v4 frame into records.
+fn decode_columns(
+    n: usize,
+    cols: &[&[u8]; COLUMNS],
+    url_map: &[UrlId],
+    ua_map: &[UaId],
+) -> Result<Vec<LogRecord>, DecodeError> {
+    // Even a CRC-valid descriptor could be adversarial, so bound `n` by
+    // the fixed-width columns before any `n`-sized allocation: mmc is
+    // exactly one byte per record, flags half a byte.
+    if cols[4].len() != n || cols[5].len() != n.div_ceil(2) {
+        return Err(DecodeError::BadColumnValue("fixed-width"));
+    }
+
+    let mut cur = Cursor::new(cols[0]);
+    let mut times = Vec::with_capacity(n);
+    let mut prev: i64 = 0;
+    for _ in 0..n {
+        let delta = unzigzag(cur.get_varint()?);
+        prev = prev.checked_add(delta).ok_or(DecodeError::TimeOverflow)?;
+        times.push(prev);
+    }
+    column_drained(&cur, "time")?;
+
+    let mut cur = Cursor::new(cols[1]);
+    let clients = get_gv64(&mut cur, n)?;
+    column_drained(&cur, "client")?;
+
+    let mut cur = Cursor::new(cols[2]);
+    let uas_raw = get_gv32(&mut cur, n)?;
+    column_drained(&cur, "ua")?;
+
+    let mut cur = Cursor::new(cols[3]);
+    let urls_raw = get_gv32(&mut cur, n)?;
+    column_drained(&cur, "url")?;
+
+    let mut cur = Cursor::new(cols[6]);
+    let retries = get_retry_column(&mut cur, n)?;
+    column_drained(&cur, "retries")?;
+
+    let mut cur = Cursor::new(cols[7]);
+    let statuses = get_status_column(&mut cur, n)?;
+    column_drained(&cur, "status")?;
+
+    let mut cur = Cursor::new(cols[8]);
+    let mut sizes = Vec::with_capacity(n);
+    for _ in 0..n {
+        sizes.push(cur.get_varint()?);
+    }
+    column_drained(&cur, "bytes")?;
+
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let ua = match uas_raw[i] {
+            0 => None,
+            raw => Some(
+                *ua_map
+                    .get(index32(raw - 1))
+                    .ok_or(DecodeError::DanglingId)?,
+            ),
+        };
+        let url = *url_map
+            .get(index32(urls_raw[i]))
+            .ok_or(DecodeError::DanglingId)?;
+        let packed = cols[4][i];
+        let flag_byte = cols[5][i >> 1];
+        let nibble = if i & 1 == 0 {
+            flag_byte & 0x0F
+        } else {
+            flag_byte >> 4
+        };
+        let flags =
+            RecordFlags::from_bits(nibble).ok_or(DecodeError::BadDiscriminant("flags", nibble))?;
+        records.push(LogRecord {
+            // jcdn-lint: allow(D4) -- clamped non-negative, so i64 → u64 is value-preserving
+            time: SimTime::from_micros(times[i].max(0) as u64),
+            client: ClientId(clients[i]),
+            ua,
+            url,
+            method: untag_method(packed >> 5)?,
+            mime: untag_mime((packed >> 2) & 0x07)?,
+            status: statuses[i],
+            response_bytes: sizes[i],
+            cache: untag_cache(packed & 0x03)?,
+            retries: retries[i],
+            flags,
+        });
+    }
+    Ok(records)
+}
+
+pub(crate) fn method_tag(m: Method) -> u8 {
     match m {
         Method::Get => 0,
         Method::Post => 1,
@@ -702,7 +1447,7 @@ fn untag_method(v: u8) -> Result<Method, DecodeError> {
     })
 }
 
-fn mime_tag(m: MimeType) -> u8 {
+pub(crate) fn mime_tag(m: MimeType) -> u8 {
     match m {
         MimeType::Json => 0,
         MimeType::Html => 1,
@@ -727,7 +1472,7 @@ fn untag_mime(v: u8) -> Result<MimeType, DecodeError> {
     })
 }
 
-fn cache_tag(c: CacheStatus) -> u8 {
+pub(crate) fn cache_tag(c: CacheStatus) -> u8 {
     match c {
         CacheStatus::Hit => 0,
         CacheStatus::Miss => 1,
@@ -771,10 +1516,23 @@ pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
     read_file_sharded(path).map(ShardedTrace::into_trace)
 }
 
+/// [`read_file`] with frames decoded on `threads` workers.
+pub fn read_file_parallel(path: &std::path::Path, threads: usize) -> std::io::Result<Trace> {
+    read_file_sharded_parallel(path, threads).map(ShardedTrace::into_trace)
+}
+
 /// Reads a binary trace file, preserving shard frames.
 pub fn read_file_sharded(path: &std::path::Path) -> std::io::Result<ShardedTrace> {
+    read_file_sharded_parallel(path, 1)
+}
+
+/// [`read_file_sharded`] with frames decoded on `threads` workers.
+pub fn read_file_sharded_parallel(
+    path: &std::path::Path,
+    threads: usize,
+) -> std::io::Result<ShardedTrace> {
     let data = std::fs::read(path)?;
-    decode_sharded(Bytes::from(data))
+    decode_sharded_parallel(&data, threads)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -785,8 +1543,17 @@ pub fn read_file_sharded(path: &std::path::Path) -> std::io::Result<ShardedTrace
 pub fn read_file_sharded_tolerant(
     path: &std::path::Path,
 ) -> std::io::Result<(ShardedTrace, DecodeStats)> {
+    read_file_sharded_tolerant_parallel(path, 1)
+}
+
+/// [`read_file_sharded_tolerant`] with frames decoded on `threads`
+/// workers.
+pub fn read_file_sharded_tolerant_parallel(
+    path: &std::path::Path,
+    threads: usize,
+) -> std::io::Result<(ShardedTrace, DecodeStats)> {
     let data = std::fs::read(path)?;
-    decode_sharded_tolerant(Bytes::from(data))
+    decode_sharded_tolerant_parallel(&data, threads)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -831,6 +1598,7 @@ pub fn to_jsonl(trace: &Trace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
@@ -900,6 +1668,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_encode_and_decode_match_sequential() {
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let seq = encode_sharded(&sharded).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = encode_sharded_parallel(&sharded, threads).unwrap();
+            assert_eq!(&par[..], &seq[..], "threads={threads}");
+            let decoded = decode_sharded_parallel(&seq, threads).unwrap();
+            assert_eq!(decoded.shard_count(), 4);
+            for i in 0..4 {
+                assert_eq!(decoded.shard_records(i), sharded.shard_records(i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_encode_reports_the_sequential_ordering_error() {
+        // Disorder inside shard 1 must surface as shard 1's error even
+        // when later shards encode concurrently (and would also fail the
+        // cross-shard check).
+        let mut t = Trace::new();
+        let u = t.intern_url("https://h.example/x");
+        for &time in &[10u64, 20, 90, 30, 40, 50, 60, 70] {
+            t.push(LogRecord {
+                time: SimTime::from_secs(time),
+                client: ClientId(0),
+                ua: None,
+                url: u,
+                method: Method::Get,
+                mime: MimeType::Json,
+                status: 200,
+                response_bytes: 1,
+                cache: CacheStatus::Hit,
+                retries: 0,
+                flags: RecordFlags::NONE,
+            });
+        }
+        let (interner, records) = t.into_parts();
+        let shards: Vec<Vec<LogRecord>> = records.chunks(2).map(<[_]>::to_vec).collect();
+        let sharded = ShardedTrace::from_parts(interner, shards);
+        let seq = encode_sharded(&sharded).unwrap_err();
+        for threads in [2, 4] {
+            assert_eq!(encode_sharded_parallel(&sharded, threads).unwrap_err(), seq);
+        }
+    }
+
+    #[test]
     fn empty_trace_round_trips() {
         let t = Trace::new();
         let decoded = decode(encode(&t).unwrap()).unwrap();
@@ -923,24 +1737,29 @@ mod tests {
         );
     }
 
-    /// Flips one byte inside frame 0's payload so its CRC fails while the
-    /// other frames stay intact.
+    /// Offset of frame 0 (its body-length u32) in an encoded v4 file; the
+    /// descriptor CRC and body follow at +4 and +8.
+    fn first_frame_offset(encoded: &[u8]) -> usize {
+        let mut cur = Cursor::new(encoded);
+        cur.take(6).unwrap(); // magic + version
+        for _ in 0..cur.get_varint().unwrap() {
+            get_string(&mut cur).unwrap(); // url table
+        }
+        for _ in 0..cur.get_varint().unwrap() {
+            get_string(&mut cur).unwrap(); // ua table
+        }
+        cur.get_varint().unwrap(); // shard count
+        cur.pos()
+    }
+
+    /// Flips the last byte of frame 0's body (inside its final column) so
+    /// a column CRC fails while the other frames stay intact.
     fn corrupt_first_frame_payload(encoded: &Bytes) -> Bytes {
-        let mut buf = encoded.clone();
-        buf.advance(6); // magic + version
-        for _ in 0..get_varint(&mut buf).unwrap() {
-            get_string(&mut buf).unwrap(); // url table
-        }
-        for _ in 0..get_varint(&mut buf).unwrap() {
-            get_string(&mut buf).unwrap(); // ua table
-        }
-        get_varint(&mut buf).unwrap(); // shard count
-        buf.advance(4); // payload_len
-        get_varint(&mut buf).unwrap(); // record count
-        buf.advance(4); // crc
-        let payload_offset = encoded.len() - buf.remaining();
+        let frame_at = first_frame_offset(encoded);
+        let body_len =
+            u32::from_le_bytes(encoded[frame_at..frame_at + 4].try_into().unwrap()) as usize;
         let mut bytes = encoded.to_vec();
-        bytes[payload_offset] ^= 0xFF;
+        bytes[frame_at + 8 + body_len - 1] ^= 0xFF;
         Bytes::from(bytes)
     }
 
@@ -974,6 +1793,7 @@ mod tests {
         let (decoded, stats) = decode_sharded_tolerant(corrupted).unwrap();
         assert_eq!(stats.frames_crc_failed, 1);
         assert_eq!(stats.frames_truncated, 0);
+        assert_eq!(stats.frames_header_damaged, 0);
         assert_eq!(stats.frames_dropped(), 1);
         assert_eq!(stats.records_dropped, lost);
         assert!(
@@ -989,10 +1809,39 @@ mod tests {
     }
 
     #[test]
+    fn tolerant_decode_flags_a_corrupt_descriptor_without_over_counting() {
+        // Flip the record-count byte at the start of frame 0's descriptor:
+        // the descriptor CRC catches it, so the count is untrusted and the
+        // drop tally must not echo the corrupted claim.
+        let sharded = ShardedTrace::from_trace(sample_trace(), 4);
+        let encoded = encode_sharded(&sharded).unwrap();
+        let frame_at = first_frame_offset(&encoded);
+        let mut bytes = encoded.to_vec();
+        bytes[frame_at + 8] ^= 0x7F; // record-count varint byte
+        let corrupted = Bytes::from(bytes);
+
+        assert_eq!(
+            decode_sharded(corrupted.clone()).unwrap_err(),
+            DecodeError::BadChecksum { shard: 0 }
+        );
+        let encoded_records = sharded.len() as u64;
+        let (decoded, stats) = decode_sharded_tolerant(corrupted).unwrap();
+        assert_eq!(stats.frames_crc_failed, 1);
+        assert_eq!(stats.records_dropped, 0, "untrusted count is not tallied");
+        assert!(
+            stats.records_decoded + stats.records_dropped <= encoded_records,
+            "over-counted: {stats:?}"
+        );
+        assert!(!stats.is_clean());
+        assert_eq!(decoded.shard_count(), 4);
+        assert!(decoded.shard_records(0).is_empty());
+    }
+
+    #[test]
     fn tolerant_decode_keeps_prefix_of_a_truncated_file() {
         let sharded = ShardedTrace::from_trace(sample_trace(), 4);
         let encoded = encode_sharded(&sharded).unwrap();
-        // Cut into the last frame's payload.
+        // Cut into the last frame's body.
         let truncated = encoded.slice(0..encoded.len() - 5);
 
         assert_eq!(
@@ -1106,11 +1955,10 @@ mod tests {
         assert_eq!(r.flags, RecordFlags::RETRIED);
     }
 
-    /// Single-record trace with a known layout, so tests can poke at exact
-    /// byte offsets. URL is 19 bytes; offsets: magic 4 + version 2 +
-    /// url count 1 + url len 1 + url 19 + ua count 1 + shard count 1 +
-    /// payload len 4 + record count 1 + crc 4 = header 38; payload follows.
-    fn one_record_encoding() -> (Vec<u8>, usize, std::ops::Range<usize>) {
+    /// Single-record v4 trace plus the offset of frame 0. URL is 19
+    /// bytes; the tables span magic 4 + version 2 + url count 1 + url
+    /// len 1 + url 19 + ua count 1 = 28, then the shard-count varint.
+    fn one_record_encoding() -> (Vec<u8>, usize) {
         let mut t = Trace::new();
         let u = t.intern_url("https://h.example/x");
         t.push(LogRecord {
@@ -1127,30 +1975,79 @@ mod tests {
             flags: RecordFlags::NONE,
         });
         let data = encode(&t).unwrap().to_vec();
-        (data, 38, 34..38)
+        let frame_at = first_frame_offset(&data);
+        assert_eq!(frame_at, 29, "layout drifted; update this helper");
+        (data, frame_at)
+    }
+
+    /// Absolute `(offset, length)` of each column in a single-frame file.
+    fn column_offsets(data: &[u8], frame_at: usize) -> Vec<(usize, usize)> {
+        let body_at = frame_at + 8;
+        let mut cur = Cursor::new(&data[body_at..]);
+        cur.get_varint().unwrap(); // record count
+        let mut lens = Vec::new();
+        for _ in 0..COLUMNS {
+            lens.push(cur.get_varint().unwrap() as usize);
+            cur.get_u32_le().unwrap();
+        }
+        let mut at = body_at + cur.pos();
+        lens.into_iter()
+            .map(|len| {
+                let start = at;
+                at += len;
+                (start, len)
+            })
+            .collect()
+    }
+
+    /// Recomputes every CRC of a single-frame v4 file after test surgery
+    /// on a column, so corruption reaches the value-level checks.
+    fn restamp_single_frame(data: &mut [u8], frame_at: usize) {
+        let body_at = frame_at + 8;
+        let body_len =
+            u32::from_le_bytes(data[frame_at..frame_at + 4].try_into().unwrap()) as usize;
+        let (desc_len, crc_fields) = {
+            let body = &data[body_at..body_at + body_len];
+            let mut cur = Cursor::new(body);
+            cur.get_varint().unwrap();
+            let mut fields = Vec::new(); // (crc field offset in body, column length)
+            for _ in 0..COLUMNS {
+                let len = cur.get_varint().unwrap() as usize;
+                fields.push((cur.pos(), len));
+                cur.get_u32_le().unwrap();
+            }
+            (cur.pos(), fields)
+        };
+        let mut col_at = body_at + desc_len;
+        for (crc_field, len) in crc_fields {
+            let crc = crc32(&data[col_at..col_at + len]);
+            data[body_at + crc_field..body_at + crc_field + 4].copy_from_slice(&crc.to_le_bytes());
+            col_at += len;
+        }
+        let desc_crc = crc32(&data[body_at..body_at + desc_len]);
+        data[frame_at + 4..frame_at + 8].copy_from_slice(&desc_crc.to_le_bytes());
     }
 
     #[test]
-    fn rejects_unknown_flag_bits() {
-        let (mut data, payload_at, crc_at) = one_record_encoding();
-        // The flags byte is the last byte before the status and bytes
-        // varints (200 → 2 bytes, 1 → 1 byte). Re-stamp the frame CRC so
-        // the corruption reaches the discriminant check.
-        let flags_at = data.len() - 4;
-        data[flags_at] = 0xF0;
-        let fixed_crc = crc32(&data[payload_at..]);
-        data[crc_at].copy_from_slice(&fixed_crc.to_le_bytes());
+    fn rejects_unknown_method_tag() {
+        let (mut data, frame_at) = one_record_encoding();
+        // Column 4 packs method/mime/cache; 0xFF decodes to method tag 7.
+        let (mmc_at, mmc_len) = column_offsets(&data, frame_at)[4];
+        assert_eq!(mmc_len, 1);
+        data[mmc_at] = 0xFF;
+        restamp_single_frame(&mut data, frame_at);
         assert_eq!(
             decode(Bytes::from(data)).unwrap_err(),
-            DecodeError::BadDiscriminant("flags", 0xF0)
+            DecodeError::BadDiscriminant("method", 7)
         );
     }
 
     #[test]
     fn corrupted_frame_fails_its_checksum() {
-        let (mut data, _, _) = one_record_encoding();
-        let flags_at = data.len() - 4;
-        data[flags_at] = 0xF0; // flip payload bytes, leave the CRC stale
+        let (mut data, _) = one_record_encoding();
+        // Flip a column byte, leave the CRCs stale.
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
         assert_eq!(
             decode(Bytes::from(data)).unwrap_err(),
             DecodeError::BadChecksum { shard: 0 }
@@ -1159,18 +2056,20 @@ mod tests {
 
     #[test]
     fn frame_with_extra_payload_is_rejected() {
-        let (mut data, payload_at, crc_at) = one_record_encoding();
-        // Append a stray byte to the payload, growing the declared length
-        // and re-stamping the CRC: records no longer fill the frame.
+        let (mut data, frame_at) = one_record_encoding();
+        // Append a stray byte and grow the declared body length: the
+        // CRC-valid descriptor no longer accounts for every body byte.
         data.push(0x00);
-        let payload_len = (data.len() - payload_at) as u32;
-        data[payload_at - 9..payload_at - 5].copy_from_slice(&payload_len.to_le_bytes());
-        let fixed_crc = crc32(&data[payload_at..]);
-        data[crc_at].copy_from_slice(&fixed_crc.to_le_bytes());
+        let body_len = (data.len() - frame_at - 8) as u32;
+        data[frame_at..frame_at + 4].copy_from_slice(&body_len.to_le_bytes());
         assert_eq!(
-            decode(Bytes::from(data)).unwrap_err(),
+            decode(Bytes::from(data.clone())).unwrap_err(),
             DecodeError::FrameMismatch
         );
+        let (decoded, stats) = decode_sharded_tolerant(Bytes::from(data)).unwrap();
+        assert_eq!(stats.frames_header_damaged, 1);
+        assert_eq!(stats.records_dropped, 1, "authenticated count is tallied");
+        assert!(decoded.shard_records(0).is_empty());
     }
 
     #[test]
@@ -1182,6 +2081,59 @@ mod tests {
             let r = decode(full.slice(0..cut));
             assert!(r.is_err(), "prefix of {cut} bytes should fail");
         }
+    }
+
+    #[test]
+    fn sparse_retry_column_round_trips() {
+        let retries = [0u8, 3, 0, 0, 7, 1, 0];
+        let mut col = BytesMut::with_capacity(32);
+        put_retry_column(&mut col, &retries);
+        let bytes = col.freeze();
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(get_retry_column(&mut cur, retries.len()).unwrap(), retries);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn sparse_retry_column_rejects_bad_exception_indices() {
+        // An exception index past the record count.
+        let mut col = BytesMut::with_capacity(8);
+        put_varint(&mut col, 1);
+        put_varint(&mut col, 9); // index 9 with n = 2
+        col.put_u8(1);
+        let bytes = col.freeze();
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(
+            get_retry_column(&mut cur, 2).unwrap_err(),
+            DecodeError::BadColumnValue("retries")
+        );
+        // A zero delta after the first exception (a stuck index).
+        let mut col = BytesMut::with_capacity(8);
+        put_varint(&mut col, 2);
+        put_varint(&mut col, 0);
+        col.put_u8(1);
+        put_varint(&mut col, 0); // delta 0 would overwrite index 0
+        col.put_u8(2);
+        let bytes = col.freeze();
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(
+            get_retry_column(&mut cur, 4).unwrap_err(),
+            DecodeError::BadColumnValue("retries")
+        );
+    }
+
+    #[test]
+    fn status_dictionary_rejects_out_of_range_indices() {
+        let mut col = BytesMut::with_capacity(8);
+        put_varint(&mut col, 1); // dict: [200]
+        col.put_u16_le(200);
+        col.put_u8(1); // index 1 ≥ dict length
+        let bytes = col.freeze();
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(
+            get_status_column(&mut cur, 1).unwrap_err(),
+            DecodeError::BadColumnValue("status")
+        );
     }
 
     #[test]
@@ -1261,5 +2213,66 @@ mod tests {
         t.sort_by_time();
         let decoded = decode(encode(&t).unwrap()).unwrap();
         assert_eq!(decoded.records(), t.records());
+    }
+
+    proptest! {
+        #[test]
+        fn varints_round_trip(v in any::<u64>()) {
+            let mut buf = BytesMut::with_capacity(10);
+            put_varint(&mut buf, v);
+            let bytes = buf.freeze();
+            let mut cur = Cursor::new(&bytes);
+            prop_assert_eq!(cur.get_varint().unwrap(), v);
+            prop_assert_eq!(cur.remaining(), 0);
+        }
+
+        #[test]
+        fn corrupt_ten_byte_varints_never_decode_silently(
+            prefix in prop::collection::vec(any::<u8>(), 9),
+            last in any::<u8>(),
+        ) {
+            // Force continuation bits on the first nine bytes, then try
+            // every possible tenth byte: anything carrying bits beyond
+            // value bit 63 must error, never silently truncate.
+            let mut data: Vec<u8> = prefix.iter().map(|b| b | 0x80).collect();
+            data.push(last);
+            let mut cur = Cursor::new(&data);
+            let result = cur.get_varint();
+            if last & !0x01 != 0 {
+                prop_assert_eq!(result, Err(DecodeError::VarintOverflow));
+            } else {
+                prop_assert!(result.is_ok(), "0x00/0x01 are in-range tenth bytes");
+            }
+        }
+
+        #[test]
+        fn group_varint64_round_trips(vals in prop::collection::vec(any::<u64>(), 0..50)) {
+            let mut col = BytesMut::with_capacity(512);
+            put_gv64(&mut col, &vals);
+            let bytes = col.freeze();
+            let mut cur = Cursor::new(&bytes);
+            prop_assert_eq!(get_gv64(&mut cur, vals.len()).unwrap(), vals);
+            prop_assert_eq!(cur.remaining(), 0, "encoder and decoder agree on width");
+        }
+
+        #[test]
+        fn group_varint32_round_trips(vals in prop::collection::vec(any::<u32>(), 0..50)) {
+            let mut col = BytesMut::with_capacity(256);
+            put_gv32(&mut col, &vals);
+            let bytes = col.freeze();
+            let mut cur = Cursor::new(&bytes);
+            prop_assert_eq!(get_gv32(&mut cur, vals.len()).unwrap(), vals);
+            prop_assert_eq!(cur.remaining(), 0, "encoder and decoder agree on width");
+        }
+
+        #[test]
+        fn status_dictionary_round_trips(vals in prop::collection::vec(any::<u16>(), 0..300)) {
+            let mut col = BytesMut::with_capacity(1024);
+            put_status_column(&mut col, &vals);
+            let bytes = col.freeze();
+            let mut cur = Cursor::new(&bytes);
+            prop_assert_eq!(get_status_column(&mut cur, vals.len()).unwrap(), vals);
+            prop_assert_eq!(cur.remaining(), 0);
+        }
     }
 }

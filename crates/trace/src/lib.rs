@@ -28,8 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Trace serialization: the framed binary format (v3) and JSONL interop.
+/// Trace serialization: the columnar binary format (v4) and JSONL interop.
 pub mod codec;
+/// Frozen encoders for historical codec versions 1–3 (fixture support).
+pub mod compat;
 /// Object flows and client–object flows with the paper's §5.1 filters.
 pub mod flows;
 mod interner;

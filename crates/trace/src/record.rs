@@ -192,7 +192,8 @@ impl RecordFlags {
     /// object), without contacting the origin.
     pub const NEG_CACHED: RecordFlags = RecordFlags(1 << 3);
 
-    /// All bits that are currently defined.
+    /// All bits that are currently defined. Codec v4 packs flags two per
+    /// byte, so a new flag past bit 3 needs a codec version bump first.
     const ALL: u8 = 0b1111;
 
     /// Reconstructs flags from their wire byte; unknown bits are an error.
@@ -295,6 +296,10 @@ impl LogRecord {
         self.is_error() && !self.flags.contains(RecordFlags::RETRIED)
     }
 }
+
+// Codec v4 stores record flags in a nibble; this fails to compile if a
+// fifth flag bit is ever defined without widening that column.
+const _: () = assert!(RecordFlags::ALL <= 0x0F);
 
 #[cfg(test)]
 mod tests {

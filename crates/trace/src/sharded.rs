@@ -3,8 +3,9 @@
 //! A [`ShardedTrace`] keeps the record multiset of a [`Trace`] split into N
 //! contiguous time ranges. All shards resolve ids through a single
 //! [`Interner`], so per-shard analyses can run in parallel and their
-//! results merge without id remapping. Codec v3 serializes each shard as
-//! its own length-prefixed, CRC-protected frame (see [`crate::codec`]).
+//! results merge without id remapping. Codec v4 serializes each shard as
+//! its own length-prefixed, columnar, CRC-protected frame (see
+//! [`crate::codec`]).
 
 use crate::interner::Interner;
 use crate::record::LogRecord;

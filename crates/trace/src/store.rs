@@ -33,7 +33,7 @@
 //! out.jcdn.idx          JSON shard index (kept after finalize, complete=true)
 //! out.jcdn.staging/     per-run staging dir (removed after finalize)
 //!   tables.bin          codec prologue: magic + version + string tables
-//!   shard-0000.bin      one full codec v3 frame per shard
+//!   shard-0000.bin      one full codec v4 columnar frame per shard
 //!   ...
 //! ```
 
@@ -173,16 +173,14 @@ impl ShardIndex {
         root.insert("complete", jcdn_json::Value::Bool(self.complete));
         root.insert(
             "tables",
-            self.tables
-                .as_ref()
-                .map_or(jcdn_json::Value::Null, |e| entry(e)),
+            self.tables.as_ref().map_or(jcdn_json::Value::Null, &entry),
         );
         root.insert(
             "shards",
             jcdn_json::Value::Array(
                 self.shards
                     .iter()
-                    .map(|s| s.as_ref().map_or(jcdn_json::Value::Null, |e| entry(e)))
+                    .map(|s| s.as_ref().map_or(jcdn_json::Value::Null, &entry))
                     .collect(),
             ),
         );
@@ -426,6 +424,41 @@ impl<'c> StoreWriter<'c> {
         Ok(true)
     }
 
+    /// Encodes every uncommitted shard on the exec pool, then commits
+    /// them durably in shard order. Byte-identical to calling
+    /// [`StoreWriter::write_shard`] for each shard in turn: encoding is
+    /// deterministic per shard once its cross-shard ordering seed is
+    /// fixed, and the commit loop below preserves the sequential write
+    /// order that the crash-safety contract (and the chaos harness)
+    /// observes. `shards` must be every shard of the run, in order.
+    pub fn write_shards(&mut self, shards: &[&[LogRecord]], threads: usize) -> io::Result<()> {
+        let (bases, prevs) = codec::shard_bases(shards);
+        let todo: Vec<usize> = (0..shards.len())
+            .filter(|&i| !self.shard_committed(i))
+            .collect();
+        let frames =
+            jcdn_exec::try_scatter_gather_labeled("store.encode", todo.len(), threads, |k| {
+                let i = todo[k];
+                let mut last_time = prevs[i];
+                codec::encode_frame(shards[i], bases[i], &mut last_time, i)
+            })
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut fresh = frames.into_iter();
+        for i in 0..shards.len() {
+            if self.shard_committed(i) {
+                self.note_reused(i);
+            } else {
+                // todo and this loop walk the same uncommitted indices in
+                // the same order, so the iterator cannot run dry.
+                let frame = fresh
+                    .next()
+                    .ok_or_else(|| io::Error::other("store.encode produced too few frames"))?;
+                self.commit_shard(i, &frame.bytes, frame.records)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Commits shard `i`'s frame durably and records it in the index.
     pub fn commit_shard(&mut self, i: usize, frame: &[u8], records: u64) -> io::Result<()> {
         if self.already_complete {
@@ -483,9 +516,8 @@ impl<'c> StoreWriter<'c> {
             }
         }
 
-        let mut out = Vec::with_capacity(
-            tables.len() + 10 + shard_data.iter().map(Vec::len).sum::<usize>(),
-        );
+        let mut out =
+            Vec::with_capacity(tables.len() + 10 + shard_data.iter().map(Vec::len).sum::<usize>());
         out.extend_from_slice(&tables);
         let mut count = BytesMut::with_capacity(10);
         codec::put_varint(&mut count, codec::len_u64(self.index.shard_count));
@@ -651,6 +683,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_write_shards_matches_sequential_bytes() {
+        let sharded = sample_sharded(100, 4);
+        let shards: Vec<&[crate::record::LogRecord]> =
+            (0..4).map(|i| sharded.shard_records(i)).collect();
+        let direct = encode_sharded(&sharded).unwrap();
+        for threads in [1, 2, 8] {
+            let out = tmp_store(&format!("parwrite{threads}"));
+            let mut writer = StoreWriter::open(&out, 4, 7, false, &jcdn_chaos::Quiet).unwrap();
+            writer.commit_interner(sharded.interner()).unwrap();
+            writer.write_shards(&shards, threads).unwrap();
+            writer.finalize().unwrap();
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                direct.to_vec(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_write_shards_reuses_committed_shards() {
+        let out = tmp_store("parresume");
+        let sharded = sample_sharded(100, 4);
+        let shards: Vec<&[crate::record::LogRecord]> =
+            (0..4).map(|i| sharded.shard_records(i)).collect();
+        // First run commits shards 0 and 1 sequentially, then stops.
+        let mut writer = StoreWriter::open(&out, 4, 7, true, &jcdn_chaos::Quiet).unwrap();
+        writer.commit_interner(sharded.interner()).unwrap();
+        let (mut last_time, mut base) = (None, 0);
+        for (i, shard) in shards.iter().enumerate().take(2) {
+            writer
+                .write_shard(i, shard, &mut last_time, &mut base)
+                .unwrap();
+        }
+        drop(writer);
+        // The resumed run fills in the rest in parallel; bytes match a
+        // clean end-to-end encode.
+        let mut writer = StoreWriter::open(&out, 4, 7, true, &jcdn_chaos::Quiet).unwrap();
+        writer.commit_interner(sharded.interner()).unwrap();
+        writer.write_shards(&shards, 4).unwrap();
+        assert_eq!(writer.shards_reused(), 2);
+        writer.finalize().unwrap();
+        let direct = encode_sharded(&sharded).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), direct.to_vec());
+    }
+
+    #[test]
     fn store_output_is_byte_identical_to_direct_encode() {
         let out = tmp_store("direct");
         let sharded = sample_sharded(100, 4);
@@ -809,7 +888,9 @@ mod tests {
         let out = tmp_store("staged-read");
         let sharded = sample_sharded(100, 4);
         let mut writer = StoreWriter::open(&out, 4, 7, false, &jcdn_chaos::Quiet).unwrap();
-        writer.commit_tables(&encode_tables(sharded.interner())).unwrap();
+        writer
+            .commit_tables(&encode_tables(sharded.interner()))
+            .unwrap();
         let mut last_time = None;
         let mut base = 0;
         for i in 0..3 {

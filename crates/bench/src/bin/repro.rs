@@ -34,6 +34,7 @@ const ALL: &[&str] = &[
     "abl_cache",
     "ext_leadtime",
     "ext_anomaly",
+    "ext_traffic_mix",
 ];
 
 fn main() -> ExitCode {
@@ -123,6 +124,7 @@ fn main() -> ExitCode {
             "ext_leadtime" => experiments::ext_leadtime(ctx.expect("ctx")),
             "abl_cache" => experiments::abl_cache(ctx.expect("ctx")),
             "ext_anomaly" => experiments::ext_anomaly(ctx.expect("ctx")),
+            "ext_traffic_mix" => experiments::ext_traffic_mix(ctx.expect("ctx")),
             _ => unreachable!("validated above"),
         };
 

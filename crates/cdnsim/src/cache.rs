@@ -1,20 +1,28 @@
-//! The edge cache: byte-capacity LRU with per-entry TTL.
+//! The edge cache: byte-capacity cache with per-entry TTL and a pluggable
+//! eviction policy.
+//!
+//! [`PolicyCache`] owns residency — the key→slot map, sizes, expiry, the
+//! byte budget — and delegates *ordering* to an
+//! [`EvictionPolicy`](crate::policy::EvictionPolicy). [`LruCache`] is the
+//! LRU-defaulted alias; with the [`Lru`](crate::policy::Lru) policy the
+//! cache behaves byte-identically to the original intrusive-list
+//! implementation (locked in by the property suite in
+//! `tests/lru_properties.rs`).
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
 use jcdn_trace::{SimDuration, SimTime};
 
-const NIL: usize = usize::MAX;
+use crate::policy::{EvictionPolicy, PolicyKind};
 
 #[derive(Clone, Debug)]
 struct Slot<K> {
     key: K,
+    hash: u64,
     size: u64,
     expires: SimTime,
     prefetched: bool,
-    prev: usize,
-    next: usize,
 }
 
 /// Cache statistics.
@@ -34,6 +42,10 @@ pub struct CacheStats {
     /// Lookups answered with an expired entry inside the stale-if-error
     /// grace window (neither a hit nor a miss).
     pub stale_hits: u64,
+    /// Bytes evicted to make room (the payload sizes behind `evictions`).
+    pub evicted_bytes: u64,
+    /// High-water mark of resident bytes — the occupancy gauge.
+    pub max_used_bytes: u64,
 }
 
 /// Outcome of a grace-aware cache lookup.
@@ -48,42 +60,86 @@ pub enum Lookup {
     Miss,
 }
 
-/// A least-recently-used cache bounded by total bytes, with per-entry TTL.
+/// Keys that can produce a stable 64-bit hash for policy-side identity
+/// (frequency sketches, ghost lists). The hash must be identical across
+/// runs and platforms — no `RandomState`.
+pub trait StableKey {
+    /// Stable, well-mixed 64-bit hash of the key.
+    fn stable_hash(&self) -> u64;
+}
+
+/// SplitMix64 finalizer over the integer value.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! stable_key_int {
+    ($($t:ty),*) => {$(
+        impl StableKey for $t {
+            fn stable_hash(&self) -> u64 {
+                mix64(*self as u64)
+            }
+        }
+    )*};
+}
+stable_key_int!(u8, u16, u32, u64, usize);
+
+/// A byte-bounded cache with per-entry TTL and a pluggable eviction
+/// policy.
 ///
-/// Keys are small copyable ids (object ids in the simulator). The recency
-/// list is an intrusive doubly-linked list over a slab, so every operation
-/// is O(1) amortized.
-#[derive(Clone, Debug)]
-pub struct LruCache<K: Eq + Hash + Copy> {
+/// Keys are small copyable ids (object ids in the simulator). Slot
+/// storage is a slab with a free list, so the policy sees stable indices
+/// and every operation is O(1) amortized for the LRU reference policy.
+#[derive(Debug)]
+pub struct PolicyCache<K: Eq + Hash + Copy + StableKey> {
     map: HashMap<K, usize>,
     slots: Vec<Slot<K>>,
     free: Vec<usize>,
-    /// Most recently used.
-    head: usize,
-    /// Least recently used.
-    tail: usize,
     capacity: u64,
     used: u64,
     stats: CacheStats,
+    policy: Box<dyn EvictionPolicy>,
 }
 
-impl<K: Eq + Hash + Copy> LruCache<K> {
-    /// Creates a cache bounded by `capacity` bytes.
+/// The LRU-defaulted cache alias: `LruCache::new` builds a
+/// [`PolicyCache`] running the reference [`Lru`](crate::policy::Lru)
+/// policy, preserving the original type's name and behavior.
+pub type LruCache<K> = PolicyCache<K>;
+
+impl<K: Eq + Hash + Copy + StableKey> PolicyCache<K> {
+    /// Creates an LRU cache bounded by `capacity` bytes.
     ///
     /// # Panics
     /// Panics when `capacity == 0`.
     pub fn new(capacity: u64) -> Self {
+        PolicyCache::with_policy(capacity, PolicyKind::Lru, 0)
+    }
+
+    /// Creates a cache bounded by `capacity` bytes running `kind`. `seed`
+    /// feeds any policy-internal hashing (TinyLFU's sketch) and must come
+    /// from the simulation's deterministic seed stream.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn with_policy(capacity: u64, kind: PolicyKind, seed: u64) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        LruCache {
+        PolicyCache {
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
-            head: NIL,
-            tail: NIL,
             capacity,
             used: 0,
             stats: CacheStats::default(),
+            policy: kind.build(capacity, seed),
         }
+    }
+
+    /// Short name of the eviction policy in charge.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Number of resident entries.
@@ -121,7 +177,7 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
     /// than `grace` ago (stale-if-error). A stale entry stays resident — the
     /// caller decides whether to serve it — while an entry expired beyond
     /// the grace window is removed and counted as a miss. With
-    /// `grace == ZERO` this is exactly [`LruCache::get`].
+    /// `grace == ZERO` this is exactly [`PolicyCache::get`].
     pub fn get_with_grace(&mut self, key: K, now: SimTime, grace: SimDuration) -> Lookup {
         match self.map.get(&key).copied() {
             None => {
@@ -137,7 +193,7 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
                         self.stats.misses += 1;
                         return Lookup::Miss;
                     }
-                    self.touch(idx);
+                    self.policy.on_hit(idx, self.slots[idx].hash);
                     self.stats.stale_hits += 1;
                     return Lookup::Stale;
                 }
@@ -145,7 +201,7 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
                     self.slots[idx].prefetched = false;
                     self.stats.prefetch_hits += 1;
                 }
-                self.touch(idx);
+                self.policy.on_hit(idx, self.slots[idx].hash);
                 self.stats.hits += 1;
                 Lookup::Fresh
             }
@@ -157,6 +213,15 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
         self.map
             .get(&key)
             .is_some_and(|&idx| self.slots[idx].expires > now)
+    }
+
+    /// Fresh-entry size of `key`, without recency/stat effects.
+    pub fn peek_size(&self, key: K, now: SimTime) -> Option<u64> {
+        self.map
+            .get(&key)
+            .map(|&idx| &self.slots[idx])
+            .filter(|slot| slot.expires > now)
+            .map(|slot| slot.size)
     }
 
     /// Inserts (or refreshes) `key` with `size` bytes and `ttl` lifetime.
@@ -180,18 +245,19 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
             self.slots[idx].size = size;
             self.slots[idx].expires = expires;
             self.slots[idx].prefetched = prefetched;
-            self.touch(idx);
+            self.policy.on_refresh(idx, self.slots[idx].hash, size);
             self.evict_to_fit();
+            self.stats.max_used_bytes = self.stats.max_used_bytes.max(self.used);
             return true;
         }
         self.used += size;
+        let hash = key.stable_hash();
         let slot = Slot {
             key,
+            hash,
             size,
             expires,
             prefetched,
-            prev: NIL,
-            next: NIL,
         };
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -204,8 +270,9 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
             }
         };
         self.map.insert(key, idx);
-        self.push_front(idx);
+        self.policy.on_insert(idx, hash, size);
         self.evict_to_fit();
+        self.stats.max_used_bytes = self.stats.max_used_bytes.max(self.used);
         true
     }
 
@@ -222,55 +289,22 @@ impl<K: Eq + Hash + Copy> LruCache<K> {
 
     fn evict_to_fit(&mut self) {
         while self.used > self.capacity {
-            let tail = self.tail;
-            debug_assert_ne!(tail, NIL, "over capacity with empty list");
-            self.remove_slot(tail);
+            let Some(victim) = self.policy.victim() else {
+                debug_assert!(false, "over capacity with no victim");
+                break;
+            };
+            self.stats.evicted_bytes += self.slots[victim].size;
+            self.remove_slot(victim);
             self.stats.evictions += 1;
         }
     }
 
     fn remove_slot(&mut self, idx: usize) {
-        self.unlink(idx);
+        self.policy.on_remove(idx);
         let key = self.slots[idx].key;
         self.used -= self.slots[idx].size;
         self.map.remove(&key);
         self.free.push(idx);
-    }
-
-    fn touch(&mut self, idx: usize) {
-        if self.head == idx {
-            return;
-        }
-        self.unlink(idx);
-        self.push_front(idx);
-    }
-
-    fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else if self.head == idx {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else if self.tail == idx {
-            self.tail = prev;
-        }
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = NIL;
-    }
-
-    fn push_front(&mut self, idx: usize) {
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
-        }
     }
 }
 
@@ -418,5 +452,39 @@ mod tests {
         c.insert(3, 100, TTL, t(3), false);
         assert!(!c.peek(1, t(4)), "peek must not have refreshed entry 1");
         assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn occupancy_and_eviction_byte_gauges() {
+        let mut c: LruCache<u32> = LruCache::new(300);
+        c.insert(1, 200, TTL, t(0), false);
+        c.insert(2, 100, TTL, t(1), false);
+        assert_eq!(c.stats().max_used_bytes, 300);
+        c.insert(3, 150, TTL, t(2), false); // evicts 1 (200 bytes)
+        assert_eq!(c.stats().evicted_bytes, 200);
+        assert_eq!(c.stats().max_used_bytes, 300, "high-water sticks");
+        c.remove(2);
+        c.remove(3);
+        assert_eq!(c.stats().max_used_bytes, 300);
+        assert_eq!(c.stats().evicted_bytes, 200, "removes are not evictions");
+    }
+
+    #[test]
+    fn non_lru_policies_run_the_same_core() {
+        for kind in PolicyKind::ALL {
+            let mut c: PolicyCache<u32> = PolicyCache::with_policy(500, kind, 7);
+            for k in 0..20 {
+                c.insert(k, 50, TTL, t(k as u64), false);
+                c.get(k / 2, t(k as u64));
+            }
+            assert!(
+                c.used_bytes() <= 500,
+                "{kind}: byte budget violated ({} bytes)",
+                c.used_bytes()
+            );
+            let resident = c.len() as u64 * 50;
+            assert_eq!(c.used_bytes(), resident, "{kind}: size accounting");
+            assert_eq!(c.policy_name(), kind.label());
+        }
     }
 }

@@ -73,6 +73,22 @@ impl LatencyModel {
         )
     }
 
+    /// Latency of a response served from shared hierarchy tier `tier`
+    /// (0-based, 0 = the tier closest to the edge). Each deeper tier adds
+    /// one parent round trip, capped at the origin round trip — a shield
+    /// hit can't cost more than going to the origin. Tier 0 is identical
+    /// to [`LatencyModel::parent_hit_latency`].
+    pub fn tier_hit_latency<R: Rng + ?Sized>(
+        &self,
+        tier: usize,
+        bytes: u64,
+        rng: &mut R,
+    ) -> SimDuration {
+        let hops = self.edge_parent_rtt.as_micros() * (tier as u64 + 1);
+        let upstream = SimDuration::from_micros(hops.min(self.edge_origin_rtt.as_micros()));
+        self.jittered(self.client_edge_rtt + upstream + self.transfer(bytes), rng)
+    }
+
     fn transfer(&self, bytes: u64) -> SimDuration {
         SimDuration::from_micros(self.per_kb.as_micros() * bytes.div_ceil(1024))
     }
@@ -105,6 +121,22 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(2);
         assert!(m.hit_latency(100_000, &mut rng) > m.hit_latency(100, &mut rng));
+    }
+
+    #[test]
+    fn tier_zero_matches_parent_hit_and_deep_tiers_cap_at_origin() {
+        let m = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            m.tier_hit_latency(0, 2048, &mut rng),
+            m.parent_hit_latency(2048, &mut rng)
+        );
+        let deep = m.tier_hit_latency(7, 2048, &mut rng);
+        assert_eq!(deep, m.miss_latency(2048, &mut rng), "capped at origin");
+        assert!(m.tier_hit_latency(1, 2048, &mut rng) > m.tier_hit_latency(0, 2048, &mut rng));
     }
 
     #[test]

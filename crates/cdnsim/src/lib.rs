@@ -13,8 +13,12 @@
 //!
 //! Components:
 //!
-//! * [`cache::LruCache`] — byte-capacity LRU with per-entry TTL, the edge
-//!   cache ("object caching information" in the logs),
+//! * [`cache::PolicyCache`] — byte-capacity edge cache with per-entry TTL
+//!   and a pluggable [`policy::EvictionPolicy`] (LRU, LFU, SLRU, TinyLFU,
+//!   S3-FIFO — see [`policy::PolicyKind`]),
+//! * [`hierarchy::CacheHierarchy`] — declarative N-level edge → regional →
+//!   origin-shield topology with per-tier capacity/TTL/policy and
+//!   leave-copy-everywhere / copy-down placement,
 //! * [`LatencyModel`] — client↔edge and edge↔origin delays,
 //! * edge service queues with two priority classes, which the
 //!   deprioritization experiment (§5.1's proposed optimization) exercises,
@@ -47,13 +51,17 @@
 
 pub mod cache;
 pub mod fault;
+pub mod hierarchy;
 mod latency;
+pub mod policy;
 mod sim;
 
 pub use fault::{
     EdgeFlap, ErrorBursts, FaultPlan, OriginDegradation, OriginOutage, ResilienceConfig, Window,
 };
+pub use hierarchy::{CacheHierarchy, Placement, TierSpec};
 pub use latency::LatencyModel;
+pub use policy::PolicyKind;
 pub use sim::{
     run, run_default, run_sharded, NoopPolicy, Policy, PolicyOutcome, Priority, RequestCtx,
     SimConfig, SimOutput, SimStats,

@@ -1,7 +1,19 @@
 //! The event-driven simulation engine.
+//!
+//! ## Shared-tier determinism
+//!
+//! With a [`CacheHierarchy`] that has shared tiers, the engine runs under
+//! the epoch discipline described in [`crate::hierarchy`]: simulated time
+//! is cut into `sync_interval` epochs; within an epoch every shared-tier
+//! lookup reads the epoch-start snapshot and mutations are logged; at the
+//! boundary the log is applied in `(time, edge, eseq)` order. The
+//! sequential combined loop and the per-edge lockstep parallel driver
+//! ([`run_sharded`]) cut identical epochs and apply identical sorted
+//! logs, so their outputs are byte-identical.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use jcdn_obs::metrics::{key, MetricsSnapshot};
 use jcdn_stats::Summary;
@@ -15,8 +27,11 @@ use rand::SeedableRng;
 
 use std::collections::HashMap;
 
-use crate::cache::{Lookup, LruCache};
+use crate::cache::{Lookup, PolicyCache};
 use crate::fault::{FaultPlan, FaultState, ResilienceConfig};
+use crate::hierarchy::{
+    flush_accesses, AccessKind, CacheHierarchy, Placement, SharedTier, TierAccess, MAX_SHARED_TIERS,
+};
 use crate::latency::LatencyModel;
 
 /// Simulator configuration.
@@ -25,13 +40,17 @@ pub struct SimConfig {
     /// Number of edge servers (the paper's long-term dataset covers three
     /// vantage points).
     pub edges: usize,
-    /// Per-edge cache capacity in bytes.
+    /// Per-edge cache capacity in bytes. Ignored when [`SimConfig::hierarchy`]
+    /// is set (the hierarchy's edge tier wins).
     pub cache_capacity: u64,
-    /// Optional parent-tier cache capacity (bytes). When set, cacheable
-    /// edge misses consult a shared regional parent before the origin —
-    /// the "through the CDN to origin content servers" path of §4, with
-    /// one intermediate tier.
+    /// Compat alias for a 2-level LRU hierarchy: when set (and
+    /// [`SimConfig::hierarchy`] is not), cacheable edge misses consult a
+    /// shared regional parent of this many bytes before the origin —
+    /// equivalent to [`CacheHierarchy::with_parent`].
     pub parent_cache: Option<u64>,
+    /// Full N-level cache hierarchy. Takes precedence over
+    /// [`SimConfig::cache_capacity`] and [`SimConfig::parent_cache`].
+    pub hierarchy: Option<CacheHierarchy>,
     /// Network delays.
     pub latency: LatencyModel,
     /// Fixed CPU cost of handling one request at the edge.
@@ -56,6 +75,7 @@ impl Default for SimConfig {
             edges: 3,
             cache_capacity: 256 << 20,
             parent_cache: None,
+            hierarchy: None,
             latency: LatencyModel::default(),
             service_base: SimDuration::from_micros(200),
             service_per_kb: SimDuration::from_micros(20),
@@ -63,6 +83,21 @@ impl Default for SimConfig {
             fault: FaultPlan::default(),
             resilience: ResilienceConfig::default(),
             seed: 0x5eed,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The effective hierarchy: [`SimConfig::hierarchy`] when set, else the
+    /// `parent_cache` compat alias, else a single edge tier of
+    /// [`SimConfig::cache_capacity`] bytes.
+    pub fn resolved_hierarchy(&self) -> CacheHierarchy {
+        match &self.hierarchy {
+            Some(h) => h.clone(),
+            None => match self.parent_cache {
+                Some(cap) => CacheHierarchy::with_parent(self.cache_capacity, cap),
+                None => CacheHierarchy::single(self.cache_capacity),
+            },
         }
     }
 }
@@ -138,10 +173,14 @@ pub struct SimStats {
     pub not_cacheable: u64,
     /// Total origin round trips (misses + uncacheable + prefetches).
     pub origin_fetches: u64,
-    /// Cacheable edge misses served by the parent tier.
-    pub parent_hits: u64,
-    /// Cacheable edge misses that fell through the parent to the origin.
-    pub parent_misses: u64,
+    /// Per-shared-tier hits: `tier_hits[t]` counts cacheable edge misses
+    /// served by shared tier `t` (0 = nearest the edge). Empty without
+    /// shared tiers.
+    pub tier_hits: Vec<u64>,
+    /// Per-shared-tier misses: `tier_misses[t]` counts lookups that walked
+    /// past tier `t` to a deeper tier or the origin. The last element is
+    /// the fall-through-to-origin count.
+    pub tier_misses: Vec<u64>,
     /// Prefetches issued by the policy.
     pub prefetch_issued: u64,
     /// Prefetches that completed and were inserted.
@@ -200,6 +239,25 @@ impl SimStats {
         (self.json_requests > 0).then(|| self.json_not_cacheable as f64 / self.json_requests as f64)
     }
 
+    /// Cacheable edge misses served by any shared tier — the old
+    /// parent-tier hit counter, generalized over N tiers.
+    pub fn parent_hits(&self) -> u64 {
+        self.tier_hits.iter().sum()
+    }
+
+    /// Cacheable edge misses that fell through every shared tier to the
+    /// origin — the old parent-tier miss counter, generalized.
+    pub fn parent_misses(&self) -> u64 {
+        self.tier_misses.last().copied().unwrap_or(0)
+    }
+
+    /// Hit ratio of shared tier `t` over the lookups that reached it.
+    pub fn tier_hit_ratio(&self, t: usize) -> Option<f64> {
+        let hits = self.tier_hits.get(t).copied()?;
+        let reached = hits + self.tier_misses.get(t).copied()?;
+        (reached > 0).then(|| hits as f64 / reached as f64)
+    }
+
     /// Logical requests: attempts minus the retries that re-entered the
     /// queue (i.e. the number of workload events served).
     pub fn logical_requests(&self) -> u64 {
@@ -219,16 +277,17 @@ impl SimStats {
     }
 
     /// Adds `other`'s counters and latency summaries into `self`. Every
-    /// integer counter merges exactly; the latency [`Summary`]s combine
-    /// via their own merge (counts exact, moments to float precision).
+    /// integer counter merges exactly (tier vectors merge elementwise);
+    /// the latency [`Summary`]s combine via their own merge (counts exact,
+    /// moments to float precision).
     pub fn merge(&mut self, other: &SimStats) {
         self.requests += other.requests;
         self.hits += other.hits;
         self.misses += other.misses;
         self.not_cacheable += other.not_cacheable;
         self.origin_fetches += other.origin_fetches;
-        self.parent_hits += other.parent_hits;
-        self.parent_misses += other.parent_misses;
+        merge_tier_counts(&mut self.tier_hits, &other.tier_hits);
+        merge_tier_counts(&mut self.tier_misses, &other.tier_misses);
         self.prefetch_issued += other.prefetch_issued;
         self.prefetch_completed += other.prefetch_completed;
         self.prefetch_useful += other.prefetch_useful;
@@ -246,6 +305,16 @@ impl SimStats {
         self.neg_cache_serves += other.neg_cache_serves;
         self.coalesced_waits += other.coalesced_waits;
         self.origin_errors += other.origin_errors;
+    }
+}
+
+/// Elementwise add, growing `into` to `from`'s length first.
+fn merge_tier_counts(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (dst, src) in into.iter_mut().zip(from) {
+        *dst += src;
     }
 }
 
@@ -272,6 +341,8 @@ struct StatsMark {
     hits: u64,
     misses: u64,
     not_cacheable: u64,
+    tier_hits: [u64; MAX_SHARED_TIERS],
+    tier_misses: [u64; MAX_SHARED_TIERS],
     stale_serves: u64,
     neg_cache_serves: u64,
     coalesced_waits: u64,
@@ -280,12 +351,23 @@ struct StatsMark {
     end_user_failures: u64,
 }
 
+/// Copies a tier-count vector into the fixed mark array.
+fn tier_array(counts: &[u64]) -> [u64; MAX_SHARED_TIERS] {
+    let mut a = [0u64; MAX_SHARED_TIERS];
+    for (dst, src) in a.iter_mut().zip(counts) {
+        *dst = *src;
+    }
+    a
+}
+
 impl StatsMark {
     fn capture(stats: &SimStats) -> StatsMark {
         StatsMark {
             hits: stats.hits,
             misses: stats.misses,
             not_cacheable: stats.not_cacheable,
+            tier_hits: tier_array(&stats.tier_hits),
+            tier_misses: tier_array(&stats.tier_misses),
             stale_serves: stats.stale_serves,
             neg_cache_serves: stats.neg_cache_serves,
             coalesced_waits: stats.coalesced_waits,
@@ -301,6 +383,12 @@ impl StatsMark {
         edge.hits += stats.hits - self.hits;
         edge.misses += stats.misses - self.misses;
         edge.not_cacheable += stats.not_cacheable - self.not_cacheable;
+        let now_hits = tier_array(&stats.tier_hits);
+        let now_misses = tier_array(&stats.tier_misses);
+        for t in 0..MAX_SHARED_TIERS {
+            edge.tier_hits[t] += now_hits[t] - self.tier_hits[t];
+            edge.tier_misses[t] += now_misses[t] - self.tier_misses[t];
+        }
         edge.stale_serves += stats.stale_serves - self.stale_serves;
         edge.neg_cache_serves += stats.neg_cache_serves - self.neg_cache_serves;
         edge.coalesced_waits += stats.coalesced_waits - self.coalesced_waits;
@@ -317,6 +405,8 @@ struct EdgeCounters {
     hits: u64,
     misses: u64,
     not_cacheable: u64,
+    tier_hits: [u64; MAX_SHARED_TIERS],
+    tier_misses: [u64; MAX_SHARED_TIERS],
     stale_serves: u64,
     neg_cache_serves: u64,
     coalesced_waits: u64,
@@ -338,6 +428,11 @@ impl EdgeCounters {
             &key("sim.not_cacheable", &[("edge", e)]),
             self.not_cacheable,
         );
+        for (t, (&th, &tm)) in self.tier_hits.iter().zip(&self.tier_misses).enumerate() {
+            let t = t as u64;
+            snapshot.inc(&key("cache.tier_hits", &[("edge", e), ("tier", t)]), th);
+            snapshot.inc(&key("cache.tier_misses", &[("edge", e), ("tier", t)]), tm);
+        }
         snapshot.inc(&key("sim.stale_serves", &[("edge", e)]), self.stale_serves);
         snapshot.inc(
             &key("sim.neg_cache_serves", &[("edge", e)]),
@@ -374,7 +469,7 @@ enum InternalEvent {
 type QueuedRequest = (Priority, SimTime, u64, usize, u8);
 
 struct Edge {
-    cache: LruCache<u32>,
+    cache: PolicyCache<u32>,
     busy_until: SimTime,
     /// Waiting requests, served in priority-then-arrival order.
     queue: BinaryHeap<Reverse<QueuedRequest>>,
@@ -411,9 +506,385 @@ fn edge_seed(seed: u64, edge: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Smallest epoch boundary strictly after `t`.
+fn next_epoch_boundary(t: SimTime, interval: SimDuration) -> SimTime {
+    let iv = interval.as_micros().max(1);
+    SimTime::from_micros((t.as_micros() / iv + 1).saturating_mul(iv))
+}
+
 /// Runs the workload through the simulated CDN with the given policy.
 pub fn run(workload: &Workload, config: &SimConfig, policy: &mut dyn Policy) -> SimOutput {
     run_inner(workload, config, policy, None)
+}
+
+/// The per-run simulation state: every edge's caches, queues and RNG
+/// streams, the event heap, the arrival cursor, and the shared-tier access
+/// log. Extracted from the old monolithic loop so the combined sequential
+/// run and the per-edge lockstep parallel run drive identical code.
+struct Machine<'w> {
+    workload: &'w Workload,
+    config: &'w SimConfig,
+    only_edge: Option<usize>,
+    placement: Placement,
+    edge_ttl_cap: Option<SimDuration>,
+    edge_counters: Vec<EdgeCounters>,
+    rngs: Vec<StdRng>,
+    fault_states: Vec<FaultState>,
+    stats: SimStats,
+    edges: Vec<Edge>,
+    trace: Trace,
+    url_ids: Vec<UrlId>,
+    ua_ids: Vec<Option<UaId>>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>>,
+    seq: u64,
+    next_arrival: usize,
+    /// Shared-tier mutations recorded this epoch.
+    tier_log: Vec<TierAccess>,
+    /// Per-edge monotone sequence for tier-log ordering.
+    eseqs: Vec<u64>,
+}
+
+impl<'w> Machine<'w> {
+    fn new(
+        workload: &'w Workload,
+        config: &'w SimConfig,
+        hierarchy: &CacheHierarchy,
+        only_edge: Option<usize>,
+    ) -> Machine<'w> {
+        assert!(config.edges > 0, "need at least one edge");
+        let shared = hierarchy.shared.len();
+        let stats = SimStats {
+            tier_hits: vec![0; shared],
+            tier_misses: vec![0; shared],
+            ..SimStats::default()
+        };
+        // Pre-intern all strings so ids are stable and independent of
+        // policy decisions.
+        let mut trace = Trace::with_capacity(workload.events.len());
+        let url_ids: Vec<UrlId> = workload
+            .objects
+            .iter()
+            .map(|o| trace.intern_url(&o.url))
+            .collect();
+        let ua_ids: Vec<Option<UaId>> = workload
+            .clients
+            .iter()
+            .map(|c| c.ua.as_deref().map(|ua| trace.intern_ua(ua)))
+            .collect();
+        Machine {
+            workload,
+            config,
+            only_edge,
+            placement: hierarchy.placement,
+            edge_ttl_cap: hierarchy.edge.ttl_cap,
+            edge_counters: vec![EdgeCounters::default(); config.edges],
+            rngs: (0..config.edges)
+                .map(|e| StdRng::seed_from_u64(edge_seed(config.seed, e)))
+                .collect(),
+            // The fault/error stream is separate from the main streams so
+            // enabling bursts or faults never perturbs size and latency
+            // draws.
+            fault_states: (0..config.edges)
+                .map(|e| FaultState::new(edge_seed(config.seed ^ 0xFAD7_5EED, e)))
+                .collect(),
+            stats,
+            edges: (0..config.edges)
+                .map(|e| Edge {
+                    cache: PolicyCache::with_policy(
+                        hierarchy.edge.capacity,
+                        hierarchy.edge.policy,
+                        edge_seed(config.seed ^ 0xCAC4_E5EE, e),
+                    ),
+                    busy_until: SimTime::ZERO,
+                    queue: BinaryHeap::new(),
+                    in_service: None,
+                    neg_cache: HashMap::new(),
+                    in_flight: HashMap::new(),
+                })
+                .collect(),
+            trace,
+            url_ids,
+            ua_ids,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_arrival: 0,
+            tier_log: Vec::new(),
+            eseqs: vec![0; config.edges],
+        }
+    }
+
+    /// Time of the next event this machine would process, arrival or
+    /// internal. For a per-edge machine this may name an arrival that will
+    /// be skipped (routed elsewhere) — which is exactly what the epoch
+    /// driver needs: every machine reports the same global arrival head,
+    /// so all modes compute identical epoch boundaries.
+    fn next_time(&self) -> Option<SimTime> {
+        let arrival = self.workload.events.get(self.next_arrival).map(|e| e.time);
+        let internal = self.heap.peek().map(|Reverse((t, _, _))| *t);
+        match (arrival, internal) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(i)) => Some(i),
+            (Some(a), Some(i)) => Some(a.min(i)),
+        }
+    }
+
+    /// Takes this epoch's shared-tier access log.
+    fn drain_tier_log(&mut self) -> Vec<TierAccess> {
+        std::mem::take(&mut self.tier_log)
+    }
+
+    /// Processes events with `time < limit` (all remaining events when
+    /// `limit` is `None`). Shared-tier lookups read `tiers` as an
+    /// immutable epoch snapshot; mutations land in the tier log.
+    fn run_until(&mut self, policy: &mut dyn Policy, tiers: &[SharedTier], limit: Option<SimTime>) {
+        let workload = self.workload;
+        let config = self.config;
+        loop {
+            // Pick the earlier of the next arrival and the next internal
+            // event.
+            let arrival_time = workload.events.get(self.next_arrival).map(|e| e.time);
+            let internal_time = self.heap.peek().map(|Reverse((t, _, _))| *t);
+            let take_arrival = match (arrival_time, internal_time) {
+                (None, None) => break,
+                (Some(at), None) => {
+                    if limit.is_some_and(|l| at >= l) {
+                        break;
+                    }
+                    true
+                }
+                (None, Some(it)) => {
+                    if limit.is_some_and(|l| it >= l) {
+                        break;
+                    }
+                    false
+                }
+                (Some(at), Some(it)) => {
+                    if limit.is_some_and(|l| at.min(it) >= l) {
+                        break;
+                    }
+                    at <= it
+                }
+            };
+            match take_arrival {
+                true => {
+                    let widx = self.next_arrival;
+                    self.next_arrival += 1;
+                    let event = &workload.events[widx];
+                    let edge_idx = route_edge(
+                        &config.fault,
+                        config.edges,
+                        workload.clients[event.client as usize].ip_hash,
+                        event.time,
+                    );
+                    if self.only_edge.is_some_and(|e| e != edge_idx) {
+                        continue;
+                    }
+
+                    let ctx = RequestCtx {
+                        time: event.time,
+                        client: event.client,
+                        object: event.object,
+                        edge: edge_idx,
+                        objects: &workload.objects,
+                        clients: &workload.clients,
+                        cache_resident: self.edges[edge_idx].cache.peek(event.object, event.time),
+                    };
+                    let outcome = policy.on_request(&ctx);
+
+                    // Issue prefetches: only cacheable, non-resident objects.
+                    for target in outcome.prefetch {
+                        let tobj = &workload.objects[target as usize];
+                        if !tobj.cacheable || self.edges[edge_idx].cache.peek(target, event.time) {
+                            continue;
+                        }
+                        self.stats.prefetch_issued += 1;
+                        let size = tobj.sample_size(&mut self.rngs[edge_idx]);
+                        self.stats.bytes_origin += size;
+                        self.stats.origin_fetches += 1;
+                        let done = event.time
+                            + config.latency.origin_fetch(size, &mut self.rngs[edge_idx]);
+                        self.seq += 1;
+                        self.heap.push(Reverse((
+                            done,
+                            self.seq,
+                            InternalEvent::PrefetchDone {
+                                edge: edge_idx,
+                                object: target,
+                            },
+                        )));
+                    }
+
+                    self.edges[edge_idx].queue.push(Reverse((
+                        outcome.priority,
+                        event.time,
+                        self.seq,
+                        widx,
+                        0,
+                    )));
+                    self.seq += 1;
+                    dispatch(
+                        &mut self.edges[edge_idx],
+                        edge_idx,
+                        event.time,
+                        workload,
+                        config,
+                        &mut self.heap,
+                        &mut self.seq,
+                    );
+                }
+                false => {
+                    let Some(Reverse((now, _, ev))) = self.heap.pop() else {
+                        break;
+                    };
+                    match ev {
+                        InternalEvent::PrefetchDone { edge, object } => {
+                            let obj = &workload.objects[object as usize];
+                            self.stats.prefetch_completed += 1;
+                            // Insert only if still absent — a demand miss may
+                            // have populated it meanwhile.
+                            if !self.edges[edge].cache.peek(object, now) {
+                                let size = obj.sample_size(&mut self.rngs[edge]);
+                                self.edges[edge]
+                                    .cache
+                                    .insert(object, size, obj.ttl, now, true);
+                            }
+                        }
+                        InternalEvent::Retry {
+                            widx,
+                            attempt,
+                            priority,
+                        } => {
+                            // The client re-issues the request; routing
+                            // happens afresh (the original edge may have
+                            // flapped out).
+                            let event = &workload.events[widx];
+                            let edge_idx = route_edge(
+                                &config.fault,
+                                config.edges,
+                                workload.clients[event.client as usize].ip_hash,
+                                now,
+                            );
+                            self.edges[edge_idx]
+                                .queue
+                                .push(Reverse((priority, now, self.seq, widx, attempt)));
+                            self.seq += 1;
+                            dispatch(
+                                &mut self.edges[edge_idx],
+                                edge_idx,
+                                now,
+                                workload,
+                                config,
+                                &mut self.heap,
+                                &mut self.seq,
+                            );
+                        }
+                        InternalEvent::ServiceDone { edge } => {
+                            let Some((widx, arrival, priority, attempt)) =
+                                self.edges[edge].in_service.take()
+                            else {
+                                continue;
+                            };
+                            let mark = StatsMark::capture(&self.stats);
+                            let mut tc = TierCtx {
+                                tiers,
+                                placement: self.placement,
+                                edge_ttl_cap: self.edge_ttl_cap,
+                                log: &mut self.tier_log,
+                                eseq: &mut self.eseqs[edge],
+                                edge_idx: edge as u32,
+                            };
+                            complete_request(
+                                widx,
+                                attempt,
+                                arrival,
+                                priority,
+                                now,
+                                workload,
+                                config,
+                                &mut self.edges[edge],
+                                &mut tc,
+                                &mut self.stats,
+                                &mut self.trace,
+                                &self.url_ids,
+                                &self.ua_ids,
+                                &mut self.rngs[edge],
+                                &mut self.fault_states[edge],
+                                &mut self.heap,
+                                &mut self.seq,
+                            );
+                            mark.attribute(&self.stats, &mut self.edge_counters[edge]);
+                            dispatch(
+                                &mut self.edges[edge],
+                                edge,
+                                now,
+                                workload,
+                                config,
+                                &mut self.heap,
+                                &mut self.seq,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds edge-cache counters into the stats and metrics and produces
+    /// the output (trace canonically sorted). Shared-tier metrics are NOT
+    /// recorded here — the driver does that exactly once per run via
+    /// [`record_tier_metrics`].
+    fn finish(mut self) -> SimOutput {
+        // Merge cache-level prefetch-hit counters.
+        for edge in &self.edges {
+            self.stats.prefetch_useful += edge.cache.stats().prefetch_hits;
+        }
+
+        // Canonical total-order sort: the log is time-sorted and the order
+        // of equal-time records never depends on edge interleaving, so
+        // per-edge subset runs concatenate to exactly this log.
+        self.trace.sort_canonical();
+        let mut metrics = MetricsSnapshot::default();
+        for (e, counters) in self.edge_counters.iter().enumerate() {
+            counters.record_into(e, &mut metrics);
+        }
+        for (e, edge) in self.edges.iter().enumerate() {
+            record_cache_metrics(&mut metrics, &[("edge", e as u64)], edge.cache.stats());
+        }
+        SimOutput {
+            trace: self.trace,
+            stats: self.stats,
+            metrics,
+        }
+    }
+}
+
+/// Records one cache's occupancy/eviction telemetry under `labels`.
+/// Zero values are skipped entirely — `inc` drops them anyway, and the
+/// gauge must not create a key for an idle cache, or per-edge subset runs
+/// would merge to a different snapshot than the combined run.
+fn record_cache_metrics(
+    metrics: &mut MetricsSnapshot,
+    labels: &[(&str, u64)],
+    stats: crate::cache::CacheStats,
+) {
+    metrics.inc(&key("cache.evictions", labels), stats.evictions);
+    metrics.inc(&key("cache.evicted_bytes", labels), stats.evicted_bytes);
+    if stats.max_used_bytes > 0 {
+        metrics.gauge_max(&key("cache.occupancy_bytes", labels), stats.max_used_bytes);
+    }
+}
+
+/// Records the shared tiers' cache telemetry (hit/miss/expiry counters
+/// plus occupancy and eviction gauges) labeled by tier index. Called
+/// exactly once per run by whichever driver owns the tiers.
+fn record_tier_metrics(metrics: &mut MetricsSnapshot, tiers: &[SharedTier]) {
+    for (t, tier) in tiers.iter().enumerate() {
+        let stats = tier.cache.stats();
+        let labels = [("tier", t as u64)];
+        record_cache_metrics(metrics, &labels, stats);
+        metrics.inc(&key("cache.tier_expirations", &labels), stats.expirations);
+    }
 }
 
 /// The engine behind [`run`] and [`run_sharded`]: when `only_edge` is set,
@@ -430,231 +901,40 @@ fn run_inner(
     policy: &mut dyn Policy,
     only_edge: Option<usize>,
 ) -> SimOutput {
-    assert!(config.edges > 0, "need at least one edge");
     let _span = match only_edge {
         Some(e) => jcdn_obs::span!("simulate.edge", edge = e as u64),
         None => jcdn_obs::span!("simulate.run"),
     };
-    let mut edge_counters: Vec<EdgeCounters> = vec![EdgeCounters::default(); config.edges];
-    let mut rngs: Vec<StdRng> = (0..config.edges)
-        .map(|e| StdRng::seed_from_u64(edge_seed(config.seed, e)))
-        .collect();
-    // The fault/error stream is separate from the main streams so enabling
-    // bursts or faults never perturbs size and latency draws.
-    let mut fault_states: Vec<FaultState> = (0..config.edges)
-        .map(|e| FaultState::new(edge_seed(config.seed ^ 0xFAD7_5EED, e)))
-        .collect();
-    let mut stats = SimStats::default();
-    let mut parent: Option<LruCache<u32>> = config.parent_cache.map(LruCache::new);
-    let mut edges: Vec<Edge> = (0..config.edges)
-        .map(|_| Edge {
-            cache: LruCache::new(config.cache_capacity),
-            busy_until: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            in_service: None,
-            neg_cache: HashMap::new(),
-            in_flight: HashMap::new(),
-        })
-        .collect();
+    let hierarchy = config.resolved_hierarchy();
+    let validation = hierarchy.validate();
+    assert!(
+        validation.is_ok(),
+        "invalid cache hierarchy: {validation:?}"
+    );
+    let mut machine = Machine::new(workload, config, &hierarchy, only_edge);
+    if hierarchy.shared.is_empty() {
+        machine.run_until(policy, &[], None);
+        return machine.finish();
+    }
 
-    // Pre-intern all strings so ids are stable and independent of policy
-    // decisions.
-    let mut trace = Trace::with_capacity(workload.events.len());
-    let url_ids: Vec<UrlId> = workload
-        .objects
-        .iter()
-        .map(|o| trace.intern_url(&o.url))
-        .collect();
-    let ua_ids: Vec<Option<UaId>> = workload
-        .clients
-        .iter()
-        .map(|c| c.ua.as_deref().map(|ua| trace.intern_ua(ua)))
-        .collect();
-
-    let mut heap: BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    let mut next_arrival = 0usize;
-
+    // Epoch loop: process strictly inside each epoch against the frozen
+    // tier snapshot, flush the access log at the boundary, fast-forward
+    // to the epoch containing the next event.
+    let mut tiers = SharedTier::build_all(&hierarchy, config.seed);
+    let interval = hierarchy.sync_interval;
+    let mut epoch_end = next_epoch_boundary(SimTime::ZERO, interval);
     loop {
-        // Pick the earlier of the next arrival and the next internal event.
-        let arrival_time = workload.events.get(next_arrival).map(|e| e.time);
-        let internal_time = heap.peek().map(|Reverse((t, _, _))| *t);
-        let take_arrival = match (arrival_time, internal_time) {
-            (None, None) => break,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some(at), Some(it)) => at <= it,
+        machine.run_until(policy, &tiers, Some(epoch_end));
+        let mut log = machine.drain_tier_log();
+        flush_accesses(&mut tiers, &mut log);
+        let Some(next) = machine.next_time() else {
+            break;
         };
-        match take_arrival {
-            true => {
-                let widx = next_arrival;
-                next_arrival += 1;
-                let event = &workload.events[widx];
-                let edge_idx = route_edge(
-                    &config.fault,
-                    config.edges,
-                    workload.clients[event.client as usize].ip_hash,
-                    event.time,
-                );
-                if only_edge.is_some_and(|e| e != edge_idx) {
-                    continue;
-                }
-                let object = &workload.objects[event.object as usize];
-
-                let ctx = RequestCtx {
-                    time: event.time,
-                    client: event.client,
-                    object: event.object,
-                    edge: edge_idx,
-                    objects: &workload.objects,
-                    clients: &workload.clients,
-                    cache_resident: edges[edge_idx].cache.peek(event.object, event.time),
-                };
-                let outcome = policy.on_request(&ctx);
-
-                // Issue prefetches: only cacheable, non-resident objects.
-                for target in outcome.prefetch {
-                    let tobj = &workload.objects[target as usize];
-                    if !tobj.cacheable || edges[edge_idx].cache.peek(target, event.time) {
-                        continue;
-                    }
-                    stats.prefetch_issued += 1;
-                    let size = tobj.sample_size(&mut rngs[edge_idx]);
-                    stats.bytes_origin += size;
-                    stats.origin_fetches += 1;
-                    let done = event.time + config.latency.origin_fetch(size, &mut rngs[edge_idx]);
-                    seq += 1;
-                    heap.push(Reverse((
-                        done,
-                        seq,
-                        InternalEvent::PrefetchDone {
-                            edge: edge_idx,
-                            object: target,
-                        },
-                    )));
-                }
-
-                let _ = object;
-                edges[edge_idx]
-                    .queue
-                    .push(Reverse((outcome.priority, event.time, seq, widx, 0)));
-                seq += 1;
-                dispatch(
-                    &mut edges[edge_idx],
-                    edge_idx,
-                    event.time,
-                    workload,
-                    config,
-                    &mut rngs[edge_idx],
-                    &mut heap,
-                    &mut seq,
-                );
-            }
-            false => {
-                let Some(Reverse((now, _, ev))) = heap.pop() else {
-                    break;
-                };
-                match ev {
-                    InternalEvent::PrefetchDone { edge, object } => {
-                        let obj = &workload.objects[object as usize];
-                        stats.prefetch_completed += 1;
-                        // Insert only if still absent — a demand miss may
-                        // have populated it meanwhile.
-                        if !edges[edge].cache.peek(object, now) {
-                            let size = obj.sample_size(&mut rngs[edge]);
-                            edges[edge].cache.insert(object, size, obj.ttl, now, true);
-                        }
-                    }
-                    InternalEvent::Retry {
-                        widx,
-                        attempt,
-                        priority,
-                    } => {
-                        // The client re-issues the request; routing happens
-                        // afresh (the original edge may have flapped out).
-                        let event = &workload.events[widx];
-                        let edge_idx = route_edge(
-                            &config.fault,
-                            config.edges,
-                            workload.clients[event.client as usize].ip_hash,
-                            now,
-                        );
-                        edges[edge_idx]
-                            .queue
-                            .push(Reverse((priority, now, seq, widx, attempt)));
-                        seq += 1;
-                        dispatch(
-                            &mut edges[edge_idx],
-                            edge_idx,
-                            now,
-                            workload,
-                            config,
-                            &mut rngs[edge_idx],
-                            &mut heap,
-                            &mut seq,
-                        );
-                    }
-                    InternalEvent::ServiceDone { edge } => {
-                        let Some((widx, arrival, priority, attempt)) =
-                            edges[edge].in_service.take()
-                        else {
-                            continue;
-                        };
-                        let mark = StatsMark::capture(&stats);
-                        complete_request(
-                            widx,
-                            attempt,
-                            arrival,
-                            priority,
-                            now,
-                            workload,
-                            config,
-                            &mut edges[edge],
-                            &mut parent,
-                            &mut stats,
-                            &mut trace,
-                            &url_ids,
-                            &ua_ids,
-                            &mut rngs[edge],
-                            &mut fault_states[edge],
-                            &mut heap,
-                            &mut seq,
-                        );
-                        mark.attribute(&stats, &mut edge_counters[edge]);
-                        dispatch(
-                            &mut edges[edge],
-                            edge,
-                            now,
-                            workload,
-                            config,
-                            &mut rngs[edge],
-                            &mut heap,
-                            &mut seq,
-                        );
-                    }
-                }
-            }
-        }
+        epoch_end = next_epoch_boundary(next, interval);
     }
-
-    // Merge cache-level prefetch-hit counters.
-    for edge in &edges {
-        stats.prefetch_useful += edge.cache.stats().prefetch_hits;
-    }
-
-    // Canonical total-order sort: the log is time-sorted and the order of
-    // equal-time records never depends on edge interleaving, so per-edge
-    // subset runs concatenate to exactly this log.
-    trace.sort_canonical();
-    let mut metrics = MetricsSnapshot::default();
-    for (e, counters) in edge_counters.iter().enumerate() {
-        counters.record_into(e, &mut metrics);
-    }
-    SimOutput {
-        trace,
-        stats,
-        metrics,
-    }
+    let mut out = machine.finish();
+    record_tier_metrics(&mut out.metrics, &tiers);
+    out
 }
 
 /// Runs with the no-op policy.
@@ -667,30 +947,38 @@ pub fn run_default(workload: &Workload, config: &SimConfig) -> SimOutput {
 /// integer counters as [`run_default`] (latency summaries match to float
 /// merge precision).
 ///
-/// Per-edge subsets are only independent when routing is static and no
-/// state is shared across edges; configurations with edge flaps (dynamic
-/// routing) or a parent tier (shared cache) fall back to the sequential
-/// [`run_default`], as do single-edge or single-thread runs.
+/// Without shared tiers the per-edge subsets are fully independent and
+/// run to completion concurrently. With shared tiers the per-edge
+/// machines run in epoch lockstep against snapshot tiers (see
+/// [`crate::hierarchy`]) — still byte-identical to the sequential run at
+/// any thread count. Only edge flaps (dynamic routing) force the
+/// sequential path, as do single-edge or single-thread runs.
 pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> SimOutput {
-    if threads <= 1
-        || config.edges <= 1
-        || !config.fault.flaps.is_empty()
-        || config.parent_cache.is_some()
-    {
+    if threads <= 1 || config.edges <= 1 || !config.fault.flaps.is_empty() {
         return run_default(workload, config);
+    }
+    let hierarchy = config.resolved_hierarchy();
+    if !hierarchy.shared.is_empty() {
+        return run_sharded_hierarchy(workload, config, &hierarchy, threads);
     }
     let outputs = jcdn_exec::scatter_gather_labeled("sim.edges", config.edges, threads, |e| {
         run_inner(workload, config, &mut NoopPolicy, Some(e))
     });
+    match merge_outputs(outputs) {
+        Some(out) => out,
+        None => run_default(workload, config),
+    }
+}
 
+/// Merges per-edge outputs: stats and metrics add, records concatenate
+/// and re-sort canonically. Every per-edge run pre-interns the full
+/// object and client tables, so the interners are identical and records
+/// concatenate directly.
+fn merge_outputs(outputs: Vec<SimOutput>) -> Option<SimOutput> {
     let mut outputs = outputs.into_iter();
-    let Some(first) = outputs.next() else {
-        return run_default(workload, config);
-    };
+    let first = outputs.next()?;
     let mut stats = first.stats;
     let mut metrics = first.metrics;
-    // Every per-edge run pre-interns the full object and client tables, so
-    // the interners are identical and records concatenate directly.
     let (interner, mut records) = first.trace.into_parts();
     for out in outputs {
         stats.merge(&out.stats);
@@ -699,10 +987,74 @@ pub fn run_sharded(workload: &Workload, config: &SimConfig, threads: usize) -> S
     }
     let mut trace = Trace::from_parts(interner, records);
     trace.sort_canonical();
-    SimOutput {
+    Some(SimOutput {
         trace,
         stats,
         metrics,
+    })
+}
+
+/// Locks a machine, recovering from a poisoned mutex (a panicked worker
+/// task was already isolated and retried by the exec pool).
+fn lock_machine<'a, 'w>(slot: &'a Mutex<Machine<'w>>) -> std::sync::MutexGuard<'a, Machine<'w>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The epoch-lockstep parallel driver for hierarchies with shared tiers:
+/// one [`Machine`] per edge, all advanced to the same epoch boundary in
+/// parallel against the frozen tier snapshot; their access logs merge and
+/// flush between epochs. Identical epoch cuts + identical sorted logs ⇒
+/// output byte-identical to the sequential combined run.
+fn run_sharded_hierarchy(
+    workload: &Workload,
+    config: &SimConfig,
+    hierarchy: &CacheHierarchy,
+    threads: usize,
+) -> SimOutput {
+    let _span = jcdn_obs::span!("simulate.hierarchy");
+    let machines: Vec<Mutex<Machine<'_>>> = (0..config.edges)
+        .map(|e| Mutex::new(Machine::new(workload, config, hierarchy, Some(e))))
+        .collect();
+    let mut tiers = SharedTier::build_all(hierarchy, config.seed);
+    let interval = hierarchy.sync_interval;
+    let mut epoch_end = next_epoch_boundary(SimTime::ZERO, interval);
+    loop {
+        let results =
+            jcdn_exec::scatter_gather_labeled("sim.hierarchy.epoch", config.edges, threads, |e| {
+                let mut machine = lock_machine(&machines[e]);
+                machine.run_until(&mut NoopPolicy, &tiers, Some(epoch_end));
+                (machine.drain_tier_log(), machine.next_time())
+            });
+        let mut log = Vec::new();
+        let mut next: Option<SimTime> = None;
+        for (part, n) in results {
+            log.extend(part);
+            next = match (next, n) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        flush_accesses(&mut tiers, &mut log);
+        let Some(next) = next else {
+            break;
+        };
+        epoch_end = next_epoch_boundary(next, interval);
+    }
+    let outputs: Vec<SimOutput> = machines
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .finish()
+        })
+        .collect();
+    match merge_outputs(outputs) {
+        Some(mut out) => {
+            record_tier_metrics(&mut out.metrics, &tiers);
+            out
+        }
+        None => run_default(workload, config),
     }
 }
 
@@ -713,7 +1065,6 @@ fn dispatch(
     now: SimTime,
     workload: &Workload,
     config: &SimConfig,
-    rng: &mut StdRng,
     heap: &mut BinaryHeap<Reverse<(SimTime, u64, InternalEvent)>>,
     seq: &mut u64,
 ) {
@@ -737,7 +1088,6 @@ fn dispatch(
         *seq,
         InternalEvent::ServiceDone { edge: edge_idx },
     )));
-    let _ = rng;
 }
 
 /// How one origin attempt went (only evaluated when the origin is needed).
@@ -781,6 +1131,41 @@ fn attempt_origin(
     }
 }
 
+/// The hierarchy context one request completion sees: the epoch-frozen
+/// shared tiers, the placement rule, and the access log to append to.
+struct TierCtx<'a> {
+    tiers: &'a [SharedTier],
+    placement: Placement,
+    edge_ttl_cap: Option<SimDuration>,
+    log: &'a mut Vec<TierAccess>,
+    eseq: &'a mut u64,
+    edge_idx: u32,
+}
+
+impl TierCtx<'_> {
+    /// Appends one access to the epoch log with this edge's next sequence
+    /// number.
+    fn record(&mut self, time: SimTime, tier: usize, object: u32, kind: AccessKind) {
+        *self.eseq += 1;
+        self.log.push(TierAccess {
+            time,
+            edge: self.edge_idx,
+            eseq: *self.eseq,
+            tier: tier as u8,
+            object,
+            kind,
+        });
+    }
+
+    /// Effective TTL at the edge tier.
+    fn edge_ttl(&self, ttl: SimDuration) -> SimDuration {
+        match self.edge_ttl_cap {
+            Some(cap) => ttl.min(cap),
+            None => ttl,
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn complete_request(
     widx: usize,
@@ -791,7 +1176,7 @@ fn complete_request(
     workload: &Workload,
     config: &SimConfig,
     edge: &mut Edge,
-    parent: &mut Option<LruCache<u32>>,
+    tc: &mut TierCtx<'_>,
     stats: &mut SimStats,
     trace: &mut Trace,
     url_ids: &[UrlId],
@@ -879,6 +1264,15 @@ fn complete_request(
                     .copied()
                     .filter(|&(until, _)| until > now)
                     .map(|(_, status)| status);
+                // Walk the shared tiers nearest-first against the epoch
+                // snapshot (side-effect-free; recency updates are logged).
+                let served_tier = match neg_status {
+                    Some(_) => None,
+                    None => tc
+                        .tiers
+                        .iter()
+                        .position(|tier| tier.cache.peek(event.object, now)),
+                };
                 if let Some(neg_status) = neg_status {
                     // The origin is known bad; answer without contacting it.
                     stats.neg_cache_serves += 1;
@@ -905,39 +1299,126 @@ fn complete_request(
                             neg_status,
                         )
                     }
-                } else if parent.as_mut().is_some_and(|p| p.get(event.object, now)) {
-                    // Parent tier hit: the origin is never involved.
+                } else if let Some(t) = served_tier {
+                    // Tier hit: the origin is never involved. Misses at the
+                    // tiers walked past, a hit at tier t.
                     stats.misses += 1;
-                    stats.parent_hits += 1;
+                    stats.tier_hits[t] += 1;
+                    for miss in &mut stats.tier_misses[..t] {
+                        *miss += 1;
+                    }
                     if is_json {
                         stats.json_misses += 1;
                     }
-                    edge.cache
-                        .insert(event.object, size, object.ttl, now, false);
-                    let network = config.latency.parent_hit_latency(size, rng);
+                    tc.record(now, t, event.object, AccessKind::Touch);
+                    match tc.placement {
+                        Placement::CopyEverywhere => {
+                            edge.cache.insert(
+                                event.object,
+                                size,
+                                tc.edge_ttl(object.ttl),
+                                now,
+                                false,
+                            );
+                            for up in 0..t {
+                                tc.record(
+                                    now,
+                                    up,
+                                    event.object,
+                                    AccessKind::Insert {
+                                        size,
+                                        ttl: object.ttl,
+                                    },
+                                );
+                            }
+                        }
+                        Placement::CopyDown => {
+                            // One level closer to the client per hit.
+                            if t == 0 {
+                                edge.cache.insert(
+                                    event.object,
+                                    size,
+                                    tc.edge_ttl(object.ttl),
+                                    now,
+                                    false,
+                                );
+                            } else {
+                                tc.record(
+                                    now,
+                                    t - 1,
+                                    event.object,
+                                    AccessKind::Insert {
+                                        size,
+                                        ttl: object.ttl,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let network = config.latency.tier_hit_latency(t, size, rng);
                     let status = draw_status(fault_state, stats);
                     (CacheStatus::Miss, network, status)
                 } else {
-                    let parent_missed = parent.is_some();
+                    let shared_tiers = tc.tiers.len();
                     let nominal = config.latency.miss_latency(size, rng);
                     match attempt_origin(config, object.domain, now, nominal) {
                         OriginAttempt::Reached { network } => {
                             stats.misses += 1;
-                            if parent_missed {
-                                stats.parent_misses += 1;
+                            for miss in &mut stats.tier_misses[..shared_tiers] {
+                                *miss += 1;
                             }
                             if is_json {
                                 stats.json_misses += 1;
                             }
                             stats.origin_fetches += 1;
                             stats.bytes_origin += size;
-                            edge.cache
-                                .insert(event.object, size, object.ttl, now, false);
-                            if let Some(parent_cache) = parent.as_mut() {
-                                parent_cache.insert(event.object, size, object.ttl, now, false);
-                            }
-                            if res.coalesce {
-                                edge.in_flight.insert(event.object, now + network);
+                            let edge_copy = match tc.placement {
+                                Placement::CopyEverywhere => {
+                                    for t in 0..shared_tiers {
+                                        tc.record(
+                                            now,
+                                            t,
+                                            event.object,
+                                            AccessKind::Insert {
+                                                size,
+                                                ttl: object.ttl,
+                                            },
+                                        );
+                                    }
+                                    true
+                                }
+                                Placement::CopyDown => {
+                                    // Only the deepest tier keeps a copy;
+                                    // with no shared tiers the edge is the
+                                    // deepest tier.
+                                    match shared_tiers.checked_sub(1) {
+                                        Some(deepest) => {
+                                            tc.record(
+                                                now,
+                                                deepest,
+                                                event.object,
+                                                AccessKind::Insert {
+                                                    size,
+                                                    ttl: object.ttl,
+                                                },
+                                            );
+                                            false
+                                        }
+                                        None => true,
+                                    }
+                                }
+                            };
+                            if edge_copy {
+                                edge.cache.insert(
+                                    event.object,
+                                    size,
+                                    tc.edge_ttl(object.ttl),
+                                    now,
+                                    false,
+                                );
+                                if res.coalesce {
+                                    edge.in_flight.insert(event.object, now + network);
+                                }
                             }
                             let status = draw_status(fault_state, stats);
                             (CacheStatus::Miss, network, status)
@@ -962,8 +1443,8 @@ fn complete_request(
                                 (CacheStatus::Hit, network, 200)
                             } else {
                                 stats.misses += 1;
-                                if parent_missed {
-                                    stats.parent_misses += 1;
+                                for miss in &mut stats.tier_misses[..shared_tiers] {
+                                    *miss += 1;
                                 }
                                 if is_json {
                                     stats.json_misses += 1;
@@ -1025,11 +1506,26 @@ fn complete_request(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicyKind;
     use jcdn_workload::{build, WorkloadConfig};
 
     fn tiny_output() -> SimOutput {
         let w = build(&WorkloadConfig::tiny(0xFEED));
         run_default(&w, &SimConfig::default())
+    }
+
+    /// A 3-tier hierarchy (edge + regional + shield) mixing policies.
+    fn three_tier(edge_policy: PolicyKind, shared_policy: PolicyKind) -> CacheHierarchy {
+        use crate::hierarchy::TierSpec;
+        CacheHierarchy {
+            edge: TierSpec::lru("edge", 64 << 20).with_policy(edge_policy),
+            shared: vec![
+                TierSpec::lru("regional", 256 << 20).with_policy(shared_policy),
+                TierSpec::lru("shield", 1 << 30),
+            ],
+            placement: Placement::CopyEverywhere,
+            sync_interval: SimDuration::from_secs(1),
+        }
     }
 
     #[test]
@@ -1179,18 +1675,130 @@ mod tests {
     }
 
     #[test]
-    fn sharded_run_falls_back_when_edges_share_state() {
+    fn tier_counters_mirror_sim_stats() {
+        let w = build(&WorkloadConfig::tiny(31));
+        let config = SimConfig {
+            hierarchy: Some(three_tier(PolicyKind::Lru, PolicyKind::Lru)),
+            ..SimConfig::default()
+        };
+        let out = run_default(&w, &config);
+        assert_eq!(
+            out.metrics.counter_prefix_sum("cache.tier_hits{"),
+            out.stats.parent_hits()
+        );
+        assert!(
+            out.metrics.counter_prefix_sum("cache.evictions{") >= out.stats.tier_hits.len() as u64
+                || out.metrics.counter_prefix_sum("cache.evictions{") == 0,
+            "eviction counters are well-formed"
+        );
+    }
+
+    #[test]
+    fn sharded_run_with_parent_tier_matches_sequential() {
         let w = build(&WorkloadConfig::tiny(23));
-        // A parent tier couples the edges; run_sharded must produce the
-        // sequential result (by falling back), not a diverging one.
+        // A parent tier couples the edges; the epoch-lockstep driver must
+        // reproduce the sequential result byte for byte — no sequential
+        // fallback anymore.
         let config = SimConfig {
             parent_cache: Some(1 << 30),
+            edges: 3,
             ..SimConfig::default()
         };
         let sequential = run_default(&w, &config);
-        let sharded = run_sharded(&w, &config, 4);
-        assert_eq!(sequential.trace.records(), sharded.trace.records());
-        assert_eq!(sequential.stats.parent_hits, sharded.stats.parent_hits);
+        assert!(sequential.stats.parent_hits() > 0, "parent sees traffic");
+        for threads in [2, 4] {
+            let sharded = run_sharded(&w, &config, threads);
+            assert_eq!(
+                sequential.trace.records(),
+                sharded.trace.records(),
+                "{threads} threads"
+            );
+            assert_eq!(sequential.stats.parent_hits(), sharded.stats.parent_hits());
+            assert_eq!(sequential.stats.tier_hits, sharded.stats.tier_hits);
+            assert_eq!(sequential.stats.tier_misses, sharded.stats.tier_misses);
+            assert_eq!(
+                sequential.metrics.counters_json(),
+                sharded.metrics.counters_json(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn three_tier_hierarchy_sharded_matches_sequential_all_policies() {
+        let w = build(&WorkloadConfig::tiny(37));
+        for policy in [PolicyKind::TinyLfu, PolicyKind::S3Fifo] {
+            let config = SimConfig {
+                edges: 4,
+                hierarchy: Some(three_tier(policy, policy)),
+                ..SimConfig::default()
+            };
+            let sequential = run_default(&w, &config);
+            let sharded = run_sharded(&w, &config, 4);
+            assert_eq!(
+                sequential.trace.records(),
+                sharded.trace.records(),
+                "{policy}"
+            );
+            assert_eq!(
+                sequential.metrics.counters_json(),
+                sharded.metrics.counters_json(),
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn parent_alias_equals_explicit_two_level_hierarchy() {
+        let w = build(&WorkloadConfig::tiny(41));
+        let alias = SimConfig {
+            parent_cache: Some(1 << 28),
+            ..SimConfig::default()
+        };
+        let explicit = SimConfig {
+            hierarchy: Some(CacheHierarchy::with_parent(
+                SimConfig::default().cache_capacity,
+                1 << 28,
+            )),
+            ..SimConfig::default()
+        };
+        let a = run_default(&w, &alias);
+        let b = run_default(&w, &explicit);
+        assert_eq!(a.trace.records(), b.trace.records());
+        assert_eq!(a.stats.tier_hits, b.stats.tier_hits);
+    }
+
+    #[test]
+    fn copy_down_keeps_first_fills_off_the_edge() {
+        let w = build(&WorkloadConfig::tiny(43));
+        let mut h = three_tier(PolicyKind::Lru, PolicyKind::Lru);
+        h.placement = Placement::CopyDown;
+        let lcd = run_default(
+            &w,
+            &SimConfig {
+                hierarchy: Some(h),
+                ..SimConfig::default()
+            },
+        );
+        let lce = run_default(
+            &w,
+            &SimConfig {
+                hierarchy: Some(three_tier(PolicyKind::Lru, PolicyKind::Lru)),
+                ..SimConfig::default()
+            },
+        );
+        // Under copy-down, first fills populate only the deepest tier, so
+        // the edge sees fewer hits than leave-copy-everywhere.
+        assert!(
+            lcd.stats.hits < lce.stats.hits,
+            "LCD edge hits {} must trail LCE edge hits {}",
+            lcd.stats.hits,
+            lce.stats.hits
+        );
+        // But popular objects still percolate: the edge is not empty.
+        assert!(lcd.stats.hits > 0, "popular objects reach the edge");
+        // And requests are conserved either way.
+        assert_eq!(lcd.stats.logical_requests(), lce.stats.logical_requests());
     }
 
     #[test]
@@ -1305,11 +1913,11 @@ mod tests {
             },
         );
         assert!(
-            tiered.stats.parent_hits > 0,
+            tiered.stats.parent_hits() > 0,
             "shared objects hit the parent"
         );
         assert_eq!(
-            tiered.stats.parent_hits + tiered.stats.parent_misses,
+            tiered.stats.parent_hits() + tiered.stats.parent_misses(),
             tiered.stats.misses
         );
         // Edge-level hit counts are identical; the parent only changes

@@ -1,7 +1,7 @@
 //! Model-based property tests for the edge cache: the LRU must agree with
 //! a naive reference implementation on every operation sequence.
 
-use jcdn_cdnsim::cache::LruCache;
+use jcdn_cdnsim::cache::{Lookup, LruCache};
 use jcdn_cdnsim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -114,5 +114,119 @@ proptest! {
         lru.insert(1, 10, SimDuration::from_secs(ttl_secs), SimTime::ZERO, false);
         let hit = lru.get(1, SimTime::from_secs(probe_offset));
         prop_assert_eq!(hit, probe_offset < ttl_secs);
+    }
+
+    // The grace-aware lookup partitions time into exactly three regimes:
+    // `Fresh` before the TTL, `Stale` from TTL to TTL+grace (entry stays
+    // resident), and `Miss` past the grace window (entry is dropped, and
+    // every later lookup misses too — even one back inside the window).
+    #[test]
+    fn grace_lookup_matches_the_three_regimes(
+        ttl_secs in 1u64..50,
+        grace_secs in 0u64..50,
+        probe_offset in 0u64..200,
+    ) {
+        let ttl = SimDuration::from_secs(ttl_secs);
+        let grace = SimDuration::from_secs(grace_secs);
+        let mut lru: LruCache<u8> = LruCache::new(1000);
+        lru.insert(1, 10, ttl, SimTime::ZERO, false);
+        let now = SimTime::from_secs(probe_offset);
+        let expected = if probe_offset < ttl_secs {
+            Lookup::Fresh
+        } else if probe_offset < ttl_secs + grace_secs {
+            Lookup::Stale
+        } else {
+            Lookup::Miss
+        };
+        prop_assert_eq!(lru.get_with_grace(1, now, grace), expected);
+        match expected {
+            // Fresh and stale entries stay resident and keep answering the
+            // same way at the same instant.
+            Lookup::Fresh | Lookup::Stale => {
+                prop_assert_eq!(lru.len(), 1);
+                prop_assert_eq!(lru.get_with_grace(1, now, grace), expected);
+            }
+            // A miss past the window evicts: the entry is gone for good,
+            // even for a probe back inside the grace window.
+            Lookup::Miss => {
+                prop_assert_eq!(lru.len(), 0);
+                prop_assert_eq!(
+                    lru.get_with_grace(1, SimTime::from_secs(ttl_secs), grace),
+                    Lookup::Miss
+                );
+            }
+        }
+    }
+
+    // With mixed entry sizes, eviction strictly follows recency order:
+    // inserting one oversized object evicts exactly the least-recent
+    // entries needed to fit it, never a recently touched one.
+    #[test]
+    fn mixed_size_evictions_follow_recency_order(
+        sizes in prop::collection::vec(1u64..120, 4..12),
+        touched in prop::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let ttl = SimDuration::from_secs(1 << 30);
+        let capacity: u64 = sizes.iter().sum();
+        let mut lru: LruCache<u8> = LruCache::new(capacity);
+        for (i, &s) in sizes.iter().enumerate() {
+            lru.insert(i as u8, s, ttl, SimTime::from_secs(i as u64), false);
+        }
+        // Touch a few entries to scramble recency away from insert order.
+        let t0 = sizes.len() as u64;
+        let mut order: Vec<u8> = (0..sizes.len() as u8).collect(); // LRU → MRU
+        for (j, idx) in touched.iter().enumerate() {
+            let k = idx.index(sizes.len()) as u8;
+            lru.get(k, SimTime::from_secs(t0 + j as u64));
+            order.retain(|&o| o != k);
+            order.push(k);
+        }
+        // Insert a new object that needs `need` bytes freed; the reference
+        // says exactly the least-recent prefix of `order` must go.
+        let need = capacity / 2 + 1;
+        let now = SimTime::from_secs(t0 + touched.len() as u64);
+        lru.insert(99, need, ttl, now, false);
+        let mut freed = 0u64;
+        let mut evicted = Vec::new();
+        for &k in &order {
+            if freed >= need {
+                break;
+            }
+            freed += sizes[k as usize];
+            evicted.push(k);
+        }
+        for &k in &order {
+            let expect_resident = !evicted.contains(&k);
+            prop_assert_eq!(
+                lru.peek(k, now),
+                expect_resident,
+                "key {} (evicted prefix {:?}, recency {:?})", k, evicted, order
+            );
+        }
+        prop_assert!(lru.peek(99, now));
+        prop_assert!(lru.used_bytes() <= capacity);
+    }
+
+    // A prefetched entry counts toward `prefetch_hits` exactly once — on
+    // its first demand hit — no matter how many more hits follow; demand
+    // inserts never count.
+    #[test]
+    fn prefetched_flag_clears_on_first_demand_hit(
+        prefetched in any::<bool>(),
+        extra_hits in 0usize..5,
+    ) {
+        let ttl = SimDuration::from_secs(1 << 30);
+        let mut lru: LruCache<u8> = LruCache::new(1000);
+        lru.insert(1, 10, ttl, SimTime::ZERO, prefetched);
+        for i in 0..=extra_hits {
+            prop_assert!(lru.get(1, SimTime::from_secs(1 + i as u64)));
+        }
+        prop_assert_eq!(lru.stats().prefetch_hits, u64::from(prefetched));
+        prop_assert_eq!(lru.stats().hits, 1 + extra_hits as u64);
+        // Re-inserting (refresh) re-arms the flag only if the refresh is
+        // itself a prefetch.
+        lru.insert(1, 10, ttl, SimTime::from_secs(100), true);
+        lru.get(1, SimTime::from_secs(101));
+        prop_assert_eq!(lru.stats().prefetch_hits, u64::from(prefetched) + 1);
     }
 }

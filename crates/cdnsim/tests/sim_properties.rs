@@ -64,10 +64,10 @@ proptest! {
         // Parent-tier counters only exist with a parent, and partition the
         // edge misses.
         if parent {
-            prop_assert_eq!(stats.parent_hits + stats.parent_misses, stats.misses);
+            prop_assert_eq!(stats.parent_hits() + stats.parent_misses(), stats.misses);
         } else {
-            prop_assert_eq!(stats.parent_hits, 0);
-            prop_assert_eq!(stats.parent_misses, 0);
+            prop_assert_eq!(stats.parent_hits(), 0);
+            prop_assert_eq!(stats.parent_misses(), 0);
         }
 
         // Latency summaries cover every request.

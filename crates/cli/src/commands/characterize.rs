@@ -19,11 +19,13 @@ use jcdn_ua::DeviceType;
 use jcdn_workload::IndustryCategory;
 
 use crate::args::Args;
+use crate::cache_args;
 use crate::commands::Outcome;
 use crate::obs_args;
 
 pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let mut allowed = vec!["shards", "threads"];
+    allowed.extend_from_slice(cache_args::CACHE_FLAGS);
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse_with_switches(argv, &allowed, &["resume"])?;
     let mut obs = obs_args::begin("characterize", &args)?;
@@ -125,6 +127,14 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     );
 
     println!("\n{}", availability_section(&report.availability));
+    // What-if cache replay: feed the recorded requests through a
+    // hypothetical hierarchy and report where each one would have been
+    // served. Extends the availability section with per-tier hit rates.
+    if let Some(h) = cache_args::hierarchy(&args)? {
+        obs.manifest.param("cache", cache_args::describe(&h));
+        println!("what-if cache hierarchy: {}", cache_args::describe(&h));
+        print!("{}", replay_hierarchy(&sharded, &h));
+    }
     let salvage = print_salvage_footer(&decode_stats, shards_missing, &health);
     obs.finish()?;
     Ok(if salvage {
@@ -132,6 +142,121 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     } else {
         Outcome::Clean
     })
+}
+
+/// Replays the trace's cacheable requests through a hypothetical cache
+/// hierarchy (a single logical edge in front of the shared tiers) and
+/// renders where each request would have been served. The trace's shards
+/// are contiguous time partitions, so walking them in order preserves
+/// request order; the replay is fully deterministic (policy seeds are
+/// fixed, no RNG streams are involved).
+fn replay_hierarchy(sharded: &ShardedTrace, h: &jcdn_cdnsim::CacheHierarchy) -> String {
+    use jcdn_cdnsim::cache::PolicyCache;
+    use jcdn_cdnsim::Placement;
+    use jcdn_core::report::TextTable;
+    use jcdn_trace::{CacheStatus, SimDuration};
+
+    // Recorded traces carry no TTLs, so entries live until evicted unless
+    // a tier spec caps them.
+    let ttl = SimDuration::from_secs(u64::MAX / 4_000_000);
+    let mut caches: Vec<PolicyCache<u32>> = std::iter::once(&h.edge)
+        .chain(&h.shared)
+        .enumerate()
+        .map(|(i, t)| PolicyCache::with_policy(t.capacity, t.policy, 0x007E_91A7 ^ i as u64))
+        .collect();
+    let levels = caches.len();
+    let mut lookups = vec![0u64; levels];
+    let mut hits = vec![0u64; levels];
+    let mut origin = 0u64;
+    let mut cacheable = 0u64;
+    for shard in 0..sharded.shard_count() {
+        for record in sharded.shard_records(shard) {
+            if record.cache == CacheStatus::NotCacheable {
+                continue;
+            }
+            cacheable += 1;
+            let now = record.time;
+            let object = record.url.0;
+            let size = record.response_bytes.max(1);
+            let served = (0..levels).find(|&level| {
+                lookups[level] += 1;
+                if caches[level].get(object, now) {
+                    hits[level] += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            match served {
+                Some(level) => {
+                    // A hit copies toward the client per the placement rule.
+                    let fill = match h.placement {
+                        Placement::CopyEverywhere => 0..level,
+                        Placement::CopyDown => level.saturating_sub(1)..level,
+                    };
+                    for up in fill {
+                        insert(&mut caches[up], h, up, object, size, ttl, now);
+                    }
+                }
+                None => {
+                    origin += 1;
+                    let fill = match h.placement {
+                        Placement::CopyEverywhere => 0..levels,
+                        Placement::CopyDown => levels - 1..levels,
+                    };
+                    for level in fill {
+                        insert(&mut caches[level], h, level, object, size, ttl, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert(
+        cache: &mut jcdn_cdnsim::cache::PolicyCache<u32>,
+        h: &jcdn_cdnsim::CacheHierarchy,
+        level: usize,
+        object: u32,
+        size: u64,
+        ttl: jcdn_trace::SimDuration,
+        now: jcdn_trace::SimTime,
+    ) {
+        let spec = match level {
+            0 => &h.edge,
+            n => &h.shared[n - 1],
+        };
+        if size <= spec.capacity {
+            cache.insert(object, size, spec.effective_ttl(ttl), now, false);
+        }
+    }
+
+    let mut table = TextTable::new(&["Level", "Policy", "Lookups", "Hits", "Hit rate"]);
+    for (level, cache) in caches.iter().enumerate() {
+        let name = match level {
+            0 => h.edge.name.as_str(),
+            n => h.shared[n - 1].name.as_str(),
+        };
+        let rate = match lookups[level] {
+            0 => "-".to_string(),
+            n => pct(hits[level] as f64 / n as f64),
+        };
+        table.row(&[
+            name.to_string(),
+            cache.policy_name().to_string(),
+            lookups[level].to_string(),
+            hits[level].to_string(),
+            rate,
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "origin fetches: {origin} of {cacheable} cacheable requests ({})\n",
+        match cacheable {
+            0 => "-".to_string(),
+            n => pct(origin as f64 / n as f64),
+        }
+    ));
+    out
 }
 
 /// Loads the input: the final trace file, or — with `--resume`, when the

@@ -17,6 +17,7 @@ use jcdn_trace::ShardedTrace;
 use jcdn_workload::{build_parallel, WorkloadConfig};
 
 use crate::args::Args;
+use crate::cache_args;
 use crate::commands::Outcome;
 use crate::fault_args;
 use crate::obs_args;
@@ -26,6 +27,7 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         "preset", "seed", "scale", "out", "edges", "shards", "threads",
     ];
     allowed.extend_from_slice(fault_args::FAULT_FLAGS);
+    allowed.extend_from_slice(cache_args::CACHE_FLAGS);
     allowed.extend_from_slice(obs_args::OBS_FLAGS);
     let args = Args::parse_with_switches(argv, &allowed, &["resume"])?;
     let mut obs = obs_args::begin("generate", &args)?;
@@ -82,6 +84,7 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         edges,
         fault: fault_args::fault_plan(&args, &workload)?,
         resilience: fault_args::resilience(&args)?,
+        hierarchy: cache_args::hierarchy(&args)?,
         ..SimConfig::default()
     };
 
@@ -94,6 +97,9 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
     obs.manifest.param("shards", shards);
     obs.manifest.param("threads", threads);
     obs.manifest.param("out", out);
+    if let Some(h) = &sim.hierarchy {
+        obs.manifest.param("cache", cache_args::describe(h));
+    }
     obs.manifest.codec_version = jcdn_trace::codec::VERSION;
     if !sim.fault.is_empty() {
         obs.manifest.fault_digest = Some(format!(
@@ -154,6 +160,12 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
             data.stats.stale_serves
         );
     }
+    if let Some(h) = &sim.hierarchy {
+        eprintln!("cache: {}", cache_args::describe(h));
+        if let Some(tiers) = jcdn_core::report::tier_section(&data.stats) {
+            eprint!("{tiers}");
+        }
+    }
     println!("{summary_row}");
     obs.finish()?;
     Ok(Outcome::Clean)
@@ -176,6 +188,13 @@ fn params_digest(
         jcdn_trace::codec::VERSION
     );
     for &flag in fault_args::FAULT_FLAGS {
+        if let Some(value) = args.maybe(flag) {
+            spec.push_str(&format!(";{flag}={value}"));
+        }
+    }
+    // Cache topology changes latencies, statuses, and retries — i.e. the
+    // trace bytes — so it is part of the digest too.
+    for &flag in cache_args::CACHE_FLAGS {
         if let Some(value) = args.maybe(flag) {
             spec.push_str(&format!(";{flag}={value}"));
         }

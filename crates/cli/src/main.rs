@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 mod args;
+mod cache_args;
 mod commands;
 mod fault_args;
 mod obs_args;

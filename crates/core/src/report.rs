@@ -100,6 +100,31 @@ pub fn paper_vs_measured(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<44} paper: {paper:>8}   measured: {measured:>8}")
 }
 
+/// Renders the shared-tier hit-rate block appended to the availability
+/// section when a run used a cache hierarchy: one row per shared tier
+/// (nearest the edge first) with the lookups that reached it and its hit
+/// rate. `None` when the run had no shared tiers.
+pub fn tier_section(stats: &jcdn_cdnsim::SimStats) -> Option<String> {
+    if stats.tier_hits.is_empty() {
+        return None;
+    }
+    let mut table = TextTable::new(&["Tier", "Lookups", "Hits", "Hit rate"]);
+    for t in 0..stats.tier_hits.len() {
+        let hits = stats.tier_hits[t];
+        let reached = hits + stats.tier_misses.get(t).copied().unwrap_or(0);
+        table.row(&[
+            format!("tier {t}"),
+            reached.to_string(),
+            hits.to_string(),
+            stats.tier_hit_ratio(t).map_or_else(|| "-".to_string(), pct),
+        ]);
+    }
+    Some(format!(
+        "cache tiers (edge-nearest first):\n{}",
+        table.render()
+    ))
+}
+
 /// Renders the availability section of a characterization report: headline
 /// error rates, the resilience counters, and the per-industry table.
 pub fn availability_section(a: &crate::characterize::AvailabilityBreakdown) -> String {

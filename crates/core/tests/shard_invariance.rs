@@ -110,6 +110,59 @@ proptest! {
     }
 }
 
+/// The cache-hierarchy leg of the CI matrix: a 3-tier hierarchy (edge +
+/// two shared tiers) with non-LRU policies must go through the lockstep
+/// parallel driver — `run_sharded` no longer falls back to sequential
+/// when shared tiers exist — and produce byte-identical records and
+/// observability counters at every `JCDN_TEST_SHARDS` leg (the shard
+/// counts double as simulator thread counts here).
+#[test]
+fn ci_matrix_hierarchy_agrees_with_sequential() {
+    use jcdn_cdnsim::{CacheHierarchy, Placement, PolicyKind, TierSpec};
+
+    let sim = SimConfig {
+        edges: 4,
+        hierarchy: Some(CacheHierarchy {
+            edge: TierSpec::lru("edge", 16 << 20).with_policy(PolicyKind::TinyLfu),
+            shared: vec![
+                TierSpec::lru("regional", 64 << 20).with_policy(PolicyKind::S3Fifo),
+                TierSpec::lru("shield", 256 << 20).with_policy(PolicyKind::Slru),
+            ],
+            placement: Placement::CopyDown,
+            sync_interval: CacheHierarchy::DEFAULT_SYNC_INTERVAL,
+        }),
+        ..SimConfig::default()
+    };
+    let config = WorkloadConfig::tiny(7).scaled(0.25);
+    let workload = build_parallel(&config, 2);
+    let baseline = simulate_workload_parallel(workload.clone(), &sim, 1);
+    assert!(
+        !baseline.stats.tier_hits.is_empty(),
+        "hierarchy runs must produce per-tier counters"
+    );
+    for threads in shard_counts() {
+        let data = simulate_workload_parallel(workload.clone(), &sim, threads);
+        assert_eq!(
+            data.trace.records(),
+            baseline.trace.records(),
+            "hierarchy trace diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            data.stats.tier_hits, baseline.stats.tier_hits,
+            "tier hits diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            data.stats.tier_misses, baseline.stats.tier_misses,
+            "tier misses diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            data.metrics.counters_json(),
+            baseline.metrics.counters_json(),
+            "obs counters diverged at {threads} thread(s)"
+        );
+    }
+}
+
 /// Fixed-seed variant so the CI matrix (JCDN_TEST_SHARDS=1 vs 8) gets a
 /// deterministic, directly comparable run in both legs.
 #[test]

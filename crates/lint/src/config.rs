@@ -86,7 +86,9 @@ impl Config {
             ],
         );
         // D6: the crates whose public API the paper-reproduction contract
-        // documents (obs joins them: manifests are a documented artifact).
+        // documents (obs joins them: manifests are a documented artifact;
+        // the eviction-policy and hierarchy modules joined when their
+        // types became part of the CLI's `--cache-*` surface).
         scopes.insert(
             "D6".to_string(),
             vec![
@@ -94,6 +96,8 @@ impl Config {
                 "crates/trace/src/**".to_string(),
                 "crates/stats/src/**".to_string(),
                 "crates/obs/src/**".to_string(),
+                "crates/cdnsim/src/policy.rs".to_string(),
+                "crates/cdnsim/src/hierarchy.rs".to_string(),
             ],
         );
 
@@ -311,6 +315,9 @@ mod tests {
         let cfg = Config::workspace_default();
         assert!(cfg.applies("D4", "crates/trace/src/codec.rs"));
         assert!(!cfg.applies("D4", "crates/core/src/report.rs"));
+        assert!(cfg.applies("D6", "crates/cdnsim/src/policy.rs"));
+        assert!(cfg.applies("D6", "crates/cdnsim/src/hierarchy.rs"));
+        assert!(!cfg.applies("D6", "crates/cdnsim/src/sim.rs"));
         assert!(cfg.applies("D1", "crates/core/src/report.rs"));
         assert!(cfg.applies("D1", "crates/cdnsim/src/fault.rs"));
 

@@ -1,0 +1,114 @@
+//! Emits `BENCH_lint.json`: full-workspace two-stage lint times at 1 and
+//! 8 stage-1 threads, asserting each pass stays under the 5-second CI
+//! budget the analyzer is designed to (see DESIGN.md §15).
+//!
+//! ```sh
+//! cargo run --release -p jcdn-bench --bin lint
+//! cargo run --release -p jcdn-bench --bin lint -- --out BENCH_lint.json
+//! ```
+
+use std::process::ExitCode;
+
+use jcdn_lint::Config;
+use jcdn_obs::clock::Stopwatch;
+use jcdn_obs::json::ObjectWriter;
+use jcdn_obs::manifest::peak_rss_kb;
+
+const BUDGET_US: u64 = 5_000_000;
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_lint.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(cwd) => cwd,
+        Err(e) => {
+            eprintln!("cannot read cwd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = jcdn_lint::find_workspace_root(&cwd) else {
+        eprintln!("no workspace root above {}", cwd.display());
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = Config::workspace_default();
+    match std::fs::read_to_string(root.join("allowlist.toml")) {
+        Ok(text) => match jcdn_lint::parse_allowlist(&text) {
+            Ok(allow) => cfg.extend_allow(allow),
+            Err(e) => {
+                eprintln!("allowlist.toml: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("allowlist.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let files = match jcdn_lint::workspace_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut body = String::new();
+    let mut w = ObjectWriter::begin(&mut body);
+    w.field_str("benchmark", "lint-two-stage-workspace");
+    w.field_u64("files", files.len() as u64);
+    w.field_u64("budget_us", BUDGET_US);
+
+    let mut over_budget = false;
+    for threads in [1usize, 8] {
+        let clock = Stopwatch::start();
+        let findings = match jcdn_lint::lint_workspace_threaded(&root, &cfg, threads) {
+            Ok(findings) => findings,
+            Err(e) => {
+                eprintln!("lint at {threads} thread(s): {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed_us = clock.elapsed_us().max(1);
+        w.field_u64(&format!("threads{threads}_us"), elapsed_us);
+        w.field_u64(&format!("threads{threads}_findings"), findings.len() as u64);
+        eprintln!(
+            "lint threads={threads}: {} file(s), {} finding(s), {elapsed_us} µs",
+            files.len(),
+            findings.len()
+        );
+        if elapsed_us >= BUDGET_US {
+            eprintln!("lint threads={threads}: {elapsed_us} µs exceeds the {BUDGET_US} µs budget");
+            over_budget = true;
+        }
+    }
+    w.field_u64("peak_rss_kb", peak_rss_kb().unwrap_or(0));
+    w.field_str("within_budget", if over_budget { "no" } else { "yes" });
+    w.end();
+    body.push('\n');
+
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if over_budget {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,316 @@
+//! The committed findings baseline: lets a new rule land
+//! blocking-on-regression instead of big-bang.
+//!
+//! `lint-baseline.json` at the workspace root records accepted findings
+//! as `(rule, path, key)` entries, where `key` is the finding's message
+//! — deliberately line-free, so unrelated edits that shift line numbers
+//! do not invalidate the baseline, while any change to the finding
+//! itself (different receiver, different chain) surfaces as
+//! fresh + stale. Matching is count-aware: two identical findings need
+//! two entries.
+//!
+//! Workflow: `jcdn-lint --workspace --write-baseline lint-baseline.json`
+//! to accept the current state; CI runs with `--baseline` and fails on
+//! *fresh* findings only, warning about stale entries so the file
+//! shrinks as debt is paid down. The format is a hand-rolled JSON subset
+//! (the linter's only dependency is jcdn-exec).
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: `(rule, path, key) → accepted count`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+/// The result of diffing current findings against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline — these gate CI.
+    pub fresh: Vec<Finding>,
+    /// Findings matched by a baseline entry — reported, non-blocking.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries no finding matched — the debt was paid; the
+    /// entry should be deleted. `(rule, path, key, count)`.
+    pub stale: Vec<(String, String, String, usize)>,
+}
+
+impl Baseline {
+    /// Builds a baseline accepting exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.to_string(), f.path.clone(), f.message.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of accepted findings (counting multiplicity).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Splits `findings` into fresh vs. baselined and reports stale
+    /// entries. Count-aware: each entry absorbs at most `count` findings.
+    pub fn diff(&self, findings: Vec<Finding>) -> BaselineDiff {
+        let mut remaining = self.entries.clone();
+        let mut out = BaselineDiff::default();
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone(), f.message.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    out.baselined.push(f);
+                }
+                _ => out.fresh.push(f),
+            }
+        }
+        for ((rule, path, key), n) in remaining {
+            if n > 0 {
+                out.stale.push((rule, path, key, n));
+            }
+        }
+        out
+    }
+
+    /// Renders the baseline as stable, sorted JSON (one entry per line).
+    pub fn render(&self) -> String {
+        use crate::report::json_str;
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"entries\":[\n");
+        let mut first = true;
+        for ((rule, path, key), n) in &self.entries {
+            for _ in 0..*n {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "  {{\"rule\":{},\"path\":{},\"key\":{}}}",
+                    json_str(rule),
+                    json_str(path),
+                    json_str(key)
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parses the JSON produced by [`Baseline::render`] (tolerant of
+    /// whitespace and key order inside each entry object).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut s = Scanner {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let mut entries: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        s.eat(b'{')?;
+        let top = s.string()?;
+        if top != "entries" {
+            return Err(format!("expected \"entries\", got \"{top}\""));
+        }
+        s.eat(b':')?;
+        s.eat(b'[')?;
+        s.skip_ws();
+        if s.peek() == Some(b']') {
+            s.pos += 1;
+        } else {
+            loop {
+                s.eat(b'{')?;
+                let (mut rule, mut path, mut key) = (None, None, None);
+                loop {
+                    let field = s.string()?;
+                    s.eat(b':')?;
+                    let value = s.string()?;
+                    match field.as_str() {
+                        "rule" => rule = Some(value),
+                        "path" => path = Some(value),
+                        "key" => key = Some(value),
+                        other => return Err(format!("unknown baseline field \"{other}\"")),
+                    }
+                    s.skip_ws();
+                    match s.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => return Err("expected `,` or `}` in entry".to_string()),
+                    }
+                }
+                let (Some(rule), Some(path), Some(key)) = (rule, path, key) else {
+                    return Err("baseline entry missing rule/path/key".to_string());
+                };
+                if !crate::config::RULE_IDS.contains(&rule.as_str()) {
+                    return Err(format!("baseline names unknown rule id `{rule}`"));
+                }
+                *entries.entry((rule, path, key)).or_insert(0) += 1;
+                s.skip_ws();
+                match s.next() {
+                    Some(b',') => continue,
+                    Some(b']') => break,
+                    _ => return Err("expected `,` or `]` after entry".to_string()),
+                }
+            }
+        }
+        s.eat(b'}')?;
+        Ok(Baseline { entries })
+    }
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            got => Err(format!(
+                "expected `{}` at byte {}, got {:?}",
+                want as char,
+                self.pos.saturating_sub(1),
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    /// Reads a quoted JSON string with the escapes [`json_str`]
+    /// produces (`\" \\ \n \r \t \u00XX`).
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..end]));
+                    self.pos = end;
+                }
+                None => return Err("unterminated string in baseline".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, path: &str, msg: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: msg.to_string(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let fs = vec![
+            finding("D7", "crates/a/src/x.rs", "msg \"with\" quotes"),
+            finding("D9", "crates/b/src/y.rs", "other"),
+            finding("D9", "crates/b/src/y.rs", "other"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.render()).expect("round trips");
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn diff_splits_fresh_baselined_stale() {
+        let accepted = Baseline::from_findings(&[
+            finding("D7", "a.rs", "old"),
+            finding("D9", "b.rs", "paid-down"),
+        ]);
+        let now = vec![finding("D7", "a.rs", "old"), finding("D7", "a.rs", "new")];
+        let diff = accepted.diff(now);
+        assert_eq!(diff.baselined.len(), 1);
+        assert_eq!(diff.fresh.len(), 1);
+        assert_eq!(diff.fresh[0].message, "new");
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].0, "D9");
+    }
+
+    #[test]
+    fn count_aware_matching() {
+        let accepted = Baseline::from_findings(&[finding("D9", "b.rs", "dup")]);
+        let diff = accepted.diff(vec![
+            finding("D9", "b.rs", "dup"),
+            finding("D9", "b.rs", "dup"),
+        ]);
+        assert_eq!(diff.baselined.len(), 1);
+        assert_eq!(diff.fresh.len(), 1);
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_rules_and_garbage() {
+        assert!(Baseline::parse("{\"entries\":[{\"rule\":\"D99\",\"path\":\"a\",\"key\":\"k\"}]}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"entries\":[]}").expect("empty ok").is_empty());
+    }
+}

@@ -14,7 +14,9 @@
 use std::collections::BTreeMap;
 
 /// The rule ids the engine knows, in report order.
-pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "S1"];
+pub const RULE_IDS: [&str; 11] = [
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "S1",
+];
 
 /// Linter configuration: per-rule scopes and allowlists.
 #[derive(Clone, Debug)]
@@ -100,6 +102,22 @@ impl Config {
                 "crates/cdnsim/src/hierarchy.rs".to_string(),
             ],
         );
+
+        // D7 (cross-file determinism taint): everywhere — the rule's own
+        // source gating reuses the D1 allowlist and D2 scope, so no scope
+        // is needed here.
+        // D8: the epoch-lockstep contract is cdnsim's.
+        scopes.insert("D8".to_string(), vec!["crates/cdnsim/src/**".to_string()]);
+        // D9: lengths read off the wire exist only in the codec surface.
+        scopes.insert(
+            "D9".to_string(),
+            vec![
+                "crates/trace/src/codec.rs".to_string(),
+                "crates/trace/src/compat.rs".to_string(),
+            ],
+        );
+        // D10: version dispatches live wherever the trace crate decodes.
+        scopes.insert("D10".to_string(), vec!["crates/trace/src/**".to_string()]);
 
         // Path exemptions live in `allowlist.toml` at the workspace root
         // (loaded by the CLI and merged via [`Config::extend_allow`]); the
@@ -189,10 +207,28 @@ fn glob_match(pat: &[u8], path: &[u8]) -> bool {
 /// ```
 ///
 /// Returns `rule id → patterns`, or a message naming the offending line.
+/// Duplicate `[rules.X]` sections and duplicate patterns within a rule
+/// are rejected: a repeated key would silently shadow (or pad) the
+/// earlier entry, hiding dead exemptions from review.
 pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, String> {
     let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut current: Option<String> = None;
     let mut in_array = false;
+    let push = |out: &mut BTreeMap<String, Vec<String>>,
+                    rule: &str,
+                    pattern: String,
+                    lineno: usize|
+     -> Result<(), String> {
+        let entry = out.entry(rule.to_string()).or_default();
+        if entry.contains(&pattern) {
+            return Err(format!(
+                "line {lineno}: duplicate pattern `{pattern}` for rule {rule} \
+                 (remove the repeat — duplicates hide dead exemptions)"
+            ));
+        }
+        entry.push(pattern);
+        Ok(())
+    };
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = idx + 1;
@@ -214,7 +250,7 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, Stri
                     .trim_matches('"')
                     .to_string();
                 if !pattern.is_empty() {
-                    out.entry(rule.clone()).or_default().push(pattern);
+                    push(&mut out, rule, pattern, lineno)?;
                 }
             }
             if line.contains(']') && !line.contains('[') {
@@ -229,6 +265,15 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, Stri
             if !RULE_IDS.contains(&section) {
                 return Err(format!("line {lineno}: unknown rule id `{section}`"));
             }
+            if out.contains_key(section) {
+                return Err(format!(
+                    "line {lineno}: duplicate section `[rules.{section}]` \
+                     (merge it into the first one — the repeat would shadow it)"
+                ));
+            }
+            // Reserve the key so a later duplicate section is caught even
+            // when this one ends up with no patterns.
+            out.entry(section.to_string()).or_default();
             current = Some(section.to_string());
             continue;
         }
@@ -248,7 +293,7 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, Stri
                     for part in inner.split(',') {
                         let pattern = part.trim().trim_matches('"').to_string();
                         if !pattern.is_empty() {
-                            out.entry(rule.clone()).or_default().push(pattern);
+                            push(&mut out, &rule, pattern, lineno)?;
                         }
                     }
                 } else {
@@ -261,6 +306,7 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, Stri
         }
         return Err(format!("line {lineno}: unrecognized directive `{line}`"));
     }
+    out.retain(|_, v| !v.is_empty());
     Ok(out)
 }
 
@@ -307,7 +353,28 @@ mod tests {
 
     #[test]
     fn allowlist_rejects_unknown_rule() {
-        assert!(parse_allowlist("[rules.D9]\nallow = [\"x\"]\n").is_err());
+        assert!(parse_allowlist("[rules.D99]\nallow = [\"x\"]\n").is_err());
+        // D7–D10 joined the rule set and are accepted.
+        assert!(parse_allowlist("[rules.D9]\nallow = [\"x\"]\n").is_ok());
+    }
+
+    #[test]
+    fn allowlist_rejects_duplicate_sections_and_patterns() {
+        let err = parse_allowlist("[rules.D1]\nallow = [\"a.rs\"]\n[rules.D1]\nallow = [\"b.rs\"]\n")
+            .expect_err("duplicate section must error");
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("duplicate section"), "{err}");
+
+        let err = parse_allowlist("[rules.D1]\nallow = [\n  \"a.rs\",\n  \"a.rs\",\n]\n")
+            .expect_err("duplicate pattern must error");
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("duplicate pattern"), "{err}");
+
+        // The same pattern under two *different* rules is fine.
+        assert!(
+            parse_allowlist("[rules.D1]\nallow = [\"a.rs\"]\n[rules.D3]\nallow = [\"a.rs\"]\n")
+                .is_ok()
+        );
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Workspace call graph over the parsed item summaries.
+//!
+//! Nodes are function items; edges are resolved call sites. Resolution is
+//! deliberately conservative — the flow rules prefer a missed edge (a
+//! false negative) over a wrong edge (a false-positive taint chain
+//! blaming the wrong function):
+//!
+//! * A path call `Type::method(…)` resolves to the method on that impl
+//!   type (`Self::` uses the caller's own impl type); `module::f(…)`
+//!   resolves to a function in that module, else to a unique global match.
+//! * A bare call `f(…)` prefers a same-file definition, then a unique
+//!   workspace-wide one. Two candidates in different files → no edge.
+//! * A method call `recv.m(…)` resolves through the receiver's recovered
+//!   type when the parser has one; otherwise only when exactly one impl
+//!   in the whole workspace defines `m`. Ambiguity drops the edge.
+//!
+//! Everything is keyed through `BTreeMap`s and the node list is sorted by
+//! `(path, line)` before any index is built, so graph construction is
+//! deterministic and independent of the order files were parsed in —
+//! which the property suite asserts by shuffling inputs.
+
+use crate::parser::{CallKind, FnItem, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+}
+
+/// One graph node: a function item plus its owning file.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// The parsed function item.
+    pub item: FnItem,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Nodes sorted by `(path, line)`.
+    pub nodes: Vec<Node>,
+    /// Outgoing edges per node, in call-site order.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file summaries. Input order is
+    /// irrelevant: files are sorted by path before indexing.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut order: Vec<&ParsedFile> = files.iter().collect();
+        order.sort_by(|a, b| a.path.cmp(&b.path));
+
+        let mut nodes: Vec<Node> = Vec::new();
+        for f in &order {
+            for item in &f.fns {
+                nodes.push(Node {
+                    path: f.path.clone(),
+                    item: item.clone(),
+                });
+            }
+        }
+        // Files are path-sorted and items are in source order already, but
+        // re-sort defensively so the invariant is local to this function.
+        nodes.sort_by(|a, b| (a.path.as_str(), a.item.line).cmp(&(b.path.as_str(), b.item.line)));
+
+        // Indexes. `by_simple` maps a function's simple name to every
+        // definition; `by_type_method` maps `(impl type, name)`;
+        // `by_module` maps the last module segment to definitions of a
+        // free function there.
+        let mut by_simple: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_file: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut modules: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        for f in &order {
+            modules.insert(f.path.as_str(), f.module.clone());
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            by_simple.entry(&n.item.name).or_default().push(i);
+            by_file.entry((&n.path, &n.item.name)).or_default().push(i);
+            if let Some(ty) = &n.item.impl_type {
+                by_type_method
+                    .entry((ty.as_str(), n.item.name.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            for call in &n.item.calls {
+                let target = match &call.kind {
+                    CallKind::Bare => resolve_bare(&n.path, &call.name, &by_file, &by_simple),
+                    CallKind::Path { qualifier } => resolve_path(
+                        n,
+                        qualifier,
+                        &call.name,
+                        &by_type_method,
+                        &by_simple,
+                        &nodes,
+                        &modules,
+                    ),
+                    CallKind::Method { recv } => {
+                        resolve_method(n, recv, &call.name, &by_type_method)
+                    }
+                };
+                if let Some(callee) = target {
+                    if callee != i {
+                        edges[i].push(Edge {
+                            callee,
+                            line: call.line,
+                            col: call.col,
+                        });
+                    }
+                }
+            }
+        }
+
+        CallGraph { nodes, edges }
+    }
+
+    /// Node indexes in `(path, line)` order (i.e. `0..nodes.len()`),
+    /// provided for symmetry with filtered traversals.
+    pub fn node_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        0..self.nodes.len()
+    }
+}
+
+fn unique(candidates: Option<&Vec<usize>>) -> Option<usize> {
+    match candidates {
+        Some(c) if c.len() == 1 => Some(c[0]),
+        _ => None,
+    }
+}
+
+fn resolve_bare(
+    caller_path: &str,
+    name: &str,
+    by_file: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_simple: &BTreeMap<&str, Vec<usize>>,
+) -> Option<usize> {
+    // Same-file definitions win (shadowing); a same-file ambiguity (two
+    // impls with the same method name) is still ambiguous.
+    if let Some(local) = by_file.get(&(caller_path, name)) {
+        if local.len() == 1 {
+            return Some(local[0]);
+        }
+        return None;
+    }
+    unique(by_simple.get(name))
+}
+
+fn resolve_path(
+    caller: &Node,
+    qualifier: &[String],
+    name: &str,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_simple: &BTreeMap<&str, Vec<usize>>,
+    nodes: &[Node],
+    modules: &BTreeMap<&str, Vec<String>>,
+) -> Option<usize> {
+    let last = qualifier.last().map(String::as_str)?;
+    // `Self::helper()` — the caller's own impl type.
+    let type_name = if last == "Self" {
+        caller.item.impl_type.as_deref()?
+    } else {
+        last
+    };
+    if let Some(found) = unique(by_type_method.get(&(type_name, name))) {
+        return Some(found);
+    }
+    // `module::f()` — free function in a module whose path ends with the
+    // qualifier's last segment.
+    if let Some(candidates) = by_simple.get(name) {
+        let in_module: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                nodes[i].item.impl_type.is_none()
+                    && modules
+                        .get(nodes[i].path.as_str())
+                        .is_some_and(|m| m.last().map(String::as_str) == Some(last))
+            })
+            .collect();
+        if in_module.len() == 1 {
+            return Some(in_module[0]);
+        }
+        // `crate::f()` / `super::f()` carry no module info — fall back to
+        // a unique global match for those pseudo-qualifiers only.
+        if (last == "crate" || last == "super" || last == "self") && candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+    }
+    None
+}
+
+fn resolve_method(
+    caller: &Node,
+    recv: &[String],
+    name: &str,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Option<usize> {
+    // Receiver typing: a single-segment receiver can use the caller's
+    // recovered binding type directly (`self.m()`, `machine.m()`).
+    if let [root] = recv {
+        if let Some(ty_text) = caller.item.bindings.get(root) {
+            // The binding text may be decorated (`& mut Machine`,
+            // `Vec < Edge >`); try each identifier-looking word as the
+            // candidate type, preferring the last (innermost) match.
+            let mut found = None;
+            for word in ty_text.split_whitespace() {
+                if word.chars().next().is_some_and(char::is_uppercase) {
+                    if let Some(hit) = unique(by_type_method.get(&(word, name))) {
+                        found = Some(hit);
+                    }
+                }
+            }
+            if found.is_some() {
+                return found;
+            }
+        }
+    }
+    // Untyped receiver: resolve only when exactly one impl anywhere in
+    // the workspace defines this method name.
+    let mut hits: Vec<usize> = Vec::new();
+    for (&(_, m), idxs) in by_type_method.iter() {
+        if m == name {
+            hits.extend_from_slice(idxs);
+        }
+    }
+    if hits.len() == 1 {
+        return Some(hits[0]);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn build(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| parse_file(p, &lex(s)))
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    fn node(g: &CallGraph, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.item.name == name)
+            .unwrap_or_else(|| panic!("node {name} not found"))
+    }
+
+    fn callees(g: &CallGraph, name: &str) -> Vec<String> {
+        g.edges[node(g, name)]
+            .iter()
+            .map(|e| g.nodes[e.callee].item.name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_then_global() {
+        let g = build(&[
+            ("crates/a/src/one.rs", "fn top() { local(); far(); }\nfn local() {}"),
+            ("crates/b/src/two.rs", "fn far() {}"),
+        ]);
+        assert_eq!(callees(&g, "top"), vec!["local", "far"]);
+    }
+
+    #[test]
+    fn ambiguous_bare_calls_drop_the_edge() {
+        let g = build(&[
+            ("crates/a/src/one.rs", "fn top() { dup(); }"),
+            ("crates/b/src/two.rs", "fn dup() {}"),
+            ("crates/c/src/three.rs", "fn dup() {}"),
+        ]);
+        assert!(callees(&g, "top").is_empty());
+    }
+
+    #[test]
+    fn typed_method_and_self_path_resolve() {
+        let g = build(&[(
+            "crates/a/src/one.rs",
+            "struct M;\nimpl M {\n fn run(&self) { self.step(); Self::cold(); }\n fn step(&self) {}\n fn cold() {}\n}",
+        )]);
+        assert_eq!(callees(&g, "run"), vec!["step", "cold"]);
+    }
+
+    #[test]
+    fn untyped_method_needs_workspace_unique_name() {
+        let g = build(&[
+            (
+                "crates/a/src/one.rs",
+                "fn top(x: Mystery) { x.poke(); x.shared(); }",
+            ),
+            ("crates/b/src/two.rs", "struct A;\nimpl A { fn poke(&self) {} fn shared(&self) {} }"),
+            ("crates/c/src/three.rs", "struct B;\nimpl B { fn shared(&self) {} }"),
+        ]);
+        // `poke` is defined on exactly one impl → edge; `shared` on two → dropped.
+        assert_eq!(callees(&g, "top"), vec!["poke"]);
+    }
+
+    #[test]
+    fn module_qualified_path_resolves() {
+        let g = build(&[
+            ("crates/a/src/one.rs", "fn top() { codec::decode(); }"),
+            ("crates/trace/src/codec.rs", "fn decode() {}"),
+            ("crates/other/src/noise.rs", "fn unrelated() {}"),
+        ]);
+        assert_eq!(callees(&g, "top"), vec!["decode"]);
+    }
+
+    #[test]
+    fn construction_is_order_independent() {
+        let files = [
+            ("crates/a/src/one.rs", "fn top() { helper(); }"),
+            ("crates/b/src/two.rs", "fn helper() { leaf(); }"),
+            ("crates/c/src/three.rs", "fn leaf() {}"),
+        ];
+        let fwd = build(&files);
+        let mut rev_files = files;
+        rev_files.reverse();
+        let rev = build(&rev_files);
+        let shape = |g: &CallGraph| {
+            g.nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    (
+                        n.path.clone(),
+                        n.item.qual.clone(),
+                        g.edges[i].iter().map(|e| e.callee).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&fwd), shape(&rev));
+    }
+}

@@ -109,8 +109,13 @@ impl<'a> Lexer<'a> {
     }
 
     /// Advances one byte, maintaining line/col. Multi-byte UTF-8
-    /// continuation bytes do not advance the column.
+    /// continuation bytes do not advance the column. A no-op at end of
+    /// input so multi-byte consumers (`\\` escapes near EOF) can never
+    /// push the cursor past the buffer and slice out of bounds.
     fn bump(&mut self) {
+        if self.pos >= self.bytes.len() {
+            return;
+        }
         let b = self.peek(0);
         self.pos += 1;
         if b == b'\n' {
@@ -415,6 +420,40 @@ mod tests {
         assert!(!l.suppressions[0].own_line);
         assert!(!l.suppressions[1].has_reason);
         assert!(l.suppressions[1].own_line);
+    }
+
+    #[test]
+    fn suppression_on_final_line_without_trailing_newline() {
+        // A directive on the file's last line must be recognized whether
+        // or not the file ends in `\n`, in both trailing and own-line
+        // positions.
+        let trailing = lex("let x = 1; // jcdn-lint: allow(D1) -- final line");
+        assert_eq!(trailing.suppressions.len(), 1);
+        assert_eq!(trailing.suppressions[0].rules, vec!["D1"]);
+        assert!(!trailing.suppressions[0].own_line);
+        assert!(trailing.suppressions[0].has_reason);
+
+        let own_line = lex("let x = 1;\n// jcdn-lint: allow(D3) -- next-line form");
+        assert_eq!(own_line.suppressions.len(), 1);
+        assert_eq!(own_line.suppressions[0].line, 2);
+        assert!(own_line.suppressions[0].own_line);
+
+        // Missing reason on a final unterminated line must still surface
+        // (the engine reports it as S1).
+        let bad = lex("let x = 1; // jcdn-lint: allow(D1)");
+        assert_eq!(bad.suppressions.len(), 1);
+        assert!(!bad.suppressions[0].has_reason);
+    }
+
+    #[test]
+    fn trailing_escape_at_eof_does_not_panic() {
+        // Regression: `\` as the final byte of a string/char body used to
+        // push the cursor past the buffer and panic slicing the token.
+        lex("let s = \"abc\\");
+        lex("let c = '\\");
+        lex("let b = b\"x\\");
+        lex("let r = r#\"unterminated");
+        lex("/* unterminated block *");
     }
 
     #[test]

@@ -18,48 +18,121 @@
 //! | D4 | lossy integer `as` casts in codec/interner code |
 //! | D5 | ad-hoc float accumulation in `merge*` functions |
 //! | D6 | missing doc comments on public items in core/trace/stats |
+//! | D7 | cross-file determinism taint on merge/finalize/encode paths |
+//! | D8 | shared-tier mutation inside the epoch peek phase |
+//! | D9 | unchecked arithmetic on untrusted decode lengths |
+//! | D10 | codec-version match exhaustiveness |
 //! | S1 | malformed inline suppressions |
 //!
-//! No dependencies, no rustc integration: a hand-rolled lexer
-//! ([`lexer`]) feeds per-file rule checks ([`rules`]) scoped and
-//! exempted by [`config`] (`allowlist.toml` at the workspace root), with
-//! human and JSON output ([`report`]). The full-workspace pass is a few
-//! milliseconds — cheap enough to run as a blocking CI job next to
-//! rustfmt and clippy.
+//! Two stages, no rustc integration. **Stage 1** is per-file and
+//! embarrassingly parallel (fanned out on the jcdn-exec pool): a
+//! hand-rolled lexer ([`lexer`]) feeds the token-local rules ([`rules`])
+//! and a lightweight item parser ([`parser`]) that summarizes functions,
+//! calls, and determinism sources. **Stage 2** builds a workspace call
+//! graph from those summaries ([`graph`]) and runs the flow-aware rules
+//! D7/D8 over it ([`taint`]), attaching full call-chain evidence to each
+//! finding. Both stages are scoped and exempted by [`config`]
+//! (`allowlist.toml` at the workspace root), can be diffed against a
+//! committed [`baseline`] (`lint-baseline.json`), and render as human or
+//! JSON output ([`report`]). The two-stage full-workspace pass stays
+//! well under the 5-second CI budget (enforced by a timing test and a
+//! `jcdn-bench` case).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
+pub use baseline::{Baseline, BaselineDiff};
 pub use config::{parse_allowlist, Config};
-pub use rules::{Finding, Severity};
+pub use rules::{ChainHop, Finding, Severity};
 
-/// Lints one file's source text. `path` is the workspace-relative path
-/// used for scope/allowlist matching and in findings.
+/// Lints one file's source text — stage 1 only (token-local rules).
+/// `path` is the workspace-relative path used for scope/allowlist
+/// matching and in findings. Cross-file rules need the whole file set;
+/// use [`lint_sources`] or [`lint_files`] for those.
 pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     rules::lint_source(path, src, cfg)
 }
 
-/// Lints a set of files on disk. Paths are reported relative to `root`
-/// (with forward slashes); unreadable files produce an `Err`.
-pub fn lint_files(root: &Path, files: &[PathBuf], cfg: &Config) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
-    for file in files {
-        let rel = relative_path(root, file);
-        let src = std::fs::read_to_string(file)
-            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        findings.extend(lint_source(&rel, &src, cfg));
+/// Stage-1 output for one file: its token-rule findings plus the parsed
+/// item summary stage 2 consumes.
+fn stage1(path: &str, src: &str, cfg: &Config) -> (Vec<Finding>, parser::ParsedFile) {
+    let lexed = lexer::lex(src);
+    let findings = rules::lint_source(path, src, cfg);
+    let parsed = parser::parse_file(path, &lexed);
+    (findings, parsed)
+}
+
+/// Runs both stages over an in-memory `(path, source)` set — the
+/// entry point the fixture tests use. `threads` controls the stage-1
+/// fan-out on the jcdn-exec pool (stage 2 is a single graph walk).
+pub fn lint_sources(files: &[(String, String)], cfg: &Config, threads: usize) -> Vec<Finding> {
+    let per_file = jcdn_exec::scatter_gather_labeled("lint.stage1", files.len(), threads, |i| {
+        stage1(&files[i].0, &files[i].1, cfg)
+    });
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::with_capacity(per_file.len());
+    for (f, p) in per_file {
+        findings.extend(f);
+        parsed.push(p);
+    }
+    let graph = graph::CallGraph::build(&parsed);
+    let flow = taint::run(&graph, cfg);
+    // Cross-file findings honor the same inline directives as stage 1,
+    // keyed by the file the finding is anchored in. S1 for malformed
+    // directives was already emitted by stage 1 — only filter here.
+    let mut maps: std::collections::BTreeMap<&str, std::collections::BTreeMap<u32, std::collections::BTreeSet<&'static str>>> =
+        std::collections::BTreeMap::new();
+    for p in &parsed {
+        maps.insert(p.path.as_str(), rules::suppression_map(&p.suppressions));
+    }
+    for f in flow {
+        let hit = maps
+            .get(f.path.as_str())
+            .and_then(|m| m.get(&f.line))
+            .is_some_and(|rules| rules.contains(f.rule));
+        if !hit {
+            findings.push(f);
+        }
     }
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
-    Ok(findings)
+    findings
+}
+
+/// Lints a set of files on disk, both stages, with the given stage-1
+/// thread count. Paths are reported relative to `root` (with forward
+/// slashes); unreadable files produce an `Err`.
+pub fn lint_files_threaded(
+    root: &Path,
+    files: &[PathBuf],
+    cfg: &Config,
+    threads: usize,
+) -> Result<Vec<Finding>, String> {
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let rel = relative_path(root, file);
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        sources.push((rel, src));
+    }
+    Ok(lint_sources(&sources, cfg, threads))
+}
+
+/// Lints a set of files on disk (both stages, single-threaded stage 1).
+pub fn lint_files(root: &Path, files: &[PathBuf], cfg: &Config) -> Result<Vec<Finding>, String> {
+    lint_files_threaded(root, files, cfg, 1)
 }
 
 /// Lints the whole workspace under `root`: every `.rs` file in
@@ -67,8 +140,17 @@ pub fn lint_files(root: &Path, files: &[PathBuf], cfg: &Config) -> Result<Vec<Fi
 /// `examples/`. Skips `vendor/` (third-party stand-ins), `target/`, and
 /// any `fixtures/` directory (the lint corpus is intentionally bad).
 pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    lint_workspace_threaded(root, cfg, 1)
+}
+
+/// [`lint_workspace`] with a stage-1 thread count.
+pub fn lint_workspace_threaded(
+    root: &Path,
+    cfg: &Config,
+    threads: usize,
+) -> Result<Vec<Finding>, String> {
     let files = workspace_files(root)?;
-    lint_files(root, &files, cfg)
+    lint_files_threaded(root, &files, cfg, threads)
 }
 
 /// Enumerates the workspace's lintable `.rs` files in sorted order.
@@ -236,6 +318,47 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, "D6");
         assert!(findings[0].message.contains('b'));
+    }
+
+    #[test]
+    fn two_stage_pass_reports_cross_file_taint_with_chain() {
+        let cfg = Config::all_scopes();
+        let files = vec![
+            (
+                "crates/core/src/merge.rs".to_string(),
+                "fn merge_partials() { tally(); }".to_string(),
+            ),
+            (
+                "crates/core/src/helpers.rs".to_string(),
+                "fn tally() { stamp(); }\nfn stamp() { let _ = SystemTime::now(); }".to_string(),
+            ),
+        ];
+        let findings = lint_sources(&files, &cfg, 1);
+        let d7: Vec<&Finding> = findings.iter().filter(|f| f.rule == "D7").collect();
+        assert_eq!(d7.len(), 1, "{findings:?}");
+        assert_eq!(d7[0].chain.len(), 3);
+        // Stage 1 independently reports the D1 at the source.
+        assert!(findings.iter().any(|f| f.rule == "D1"));
+        // Thread count must not change the result.
+        assert_eq!(lint_sources(&files, &cfg, 4), findings);
+    }
+
+    #[test]
+    fn cross_file_findings_honor_inline_directives() {
+        let cfg = Config::all_scopes();
+        let files = vec![
+            (
+                "crates/core/src/merge.rs".to_string(),
+                "fn merge_partials() { stamp(); }".to_string(),
+            ),
+            (
+                "crates/core/src/helpers.rs".to_string(),
+                "fn stamp() {\n    // jcdn-lint: allow(D1, D7) -- fixture exercises the directive\n    let _ = SystemTime::now();\n}"
+                    .to_string(),
+            ),
+        ];
+        let findings = lint_sources(&files, &cfg, 1);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

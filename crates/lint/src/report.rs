@@ -19,6 +19,12 @@ pub fn render_text(findings: &[Finding]) -> String {
             f.rule,
             f.message
         );
+        // Flow rules carry their evidence: the call chain from the root
+        // to the flagged site, one indented hop per line.
+        for (i, hop) in f.chain.iter().enumerate() {
+            let verb = if i == 0 { "root" } else { "calls" };
+            let _ = writeln!(out, "    {verb} {} at {}:{}", hop.func, hop.path, hop.line);
+        }
     }
     if findings.is_empty() {
         out.push_str("jcdn-lint: clean\n");
@@ -46,7 +52,7 @@ pub fn render_json(findings: &[Finding]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}",
             json_str(f.rule),
             json_str(f.severity.label()),
             json_str(&f.path),
@@ -54,13 +60,30 @@ pub fn render_json(findings: &[Finding]) -> String {
             f.col,
             json_str(&f.message)
         );
+        if !f.chain.is_empty() {
+            out.push_str(",\"chain\":[");
+            for (j, hop) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"func\":{},\"path\":{},\"line\":{}}}",
+                    json_str(&hop.func),
+                    json_str(&hop.path),
+                    hop.line
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     let _ = write!(out, "],\"count\":{}}}", findings.len());
     out.push('\n');
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -183,6 +206,84 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              Fix: document the item (what it measures, and the paper section\n\
              if applicable)."
         }
+        "D7" => {
+            "D7 — cross-file determinism taint on merge/finalize/encode paths\n\
+             \n\
+             The flow-aware twin of D1/D2. Stage 2 builds a workspace call\n\
+             graph (lightweight item parser, no full AST) and walks forward\n\
+             from every *determinism root* — functions named `merge*` or\n\
+             `finalize*` anywhere, and `encode*` inside the trace codec. Any\n\
+             reachable function that observes a banned source taints the whole\n\
+             path: wall clock (`SystemTime::now`, `Instant::now`), ambient\n\
+             randomness (`thread_rng`, `RandomState`), or hash-ordered\n\
+             iteration. The finding is anchored at the observation site and\n\
+             prints the full call chain from the root as evidence.\n\
+             \n\
+             Sanctioned sources do not taint: files the D1 allowlist blesses\n\
+             (fault injection, the bench harness, obs::clock) and hash\n\
+             iteration outside the D2 output-order scope.\n\
+             \n\
+             Resolution is conservative — ambiguous call targets drop the\n\
+             edge, so a D7 finding is evidence, not speculation. Fix the\n\
+             source (SimTime, seeded streams, BTreeMap), or suppress at the\n\
+             source line with a reason."
+        }
+        "D8" => {
+            "D8 — shared-tier mutation inside the epoch peek phase\n\
+             \n\
+             The epoch-lockstep contract (DESIGN.md §14): during an epoch,\n\
+             machines run `run_until` against an immutable, epoch-frozen\n\
+             `&[SharedTier]` slice in parallel; every intended mutation is\n\
+             recorded as a `TierAccess` via `TierCtx::record`, and only\n\
+             `flush_accesses` applies them — single-threaded, at the epoch\n\
+             boundary, in deterministic order. A direct `insert`/`evict`/\n\
+             `touch`/`expire` on a shared tier anywhere in the call graph\n\
+             below `run_until` would make results depend on thread\n\
+             interleaving, silently breaking byte-identical replay.\n\
+             \n\
+             The rule walks the call graph from every `run_until` in cdnsim\n\
+             and flags mutator calls on `SharedTier`-typed receivers, with\n\
+             the call chain printed. Edge-local caches (receivers typed\n\
+             `Edge`/`Machine`) are exempt — those are thread-private.\n\
+             \n\
+             Fix: record a `TierAccess` instead of mutating."
+        }
+        "D9" => {
+            "D9 — unchecked arithmetic on untrusted decode lengths\n\
+             \n\
+             A length read off the wire (`get_varint`, `get_u16_le`,\n\
+             `get_u32_le`, `get_u8`) is attacker-controlled until validated.\n\
+             `+`/`*`/`<<` on such a binding can overflow and wrap *before*\n\
+             any bound check runs, turning a corrupt frame into a tiny (or\n\
+             enormous) allocation, an aliased offset, or a panic — instead of\n\
+             a typed `DecodeError`. Scope: trace::codec and trace::compat.\n\
+             \n\
+             The check is statement-local: a binding whose initializer reads\n\
+             a getter is tainted; arithmetic on it is flagged unless the same\n\
+             statement sanctions the value (`checked_*`, `saturating_*`,\n\
+             `min`, `clamp`, or a `to_usize` checked conversion).\n\
+             \n\
+             Fix: `checked_add`/`checked_mul`/`checked_shl` with a\n\
+             `DecodeError` on `None`, or clamp/validate first."
+        }
+        "D10" => {
+            "D10 — codec-version match exhaustiveness\n\
+             \n\
+             Every `match` whose scrutinee mentions a version binding must\n\
+             explicitly cover the full codec version space v1–v4. A wildcard\n\
+             arm does NOT count as coverage: the hazard is precisely that a\n\
+             future v5 frame silently rides an arm meant for an older format\n\
+             (or falls into tolerant-decode salvage) instead of forcing a\n\
+             reviewed decision. Symbolic patterns over the `VERSION`/\n\
+             `MIN_VERSION` consts are accepted — they track the space by\n\
+             construction. When the version space grows to v5, extend both\n\
+             the dispatches and this rule's space (crates/lint/src/rules.rs)\n\
+             in the same PR.\n\
+             \n\
+             Fix: list every version (`1 | 2 => …, 3 | 4 => …`) and keep the\n\
+             wildcard arm only for the error path, or suppress with a reason\n\
+             if a dispatch genuinely only distinguishes a subset."
+        }
         "S1" => {
             "S1 — malformed suppression directive\n\
              \n\
@@ -210,7 +311,27 @@ mod tests {
             line: 3,
             col: 7,
             message: "a \"quoted\" message\twith control".to_string(),
+            chain: Vec::new(),
         }
+    }
+
+    fn chained() -> Finding {
+        use crate::rules::ChainHop;
+        let mut f = f();
+        f.rule = "D7";
+        f.chain = vec![
+            ChainHop {
+                func: "core::pipeline::merge_partials".to_string(),
+                path: "crates/core/src/pipeline.rs".to_string(),
+                line: 10,
+            },
+            ChainHop {
+                func: "core::pipeline::tally".to_string(),
+                path: "crates/core/src/pipeline.rs".to_string(),
+                line: 14,
+            },
+        ];
+        f
     }
 
     #[test]
@@ -231,10 +352,23 @@ mod tests {
     }
 
     #[test]
+    fn chains_render_in_text_and_json() {
+        let text = render_text(&[chained()]);
+        assert!(text.contains("    root core::pipeline::merge_partials at crates/core/src/pipeline.rs:10"));
+        assert!(text.contains("    calls core::pipeline::tally at crates/core/src/pipeline.rs:14"));
+
+        let json = render_json(&[chained()]);
+        assert!(json.contains("\"chain\":[{\"func\":\"core::pipeline::merge_partials\""));
+        assert!(json.contains("\"line\":14"));
+        // Token-local findings carry no chain key at all.
+        assert!(!render_json(&[f()]).contains("\"chain\""));
+    }
+
+    #[test]
     fn explain_covers_all_rules() {
         for rule in crate::config::RULE_IDS {
             assert!(explain(rule).is_some(), "{rule} must have an explanation");
         }
-        assert!(explain("D9").is_none());
+        assert!(explain("D99").is_none());
     }
 }

@@ -1,6 +1,9 @@
 //! The rule engine: file context construction (function spans, test
-//! ranges) and the six determinism/safety rules D1–D6, plus S1 for
-//! malformed suppressions.
+//! ranges) and the file-local determinism/safety rules D1–D6 and D9–D10,
+//! plus S1 for malformed suppressions. The cross-file flow rules D7/D8
+//! live in [`crate::taint`] and run over the call graph built by
+//! [`crate::graph`]; they share this module's [`Finding`] type (with a
+//! populated call [`ChainHop`] trail) and suppression machinery.
 //!
 //! Every rule is a token-sequence check — deliberately type-blind, so the
 //! pass stays a lexer walk (microseconds per file) rather than a rustc
@@ -34,10 +37,23 @@ impl Severity {
     }
 }
 
+/// One hop in a cross-file call chain attached to a flow finding: the
+/// function entered and where (for the root, its definition site; for
+/// every later hop, the call site in the previous hop's function).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Display-qualified function name (`cdnsim::sim::Machine::run_until`).
+    pub func: String,
+    /// Workspace-relative path of the hop's location.
+    pub path: String,
+    /// 1-based line of the hop's location.
+    pub line: u32,
+}
+
 /// One lint finding, anchored to a file position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D1`–`D6`, `S1`).
+    /// Rule id (`D1`–`D10`, `S1`).
     pub rule: &'static str,
     /// Severity (currently always [`Severity::Error`]).
     pub severity: Severity,
@@ -49,6 +65,9 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For flow rules (D7/D8): the call chain from the root function to
+    /// the flagged site. Empty for token-local findings.
+    pub chain: Vec<ChainHop>,
 }
 
 /// A function body located in the token stream.
@@ -108,17 +127,50 @@ pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     if cfg.applies("D6", path) {
         ctx.rule_d6(&mut findings);
     }
+    if cfg.applies("D9", path) {
+        ctx.rule_d9(&mut findings);
+    }
+    if cfg.applies("D10", path) {
+        ctx.rule_d10(&mut findings);
+    }
 
     apply_suppressions(path, &lexed, findings)
+}
+
+/// The `line → suppressed rule ids` map from the *well-formed* directives
+/// in `sups`. Malformed directives (unknown rules, missing reason) are
+/// ignored here — [`apply_suppressions`] reports them as S1; this map is
+/// also rebuilt in stage 2 to filter cross-file findings without
+/// re-emitting S1.
+pub(crate) fn suppression_map(sups: &[Suppression]) -> BTreeMap<u32, BTreeSet<&'static str>> {
+    let mut map: BTreeMap<u32, BTreeSet<&'static str>> = BTreeMap::new();
+    for sup in sups {
+        if sup.rules.is_empty() || !sup.has_reason {
+            continue;
+        }
+        if sup
+            .rules
+            .iter()
+            .any(|r| !crate::config::RULE_IDS.contains(&r.as_str()))
+        {
+            continue;
+        }
+        let target = if sup.own_line { sup.line + 1 } else { sup.line };
+        for rule in &sup.rules {
+            if let Some(&known) = crate::config::RULE_IDS.iter().find(|k| *k == rule) {
+                map.entry(target).or_default().insert(known);
+            }
+        }
+    }
+    map
 }
 
 /// Drops findings covered by a well-formed suppression directive and
 /// reports malformed directives as S1 findings.
 fn apply_suppressions(path: &str, lexed: &Lexed<'_>, findings: Vec<Finding>) -> Vec<Finding> {
-    let mut suppressed: BTreeMap<u32, BTreeSet<&str>> = BTreeMap::new();
+    let suppressed = suppression_map(&lexed.suppressions);
     let mut out = Vec::new();
     for sup in &lexed.suppressions {
-        let target = if sup.own_line { sup.line + 1 } else { sup.line };
         let bad_rules: Vec<&String> = sup
             .rules
             .iter()
@@ -132,6 +184,7 @@ fn apply_suppressions(path: &str, lexed: &Lexed<'_>, findings: Vec<Finding>) -> 
                 line: sup.line,
                 col: 1,
                 message: malformed_rules_message(sup, &bad_rules),
+                chain: Vec::new(),
             });
             continue;
         }
@@ -145,13 +198,8 @@ fn apply_suppressions(path: &str, lexed: &Lexed<'_>, findings: Vec<Finding>) -> 
                 message: "suppression is missing its reason: write \
                           `// jcdn-lint: allow(Dx) -- <why this is sound>`"
                     .to_string(),
+                chain: Vec::new(),
             });
-            continue;
-        }
-        for rule in &sup.rules {
-            if let Some(&known) = crate::config::RULE_IDS.iter().find(|k| *k == rule) {
-                suppressed.entry(target).or_default().insert(known);
-            }
         }
     }
     for f in findings {
@@ -342,6 +390,7 @@ impl<'a> FileCtx<'a> {
             line: t.line,
             col: t.col,
             message,
+            chain: Vec::new(),
         });
     }
 
@@ -792,4 +841,381 @@ impl<'a> FileCtx<'a> {
             }
         }
     }
+
+    // ----------------------------------------------------------------- D9
+
+    /// D9: unchecked arithmetic on lengths derived from untrusted decode
+    /// input. A binding initialized from `get_varint`/`get_u16_le`/… holds
+    /// an attacker-controlled value; `+`/`*`/`<<` on it can overflow and
+    /// wrap into a small (or huge) allocation before any bound check runs.
+    /// Use `checked_add`/`checked_mul`/`checked_shl` (or an explicit
+    /// `min`/`clamp` first).
+    fn rule_d9(&self, out: &mut Vec<Finding>) {
+        const GETTERS: [&str; 6] = [
+            "get_varint",
+            "get_u16_le",
+            "get_u32_le",
+            "get_u64_le",
+            "get_u8",
+            "get_uvarint",
+        ];
+        const SANCTIONERS: [&str; 4] = ["min", "clamp", "to_usize", "usize"];
+        // Taint is function-local: a `len` read off the wire in one
+        // function must not condemn an unrelated same-named binding in
+        // another (the encode path reuses decode's naming).
+        for f in &self.fns {
+            if self.in_test(f.body.0) {
+                continue;
+            }
+            // Pass 1: names let-bound in this body to an initializer that
+            // reads a decode getter anywhere in its statement.
+            let mut tainted: BTreeSet<&str> = BTreeSet::new();
+            let mut i = f.body.0;
+            while i <= f.body.1 {
+                if self.ident_at(i) != Some("let") {
+                    i += 1;
+                    continue;
+                }
+                let mut k = i + 1;
+                if self.ident_at(k) == Some("mut") {
+                    k += 1;
+                }
+                let Some(name) = self.ident_at(k) else {
+                    i += 1;
+                    continue;
+                };
+                // Statement extent: to the `;` at paren/brace depth 0.
+                let mut depth = 0isize;
+                let mut j = k + 1;
+                let mut reads_getter = false;
+                while j <= f.body.1 {
+                    let t = &self.tokens[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth <= 0 => break,
+                            _ => {}
+                        }
+                    } else if t.kind == TokKind::Ident && GETTERS.contains(&t.text) {
+                        reads_getter = true;
+                    }
+                    j += 1;
+                }
+                if reads_getter {
+                    tainted.insert(name);
+                }
+                i = j + 1;
+            }
+            if tainted.is_empty() {
+                continue;
+            }
+            // Pass 2: infix `+`/`*`/`<<` touching a tainted name, unless
+            // the enclosing statement sanctions the value first.
+            let mut i = f.body.0;
+            while i <= f.body.1 {
+                let Some(name) = self.ident_at(i) else {
+                    i += 1;
+                    continue;
+                };
+                if !tainted.contains(name) {
+                    i += 1;
+                    continue;
+                }
+                let op = self.infix_op_near(i);
+                let Some(op) = op else {
+                    i += 1;
+                    continue;
+                };
+                if self.statement_sanctions(i, f.body, &SANCTIONERS) {
+                    i += 1;
+                    continue;
+                }
+                let hint = match op {
+                    "+" => "checked_add",
+                    "*" => "checked_mul",
+                    _ => "checked_shl",
+                };
+                self.push(
+                    out,
+                    "D9",
+                    i,
+                    format!(
+                        "unchecked `{op}` on `{name}`, a length derived from untrusted \
+                         decode input ({}); use `{hint}` or clamp the value first",
+                        "get_varint/frame header",
+                    ),
+                );
+                i += 1;
+            }
+        }
+    }
+
+    /// The infix arithmetic operator directly adjacent to the identifier
+    /// at `i`, if any: `name +`, `name *`, `name <<`, or the mirrored
+    /// `+ name` / `* name` / `<< name`.
+    fn infix_op_near(&self, i: usize) -> Option<&'static str> {
+        let punct = |idx: usize, text: &str| self.is(idx, TokKind::Punct, text);
+        // `name << …` / `… << name`
+        if punct(i + 1, "<") && punct(i + 2, "<") {
+            return Some("<<");
+        }
+        if i >= 2 && punct(i - 1, "<") && punct(i - 2, "<") {
+            return Some("<<");
+        }
+        // `name + …` (not `+=`? `+=` still accumulates unchecked — keep).
+        // Exclude `name *` that is a dereference `*name` handled below.
+        if punct(i + 1, "+") {
+            return Some("+");
+        }
+        if punct(i + 1, "*") {
+            return Some("*");
+        }
+        // `… + name`: the token before must be the operator and the one
+        // before *that* an expression end (ident/num/`)`/`]`), so a unary
+        // `*name` deref or `&name` borrow does not count.
+        if i >= 2 {
+            let before = &self.tokens[i - 2];
+            let expr_end = matches!(before.kind, TokKind::Ident | TokKind::Num)
+                || (before.kind == TokKind::Punct && (before.text == ")" || before.text == "]"));
+            if expr_end && punct(i - 1, "+") {
+                return Some("+");
+            }
+            if expr_end && punct(i - 1, "*") {
+                return Some("*");
+            }
+        }
+        None
+    }
+
+    /// Whether the statement containing token `i` sanctions the arithmetic
+    /// (calls a `checked_*`/`saturating_*`/`wrapping_*` method or clamps).
+    fn statement_sanctions(&self, i: usize, body: (usize, usize), extra: &[&str]) -> bool {
+        let mut start = i;
+        while start > body.0 {
+            let t = &self.tokens[start - 1];
+            if t.kind == TokKind::Punct && (t.text == ";" || t.text == "{" || t.text == "}") {
+                break;
+            }
+            start -= 1;
+        }
+        let mut end = i;
+        while end < body.1 {
+            let t = &self.tokens[end];
+            if t.kind == TokKind::Punct && t.text == ";" {
+                break;
+            }
+            end += 1;
+        }
+        (start..=end).any(|k| {
+            self.ident_at(k).is_some_and(|id| {
+                id.starts_with("checked_")
+                    || id.starts_with("saturating_")
+                    || id.starts_with("wrapping_")
+                    || extra.contains(&id)
+            })
+        })
+    }
+
+    // ---------------------------------------------------------------- D10
+
+    /// D10: every `match` over the codec version space must explicitly
+    /// cover v1–v4. A wildcard arm does not count as coverage: the whole
+    /// point is that introducing v5 must force the compiler/reviewer to
+    /// revisit each dispatch, not let the new version silently ride an arm
+    /// meant for an older format. Symbolic range patterns over the
+    /// `VERSION`/`MIN_VERSION` consts are accepted (they track the space
+    /// by construction).
+    fn rule_d10(&self, out: &mut Vec<Finding>) {
+        const SPACE: std::ops::RangeInclusive<u64> = 1..=4;
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if self.ident_at(i) != Some("match") || self.in_test(i) {
+                i += 1;
+                continue;
+            }
+            // Scrutinee: tokens to the `{` at depth 0. It is a *version
+            // dispatch* only when a `version`-named identifier appears at
+            // depth 0 — `match version` / `match self.version`, but not
+            // `match decode(cur, version)`, which matches the call's
+            // Result, not the version space.
+            let mut j = i + 1;
+            let mut depth = 0isize;
+            let mut is_version = false;
+            let mut scrutinee = String::new();
+            while j < self.tokens.len() {
+                let t = &self.tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident
+                    && depth == 0
+                    && t.text.to_lowercase().contains("version")
+                {
+                    is_version = true;
+                }
+                if !scrutinee.is_empty() {
+                    scrutinee.push(' ');
+                }
+                scrutinee.push_str(t.text);
+                j += 1;
+            }
+            if !is_version || j >= self.tokens.len() {
+                i = j.max(i + 1);
+                continue;
+            }
+            let open = j;
+            let close = self.matching_brace(open);
+            let (covered, symbolic) = self.version_arm_coverage(open + 1, close);
+            if !symbolic {
+                let missing: Vec<String> = SPACE
+                    .clone()
+                    .filter(|v| !covered.contains(v))
+                    .map(|v| format!("v{v}"))
+                    .collect();
+                if !missing.is_empty() {
+                    self.push(
+                        out,
+                        "D10",
+                        i,
+                        format!(
+                            "`match {scrutinee}` over the codec version space does not \
+                             explicitly cover {} — wildcard arms do not count; every \
+                             version in v1–v4 needs its own pattern so a future v5 \
+                             cannot silently ride an older arm",
+                            missing.join(", "),
+                        ),
+                    );
+                }
+            }
+            i = close + 1;
+        }
+    }
+
+    /// Walks the arm *patterns* of a match body (token range between the
+    /// braces), returning the set of literal versions covered and whether
+    /// a symbolic `VERSION`-const pattern was seen. Guard expressions and
+    /// arm bodies are skipped.
+    fn version_arm_coverage(&self, start: usize, end: usize) -> (BTreeSet<u64>, bool) {
+        let mut covered: BTreeSet<u64> = BTreeSet::new();
+        let mut symbolic = false;
+        let mut i = start;
+        while i < end {
+            // Pattern: tokens up to `=>` at depth 0.
+            let mut pat: Vec<&Token<'_>> = Vec::new();
+            let mut depth = 0isize;
+            let mut j = i;
+            while j < end {
+                let t = &self.tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth == 0 && self.is(j + 1, TokKind::Punct, ">") => break,
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && t.text == "if" && depth == 0 {
+                    // Guard: the pattern ended; skip the guard expression.
+                    while j < end
+                        && !(self.is(j, TokKind::Punct, "=") && self.is(j + 1, TokKind::Punct, ">"))
+                    {
+                        j += 1;
+                    }
+                    break;
+                }
+                pat.push(t);
+                j += 1;
+            }
+            // Collect literals and ranges from the pattern tokens.
+            let mut k = 0;
+            while k < pat.len() {
+                let t = pat[k];
+                match t.kind {
+                    TokKind::Num => {
+                        if let Ok(lo) = parse_int(t.text) {
+                            // `lo ..= hi` / `lo .. hi`?
+                            let dots = k + 1 < pat.len()
+                                && pat[k + 1].text == "."
+                                && k + 2 < pat.len()
+                                && pat[k + 2].text == ".";
+                            if dots {
+                                let (hi_idx, inclusive) =
+                                    if k + 3 < pat.len() && pat[k + 3].text == "=" {
+                                        (k + 4, true)
+                                    } else {
+                                        (k + 3, false)
+                                    };
+                                if hi_idx < pat.len() && pat[hi_idx].kind == TokKind::Num {
+                                    if let Ok(hi) = parse_int(pat[hi_idx].text) {
+                                        let hi = if inclusive { hi } else { hi.saturating_sub(1) };
+                                        for v in lo..=hi.min(64) {
+                                            covered.insert(v);
+                                        }
+                                    }
+                                    k = hi_idx + 1;
+                                    continue;
+                                }
+                            }
+                            covered.insert(lo);
+                        }
+                    }
+                    TokKind::Ident if t.text.contains("VERSION") => symbolic = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            // Arm body: `{…}` block or expression to `,` at depth 0.
+            while j < end && !(self.is(j, TokKind::Punct, "=") && self.is(j + 1, TokKind::Punct, ">"))
+            {
+                j += 1;
+            }
+            j += 2; // past `=>`
+            if j < end && self.is(j, TokKind::Punct, "{") {
+                j = self.matching_brace(j) + 1;
+                // Optional trailing comma.
+                if j < end && self.is(j, TokKind::Punct, ",") {
+                    j += 1;
+                }
+            } else {
+                let mut depth = 0isize;
+                while j < end {
+                    let t = &self.tokens[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            i = j.max(i + 1);
+        }
+        (covered, symbolic)
+    }
+}
+
+/// Parses a decimal or hex numeric literal, ignoring `_` separators and
+/// any trailing type suffix (`3u8` → 3).
+fn parse_int(text: &str) -> Result<u64, ()> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = clean.strip_prefix("0x") {
+        (hex, 16u32)
+    } else {
+        (clean.as_str(), 10)
+    };
+    let lead: String = digits.chars().take_while(|c| c.is_digit(radix)).collect();
+    if lead.is_empty() {
+        return Err(());
+    }
+    u64::from_str_radix(&lead, radix).map_err(|_| ())
 }

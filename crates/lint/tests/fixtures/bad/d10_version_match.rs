@@ -1,0 +1,26 @@
+//! D10 corpus: codec-version dispatches that forget part of v1–v4.
+
+fn dispatch(version: u16) -> u32 {
+    match version {
+        // line 4: D10 — v4 silently rides the wildcard arm.
+        1 | 2 => 10,
+        3 => 20,
+        _ => 0,
+    }
+}
+
+fn covered(version: u16) -> u32 {
+    match version {
+        1 | 2 => 10,
+        3 => 20,
+        4 => 30,
+        _ => 0,
+    }
+}
+
+fn symbolic(version: u16) -> bool {
+    match version {
+        MIN_VERSION..=VERSION => true,
+        _ => false,
+    }
+}

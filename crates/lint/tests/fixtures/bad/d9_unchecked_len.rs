@@ -1,0 +1,21 @@
+//! D9 corpus: unchecked arithmetic on lengths read off the wire.
+//! Tainted `len` comes from `get_varint`; the marked lines overflow-wrap.
+
+fn decode_header(cur: &mut Cursor<'_>) -> Result<(), DecodeError> {
+    let len = cur.get_varint()?;
+    let total = len + 8; // line 6: D9 (+)
+    let scaled = len * 4; // line 7: D9 (*)
+    let shifted = len << 2; // line 8: D9 (<<)
+    let safe = len.checked_add(8); // sanctioned: checked_*
+    let capped = len.min(1024) + 8; // sanctioned: clamped first
+    consume(total, scaled, shifted, safe, capped);
+    Ok(())
+}
+
+fn encode_side(records: u64) {
+    // Same binding name, but taint is function-local: `len` here never
+    // touched a decode getter, so the arithmetic below is fine.
+    let len = records;
+    let total = len + 8;
+    emit(total);
+}

@@ -7,6 +7,6 @@ fn f(x: Option<u64>) -> u64 {
 }
 
 fn g(x: Option<u64>) -> u64 {
-    // jcdn-lint: allow(D9) -- no such rule
+    // jcdn-lint: allow(D99) -- no such rule
     x.unwrap() // line 11: D3 still fires; line 10 is S1 (unknown rule id)
 }

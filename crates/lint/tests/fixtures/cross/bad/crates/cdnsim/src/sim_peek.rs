@@ -1,0 +1,12 @@
+//! D8 seed: a shared-tier mutation one hop below the peek-phase entry
+//! point. The peek phase must log intents via `TierCtx::record` instead.
+
+impl Machine {
+    fn run_until(&mut self, deadline: u64, tiers: &[SharedTier]) {
+        promote_hot(tiers, deadline);
+    }
+}
+
+fn promote_hot(tiers: &[SharedTier], key: u64) {
+    tiers[0].cache.insert(key); // line 11: D8
+}

@@ -1,0 +1,18 @@
+//! Helpers below the merge root: `tally` is clean but calls `stamp`,
+//! which observes the wall clock — tainting the whole merge path.
+
+fn tally(parts: &[u64]) -> u64 {
+    stamp();
+    count(parts)
+}
+
+fn stamp() {
+    let _ = SystemTime::now(); // line 10: D1 here, D7 via merge_partials
+}
+
+fn count(parts: &[u64]) -> u64 {
+    match parts.first() {
+        Some(v) => *v,
+        None => 0,
+    }
+}

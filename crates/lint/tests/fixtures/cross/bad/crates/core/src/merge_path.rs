@@ -1,0 +1,7 @@
+//! D7 seed: the merge root. The wall-clock read lives two hops away in
+//! `helpers.rs` — only the cross-file stage can see the chain.
+
+fn merge_partials(parts: &[u64]) -> u64 {
+    let total = tally(parts);
+    total
+}

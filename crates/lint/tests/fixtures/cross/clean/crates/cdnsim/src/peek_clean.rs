@@ -1,0 +1,17 @@
+//! Clean peek phase: `run_until` only records intents; the shared-tier
+//! mutation happens in `flush_accesses`, which is *not* reachable from
+//! the peek phase — it runs at the epoch boundary.
+
+impl Machine {
+    fn run_until(&mut self, deadline: u64, ctx: &mut TierCtx) {
+        ctx.record(deadline);
+    }
+}
+
+fn epoch_boundary(tiers: &mut [SharedTier], ctx: &mut TierCtx) {
+    flush_accesses(tiers, ctx);
+}
+
+fn flush_accesses(tiers: &mut [SharedTier], ctx: &mut TierCtx) {
+    tiers[0].cache.insert(ctx.next_intent());
+}

@@ -1,0 +1,16 @@
+//! Clean merge path: every function reachable from the root is pure.
+
+fn merge_counts(parts: &[u64]) -> u64 {
+    tally_pure(parts)
+}
+
+fn tally_pure(parts: &[u64]) -> u64 {
+    first_or_zero(parts)
+}
+
+fn first_or_zero(parts: &[u64]) -> u64 {
+    match parts.first() {
+        Some(v) => *v,
+        None => 0,
+    }
+}

@@ -97,9 +97,80 @@ fn bad_s1_reports_malformed_suppressions_and_keeps_findings() {
 }
 
 #[test]
+fn bad_d9_flags_unchecked_length_arithmetic_per_function() {
+    let findings = lint_fixture("bad", "d9_unchecked_len.rs");
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("D9", 6), ("D9", 7), ("D9", 8)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_d10_flags_non_exhaustive_version_match_only() {
+    let findings = lint_fixture("bad", "d10_version_match.rs");
+    assert_eq!(rule_lines(&findings), vec![("D10", 4)], "{findings:?}");
+}
+
+#[test]
 fn clean_corpus_is_clean() {
     assert!(lint_fixture("clean", "well_behaved.rs").is_empty());
     assert!(lint_fixture("clean", "suppressed_with_reason.rs").is_empty());
+}
+
+/// Runs both stages over one of the `cross/` fixture trees, which mimic
+/// a workspace layout so the path-scoped roots (cdnsim's `run_until`)
+/// resolve exactly as they do on the real tree.
+fn lint_cross(kind: &str) -> Vec<Finding> {
+    let root = fixture_dir("cross").join(kind);
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    files.sort();
+    jcdn_lint::lint_files(&root, &files, &Config::all_scopes()).expect("cross fixtures lint")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("fixture dir listable") {
+        let path = entry.expect("fixture dir entry").path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn cross_bad_d7_reports_wall_clock_two_hops_below_merge() {
+    let findings = lint_cross("bad");
+    let d7: Vec<&Finding> = findings.iter().filter(|f| f.rule == "D7").collect();
+    assert_eq!(d7.len(), 1, "{findings:?}");
+    assert_eq!(d7[0].path, "crates/core/src/helpers.rs");
+    assert_eq!(d7[0].line, 10);
+    assert_eq!(d7[0].chain.len(), 3, "{:?}", d7[0].chain);
+    assert_eq!(d7[0].chain[0].func, "core::merge_path::merge_partials");
+    assert_eq!(d7[0].chain[1].func, "core::helpers::tally");
+    assert_eq!(d7[0].chain[2].func, "core::helpers::stamp");
+    // Stage 1 independently anchors the D1 at the same source line.
+    assert!(findings.iter().any(|f| f.rule == "D1" && f.line == 10));
+}
+
+#[test]
+fn cross_bad_d8_reports_tier_mutation_in_peek_phase() {
+    let findings = lint_cross("bad");
+    let d8: Vec<&Finding> = findings.iter().filter(|f| f.rule == "D8").collect();
+    assert_eq!(d8.len(), 1, "{findings:?}");
+    assert_eq!(d8[0].path, "crates/cdnsim/src/sim_peek.rs");
+    assert_eq!(d8[0].line, 11);
+    assert_eq!(d8[0].chain.len(), 2, "{:?}", d8[0].chain);
+    assert_eq!(d8[0].chain[0].func, "cdnsim::sim_peek::Machine::run_until");
+    assert!(d8[0].message.contains("flush_accesses"));
+}
+
+#[test]
+fn cross_clean_corpus_is_clean() {
+    let findings = lint_cross("clean");
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]
@@ -155,7 +226,7 @@ fn cli_exits_nonzero_on_bad_corpus_and_zero_on_clean() {
     );
     assert_eq!(out.status.code(), Some(1), "bad corpus exits 1");
     let stdout = String::from_utf8(out.stdout).expect("json output is UTF-8");
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "S1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D9", "D10", "S1"] {
         assert!(
             stdout.contains(&format!("\"rule\":\"{rule}\"")),
             "{rule} demonstrated in corpus output: {stdout}"
@@ -182,6 +253,40 @@ fn cli_exits_nonzero_on_bad_corpus_and_zero_on_clean() {
 }
 
 #[test]
+fn cli_seeded_cross_file_violations_reported_in_text_and_json() {
+    let root = workspace_root();
+    let cross_bad = fixture_dir("cross").join("bad");
+    let cross = cross_bad.to_str().expect("utf-8 path");
+
+    let out = run_cli(&["--all-scopes", "--root", cross, cross], &root);
+    assert_eq!(out.status.code(), Some(1), "seeded violations exit 1");
+    let text = String::from_utf8(out.stdout).expect("text output is UTF-8");
+    assert!(text.contains("error[D7]"), "{text}");
+    assert!(text.contains("error[D8]"), "{text}");
+    assert!(
+        text.contains("root core::merge_path::merge_partials"),
+        "chain evidence rendered: {text}"
+    );
+    assert!(text.contains("calls core::helpers::stamp"), "{text}");
+
+    let out = run_cli(
+        &["--all-scopes", "--root", cross, "--format", "json", cross],
+        &root,
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("json output is UTF-8");
+    for needle in [
+        "\"rule\":\"D7\"",
+        "\"rule\":\"D8\"",
+        "\"chain\":[",
+        "\"func\":\"core::merge_path::merge_partials\"",
+        "\"func\":\"cdnsim::sim_peek::Machine::run_until\"",
+    ] {
+        assert!(json.contains(needle), "{needle} in {json}");
+    }
+}
+
+#[test]
 fn cli_workspace_run_is_clean() {
     let root = workspace_root();
     let out = run_cli(&["--workspace"], &root);
@@ -195,14 +300,47 @@ fn cli_workspace_run_is_clean() {
 }
 
 #[test]
+fn cli_baseline_accepts_known_findings_and_blocks_fresh_ones() {
+    let root = workspace_root();
+    let d9 = fixture_dir("bad").join("d9_unchecked_len.rs");
+    let d9 = d9.to_str().expect("utf-8 path");
+    let d10 = fixture_dir("bad").join("d10_version_match.rs");
+    let d10 = d10.to_str().expect("utf-8 path");
+    let tmp = root.join("target/test-lint-baseline.json");
+    let tmp_s = tmp.to_str().expect("utf-8 path");
+
+    // Accept the D9 findings as the baseline (the run itself still
+    // reports them fresh and exits 1 — writing is not self-accepting).
+    let out = run_cli(&["--all-scopes", "--write-baseline", tmp_s, d9], &root);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Against the baseline the same findings no longer gate.
+    let out = run_cli(&["--all-scopes", "--baseline", tmp_s, d9], &root);
+    assert_eq!(out.status.code(), Some(0), "baselined findings do not gate");
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("accepted by the baseline"), "{text}");
+
+    // A regression (the D10 fixture) is fresh and gates again.
+    let out = run_cli(&["--all-scopes", "--baseline", tmp_s, d9, d10], &root);
+    assert_eq!(out.status.code(), Some(1), "fresh findings still gate");
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("error[D10]"), "{text}");
+    assert!(!text.contains("error[D9]"), "baselined D9 stays quiet: {text}");
+
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
 fn cli_explain_knows_every_rule_and_rejects_unknown() {
     let root = workspace_root();
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "S1"] {
+    for rule in [
+        "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "S1",
+    ] {
         let out = run_cli(&["--explain", rule], &root);
         assert_eq!(out.status.code(), Some(0), "{rule}");
         assert!(!out.stdout.is_empty(), "{rule} has an explanation");
     }
-    let out = run_cli(&["--explain", "D9"], &root);
+    let out = run_cli(&["--explain", "D99"], &root);
     assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
 }
 

@@ -603,14 +603,16 @@ fn get_record(
     let method = untag_method(cur.get_u8()?)?;
     let mime = untag_mime(cur.get_u8()?)?;
     let cache = untag_cache(cur.get_u8()?)?;
-    let (retries, flags) = if version >= 2 {
-        let retries = cur.get_u8()?;
-        let raw = cur.get_u8()?;
-        let flags =
-            RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
-        (retries, flags)
-    } else {
-        (0, RecordFlags::NONE)
+    let (retries, flags) = match version {
+        1 => (0, RecordFlags::NONE),
+        2..=4 => {
+            let retries = cur.get_u8()?;
+            let raw = cur.get_u8()?;
+            let flags =
+                RecordFlags::from_bits(raw).ok_or(DecodeError::BadDiscriminant("flags", raw))?;
+            (retries, flags)
+        }
+        v => return Err(DecodeError::BadVersion(v)),
     };
     let status = u16::try_from(cur.get_varint()?).map_err(|_| DecodeError::StatusOverflow)?;
     let response_bytes = cur.get_varint()?;
@@ -1001,24 +1003,32 @@ struct FrameOutcome {
 }
 
 fn slice_frame<'a>(cur: &mut Cursor<'a>, version: u16) -> Result<FrameSlice<'a>, DecodeError> {
-    if version >= 4 {
-        let body_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
-        let desc_crc = cur.get_u32_le()?;
-        let at = count_u64(cur.pos());
-        let body = cur.take(body_len)?;
-        Ok(FrameSlice::V4 { body, desc_crc, at })
-    } else {
-        let payload_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
-        let claim = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
-        let crc = cur.get_u32_le()?;
-        let at = count_u64(cur.pos());
-        let payload = cur.take(payload_len)?;
-        Ok(FrameSlice::V3 {
-            payload,
-            crc,
-            claim,
-            at,
-        })
+    match version {
+        // v1/v2 are undelimited streams with no frames; a caller asking to
+        // slice a frame out of one is a dispatch bug, surfaced as BadVersion
+        // rather than misparsed bytes.
+        1 | 2 => Err(DecodeError::BadVersion(version)),
+        3 => {
+            let payload_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
+            let claim = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
+            let crc = cur.get_u32_le()?;
+            let at = count_u64(cur.pos());
+            let payload = cur.take(payload_len)?;
+            Ok(FrameSlice::V3 {
+                payload,
+                crc,
+                claim,
+                at,
+            })
+        }
+        4 => {
+            let body_len = to_usize(u64::from(cur.get_u32_le()?), DecodeError::Truncated)?;
+            let desc_crc = cur.get_u32_le()?;
+            let at = count_u64(cur.pos());
+            let body = cur.take(body_len)?;
+            Ok(FrameSlice::V4 { body, desc_crc, at })
+        }
+        v => Err(DecodeError::BadVersion(v)),
     }
 }
 
@@ -1067,29 +1077,34 @@ fn decode_sharded_impl(
 
     let mut stats = DecodeStats::default();
 
-    if version < 3 {
-        // Pre-framing formats: one undelimited record stream.
-        let record_count = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
-        let mut records = Vec::with_capacity(record_count.min(1 << 24));
-        let mut prev_time: i64 = 0;
-        for decoded in 0..record_count {
-            let record_at = count_u64(cur.pos());
-            match get_record(&mut cur, version, &mut prev_time, &url_map, &ua_map) {
-                Ok(record) => records.push(record),
-                Err(e) => {
-                    if !tolerate {
-                        return Err(e);
+    match version {
+        1 | 2 => {
+            // Pre-framing formats: one undelimited record stream.
+            let record_count = to_usize(cur.get_varint()?, DecodeError::Truncated)?;
+            let mut records = Vec::with_capacity(record_count.min(1 << 24));
+            let mut prev_time: i64 = 0;
+            for decoded in 0..record_count {
+                let record_at = count_u64(cur.pos());
+                match get_record(&mut cur, version, &mut prev_time, &url_map, &ua_map) {
+                    Ok(record) => records.push(record),
+                    Err(e) => {
+                        if !tolerate {
+                            return Err(e);
+                        }
+                        // The stream is undelimited, so record boundaries past
+                        // a bad record are unknowable; keep the decoded prefix.
+                        stats.records_dropped += count_u64(record_count - decoded);
+                        stats.note_error(record_at);
+                        break;
                     }
-                    // The stream is undelimited, so record boundaries past a
-                    // bad record are unknowable; keep the decoded prefix.
-                    stats.records_dropped += count_u64(record_count - decoded);
-                    stats.note_error(record_at);
-                    break;
                 }
             }
+            stats.records_decoded += count_u64(records.len());
+            return Ok((ShardedTrace::from_parts(interner, vec![records]), stats));
         }
-        stats.records_decoded += count_u64(records.len());
-        return Ok((ShardedTrace::from_parts(interner, vec![records]), stats));
+        // Framed formats fall through to the shared slice-then-fan-out path.
+        3 | 4 => {}
+        v => return Err(DecodeError::BadVersion(v)),
     }
 
     // Framed formats. First a cheap sequential pass over frame headers

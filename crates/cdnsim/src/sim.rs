@@ -16,6 +16,7 @@ use std::collections::BinaryHeap;
 use std::sync::Mutex;
 
 use jcdn_obs::metrics::{key, MetricsSnapshot};
+use jcdn_obs::timeseries::{WindowSpec, WindowedCounters};
 use jcdn_stats::Summary;
 use jcdn_trace::{
     CacheStatus, ClientId, LogRecord, MimeType, RecordFlags, SimDuration, SimTime, Trace, UaId,
@@ -67,6 +68,13 @@ pub struct SimConfig {
     pub resilience: ResilienceConfig,
     /// RNG seed (response sizes, latency jitter, errors).
     pub seed: u64,
+    /// When set, the simulator also accumulates per-window edge/tier
+    /// counters over the simulated timeline ([`SimOutput::series`]).
+    /// Windowing is pure observation: it never changes the trace or the
+    /// run-total stats, and the per-window counters are byte-identical
+    /// across shard/thread counts (buckets are keyed by simulated arrival
+    /// time, which no schedule can move).
+    pub window: Option<WindowSpec>,
 }
 
 impl Default for SimConfig {
@@ -83,6 +91,7 @@ impl Default for SimConfig {
             fault: FaultPlan::default(),
             resilience: ResilienceConfig::default(),
             seed: 0x5eed,
+            window: None,
         }
     }
 }
@@ -331,6 +340,13 @@ pub struct SimOutput {
     /// thread count (`merge` across per-edge runs equals the combined
     /// run's snapshot).
     pub metrics: MetricsSnapshot,
+    /// Per-window edge/tier counters over the simulated timeline, present
+    /// when [`SimConfig::window`] was set. Same key vocabulary as
+    /// [`SimOutput::metrics`], bucketed by request arrival time; the
+    /// per-window rows carry everything rolling availability needs
+    /// (`sim.requests`, `sim.retries`, `sim.end_user_failures` per edge).
+    /// Deterministic for the same reason the run totals are.
+    pub series: Option<WindowedCounters>,
 }
 
 /// Per-edge counter deltas captured around one request completion, so the
@@ -528,6 +544,11 @@ struct Machine<'w> {
     placement: Placement,
     edge_ttl_cap: Option<SimDuration>,
     edge_counters: Vec<EdgeCounters>,
+    /// Per-edge, per-window tallies (bucket index → counters), filled only
+    /// when [`SimConfig::window`] is set. Buckets key off the attempt's
+    /// arrival time, so the tally is schedule-independent like
+    /// `edge_counters`.
+    window_tallies: Vec<std::collections::BTreeMap<u64, EdgeCounters>>,
     rngs: Vec<StdRng>,
     fault_states: Vec<FaultState>,
     stats: SimStats,
@@ -578,6 +599,7 @@ impl<'w> Machine<'w> {
             placement: hierarchy.placement,
             edge_ttl_cap: hierarchy.edge.ttl_cap,
             edge_counters: vec![EdgeCounters::default(); config.edges],
+            window_tallies: vec![std::collections::BTreeMap::new(); config.edges],
             rngs: (0..config.edges)
                 .map(|e| StdRng::seed_from_u64(edge_seed(config.seed, e)))
                 .collect(),
@@ -814,6 +836,13 @@ impl<'w> Machine<'w> {
                                 &mut self.seq,
                             );
                             mark.attribute(&self.stats, &mut self.edge_counters[edge]);
+                            if let Some(spec) = &config.window {
+                                // Same delta, windowed: the bucket keys off
+                                // the attempt's simulated arrival time.
+                                let bucket = spec.bucket_of(arrival.as_micros());
+                                let tally = self.window_tallies[edge].entry(bucket).or_default();
+                                mark.attribute(&self.stats, tally);
+                            }
                             dispatch(
                                 &mut self.edges[edge],
                                 edge,
@@ -851,10 +880,22 @@ impl<'w> Machine<'w> {
         for (e, edge) in self.edges.iter().enumerate() {
             record_cache_metrics(&mut metrics, &[("edge", e as u64)], edge.cache.stats());
         }
+        let series = self.config.window.as_ref().map(|spec| {
+            let mut series = WindowedCounters::new(*spec);
+            for (e, buckets) in self.window_tallies.iter().enumerate() {
+                for (&bucket, tally) in buckets {
+                    let mut snapshot = MetricsSnapshot::new();
+                    tally.record_into(e, &mut snapshot);
+                    series.merge_bucket(bucket, &snapshot);
+                }
+            }
+            series
+        });
         SimOutput {
             trace: self.trace,
             stats: self.stats,
             metrics,
+            series,
         }
     }
 }
@@ -979,10 +1020,16 @@ fn merge_outputs(outputs: Vec<SimOutput>) -> Option<SimOutput> {
     let first = outputs.next()?;
     let mut stats = first.stats;
     let mut metrics = first.metrics;
+    let mut series = first.series;
     let (interner, mut records) = first.trace.into_parts();
     for out in outputs {
         stats.merge(&out.stats);
         metrics.merge(&out.metrics);
+        match (&mut series, out.series) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (slot @ None, theirs @ Some(_)) => *slot = theirs,
+            _ => {}
+        }
         records.extend(out.trace.into_parts().1);
     }
     let mut trace = Trace::from_parts(interner, records);
@@ -991,6 +1038,7 @@ fn merge_outputs(outputs: Vec<SimOutput>) -> Option<SimOutput> {
         trace,
         stats,
         metrics,
+        series,
     })
 }
 
@@ -1644,6 +1692,45 @@ mod tests {
                 sequential.metrics.counters_json(),
                 sharded.metrics.counters_json(),
                 "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_series_is_shard_invariant_and_sums_to_totals() {
+        let w = build(&WorkloadConfig::tiny(33));
+        let config = SimConfig {
+            edges: 4,
+            error_fraction: 0.02,
+            window: WindowSpec::parse("1m").ok(),
+            ..SimConfig::default()
+        };
+        let sequential = run_default(&w, &config);
+        let series = sequential.series.as_ref().expect("window requested");
+        assert!(!series.is_empty());
+        // The per-window counters fold back to the run totals exactly.
+        assert_eq!(
+            series.total().counters_json(),
+            {
+                // Run totals restricted to the keys EdgeCounters emits
+                // (cache occupancy/eviction telemetry is not windowed).
+                let mut expected = MetricsSnapshot::new();
+                for (k, v) in sequential.metrics.counters() {
+                    if !k.starts_with("cache.evic") {
+                        expected.inc(k, v);
+                    }
+                }
+                expected.counters_json()
+            },
+            "window buckets must partition the run totals"
+        );
+        for threads in [2, 4] {
+            let sharded = run_sharded(&w, &config, threads);
+            let sharded_series = sharded.series.as_ref().expect("window requested");
+            assert_eq!(
+                series.to_jsonl("sim"),
+                sharded_series.to_jsonl("sim"),
+                "per-window counters byte-identical at {threads} threads"
             );
         }
     }

@@ -55,12 +55,27 @@ commands:
                   <trace> <trace> [...] --out PATH
   trend         print the Figure 1 monthly series as CSV
                   [--months N] [--seed N]
+  obs           inspect and compare observability artifacts
+                  show <manifest.json>          pretty-print a run manifest
+                  diff <a.json> <b.json>        compare manifests; any
+                                                deterministic-counter
+                                                divergence exits 1, perf is
+                                                reported as deltas only
+                  bench-diff <base> [<current>] compare BENCH_*.json files
+                                                direction-aware; warn-only
+                                                unless --max-regress PCT
 
 observability (every command):
   --obs off|summary|full     stderr run summary (default off)
   --obs-out PATH             write the JSON run manifest; its \"counters\"
                              section is deterministic (byte-identical for
                              any shard/thread count), \"perf\" is wall-clock
+  --window SPEC              time-series window shape over the simulated
+                             clock: \"60s\", \"5m\", or sliding \"5m/1m\"
+  --obs-series PATH          write the windowed counters as a JSONL stream
+                             (deterministic; defaults --window to 60s)
+  --obs-prom PATH            write a Prometheus text-exposition snapshot
+  --obs-trace PATH           write a chrome-trace (Perfetto) span dump
 
 exit codes:
   0  success, output is complete

@@ -126,6 +126,34 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         heatmap.uncategorized
     );
 
+    // Windowed §4 series: per-window rates, mix, and top-URL churn over
+    // the simulated timeline. Deterministic — the JSONL stream and the
+    // ts.* counters are part of the manifest's counter section.
+    if let Some(spec) = obs.window {
+        use jcdn_core::series::{SeriesReport, DEFAULT_TOP_URLS};
+        let series = SeriesReport::compute_sharded(&sharded, threads, spec, DEFAULT_TOP_URLS);
+        obs.manifest.param("window", spec);
+        obs.manifest
+            .metrics
+            .inc("ts.windows.section4", series.rows.len() as u64);
+        println!(
+            "\ntime series ({spec} windows): {} window(s)",
+            series.rows.len()
+        );
+        if let Some(peak) = series.peak() {
+            println!(
+                "  peak window #{}: {} requests ({} req/s)",
+                peak.window,
+                peak.requests,
+                peak.rate_per_sec()
+            );
+        }
+        if let Some(churn) = series.mean_churn_pml() {
+            println!("  mean top-URL churn: {}.{}%", churn / 10, churn % 10);
+        }
+        obs.push_series(&series.to_jsonl());
+    }
+
     println!("\n{}", availability_section(&report.availability));
     // What-if cache replay: feed the recorded requests through a
     // hypothetical hierarchy and report where each one would have been

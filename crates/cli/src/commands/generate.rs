@@ -85,10 +85,31 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         fault: fault_args::fault_plan(&args, &workload)?,
         resilience: fault_args::resilience(&args)?,
         hierarchy: cache_args::hierarchy(&args)?,
+        window: obs.window,
         ..SimConfig::default()
     };
 
+    // The workload's own event series (scheduled arrivals per window) is
+    // captured before the workload moves into the simulator.
+    let workload_series = obs.window.map(|spec| workload.event_series(spec));
     let data = simulate_workload_parallel(workload, &sim, threads);
+    // Series streams in fixed order (workload, then sim) so the JSONL
+    // file is deterministic. Window counts are deterministic counters.
+    if let Some(series) = &workload_series {
+        obs.manifest
+            .metrics
+            .inc("ts.windows.workload", series.rows().len() as u64);
+        obs.push_series(&series.to_jsonl("workload"));
+    }
+    if let Some(series) = &data.series {
+        obs.manifest
+            .metrics
+            .inc("ts.windows.sim", series.rows().len() as u64);
+        obs.push_series(&series.to_jsonl("sim"));
+    }
+    if let Some(spec) = &obs.window {
+        obs.manifest.param("window", spec);
+    }
     // Reproduction parameters + the simulator's deterministic counters.
     obs.manifest.param("preset", preset);
     obs.manifest.param("seed", seed);

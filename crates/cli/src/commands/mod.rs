@@ -5,6 +5,7 @@ pub mod export;
 pub mod generate;
 pub mod inspect;
 pub mod merge;
+pub mod obs;
 pub mod periodicity;
 pub mod predict;
 pub mod trend;

@@ -1,0 +1,259 @@
+//! `jcdn obs` — inspect and compare observability artifacts.
+//!
+//! Three inspection verbs over the JSON files the other commands emit:
+//!
+//! * `jcdn obs show <manifest.json>` — pretty-print a run manifest:
+//!   params, deterministic counters, and a perf summary.
+//! * `jcdn obs diff <a.json> <b.json>` — compare two manifests. The
+//!   deterministic `counters` section must match exactly — any divergence
+//!   is listed and the command exits 1 (that is the CI determinism gate).
+//!   The `perf` section is reported as deltas, never gated.
+//! * `jcdn obs bench-diff <baseline.json> [<current.json>]` — compare two
+//!   `BENCH_*.json` files direction-aware (`*_us` and `peak_rss_kb`
+//!   lower-is-better, `*_per_sec` higher-is-better). Warn-only by
+//!   default; `--max-regress PCT` turns regressions beyond the threshold
+//!   into exit 1.
+//!
+//! All parsing goes through `jcdn-json` — the workspace's own parser —
+//! so the command adds no dependency.
+
+use std::collections::BTreeMap;
+
+use jcdn_json::{parse, Value};
+
+use crate::args::Args;
+use crate::commands::Outcome;
+
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
+    let Some((verb, rest)) = argv.split_first() else {
+        return Err("usage: jcdn obs show|diff|bench-diff <files...>".into());
+    };
+    match verb.as_str() {
+        "show" => show(rest),
+        "diff" => diff(rest),
+        "bench-diff" => bench_diff(rest),
+        other => Err(format!("unknown obs verb {other:?} (show|diff|bench-diff)")),
+    }
+}
+
+/// Loads and parses one JSON artifact.
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The string→u64 entries of an object field, sorted by key.
+fn u64_section(value: &Value, section: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(object) = value.get(section).and_then(Value::as_object) {
+        for (key, entry) in object.iter() {
+            if let Some(n) = entry.as_u64() {
+                out.insert(key.to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+fn show(argv: &[String]) -> Result<Outcome, String> {
+    let args = Args::parse(argv, &[])?;
+    let path = args.positional("manifest path")?;
+    let manifest = load(path)?;
+
+    let command = manifest
+        .get("command")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    println!("manifest: {path}");
+    println!("command:  {command}");
+    if let Some(params) = manifest.get("params").and_then(Value::as_object) {
+        for (key, value) in params.iter() {
+            println!("  --{key} {}", value.as_str().unwrap_or("?"));
+        }
+    }
+    let counters = u64_section(&manifest, "counters");
+    println!("\ncounters ({}, deterministic):", counters.len());
+    for (key, n) in &counters {
+        println!("  {key:<40} {n}");
+    }
+    if let Some(perf) = manifest.get("perf") {
+        println!("\nperf (wall-clock, not comparable across runs):");
+        for key in ["wall_us", "peak_rss_kb", "spans_dropped", "pools_dropped"] {
+            if let Some(n) = perf.get(key).and_then(Value::as_u64) {
+                println!("  {key:<40} {n}");
+            }
+        }
+        if let Some(phases) = perf.get("phases").and_then(Value::as_object) {
+            for (phase, us) in phases.iter() {
+                if let Some(us) = us.as_u64() {
+                    println!("  phase {phase:<34} {us} us");
+                }
+            }
+        }
+    }
+    Ok(Outcome::Clean)
+}
+
+fn diff(argv: &[String]) -> Result<Outcome, String> {
+    let args = Args::parse(argv, &[])?;
+    let [a_path, b_path] = args.positionals() else {
+        return Err("usage: jcdn obs diff <a.json> <b.json>".into());
+    };
+    let (a, b) = (load(a_path)?, load(b_path)?);
+
+    // The deterministic section: every key, both directions, exact match.
+    let ca = u64_section(&a, "counters");
+    let cb = u64_section(&b, "counters");
+    let mut divergences = 0usize;
+    let keys: BTreeMap<&String, ()> = ca.keys().chain(cb.keys()).map(|k| (k, ())).collect();
+    for (key, ()) in keys {
+        match (ca.get(key), cb.get(key)) {
+            (Some(x), Some(y)) if x == y => {}
+            (Some(x), Some(y)) => {
+                println!("counter {key}: {x} != {y}");
+                divergences += 1;
+            }
+            (Some(x), None) => {
+                println!("counter {key}: {x} != (absent)");
+                divergences += 1;
+            }
+            (None, Some(y)) => {
+                println!("counter {key}: (absent) != {y}");
+                divergences += 1;
+            }
+            (None, None) => {}
+        }
+    }
+
+    // The perf section: informational deltas only.
+    for key in ["wall_us", "peak_rss_kb"] {
+        let x = a
+            .get("perf")
+            .and_then(|p| p.get(key))
+            .and_then(Value::as_u64);
+        let y = b
+            .get("perf")
+            .and_then(|p| p.get(key))
+            .and_then(Value::as_u64);
+        if let (Some(x), Some(y)) = (x, y) {
+            let delta = y as i128 - x as i128;
+            println!("perf {key}: {x} -> {y} ({delta:+})");
+        }
+    }
+
+    if divergences > 0 {
+        println!("DIVERGED: {divergences} deterministic counter(s) differ");
+        return Err(format!(
+            "{a_path} and {b_path} disagree on {divergences} deterministic counter(s)"
+        ));
+    }
+    println!(
+        "counters identical: {} key(s) match between {a_path} and {b_path}",
+        ca.len()
+    );
+    Ok(Outcome::Clean)
+}
+
+/// Whether a benchmark metric is better when lower (`*_us` timings,
+/// `peak_rss_kb`, `encoded_bytes`) or when higher (`*_per_sec` rates).
+/// Non-metrics (seeds, shard counts, record counts) are compared for
+/// context only.
+fn direction(key: &str) -> Option<bool> {
+    if key.ends_with("_us") || key == "peak_rss_kb" || key == "encoded_bytes" {
+        Some(true) // lower is better
+    } else if key.ends_with("_per_sec") {
+        Some(false) // higher is better
+    } else {
+        None
+    }
+}
+
+fn bench_diff(argv: &[String]) -> Result<Outcome, String> {
+    let args = Args::parse(argv, &["max-regress"])?;
+    let max_regress: Option<f64> = match args.maybe("max-regress") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--max-regress: cannot parse {raw:?}"))?,
+        ),
+        None => None,
+    };
+    let (base_path, cur_path) = match args.positionals() {
+        [base] => (base.as_str(), None),
+        [base, cur] => (base.as_str(), Some(cur.as_str())),
+        _ => {
+            return Err(
+                "usage: jcdn obs bench-diff <baseline.json> [<current.json>] \
+                 [--max-regress PCT]"
+                    .into(),
+            )
+        }
+    };
+    let base = load(base_path)?;
+    let base_metrics = top_level_u64(&base);
+
+    let Some(cur_path) = cur_path else {
+        // Single-file mode: print the baseline (the warn-only CI step runs
+        // this when no fresh benchmark is available).
+        println!("baseline: {base_path}");
+        for (key, n) in &base_metrics {
+            println!("  {key:<32} {n}");
+        }
+        return Ok(Outcome::Clean);
+    };
+    let cur = load(cur_path)?;
+    let cur_metrics = top_level_u64(&cur);
+
+    let mut worst_regress = 0.0f64;
+    let mut regressions = 0usize;
+    for (key, &base_value) in &base_metrics {
+        let Some(&cur_value) = cur_metrics.get(key) else {
+            continue;
+        };
+        let Some(lower_is_better) = direction(key) else {
+            if base_value != cur_value {
+                println!("context {key}: {base_value} -> {cur_value}");
+            }
+            continue;
+        };
+        if base_value == 0 {
+            continue;
+        }
+        // jcdn-lint: allow(D4) -- display-only percentage, not merged state
+        let change = (cur_value as f64 - base_value as f64) / base_value as f64 * 100.0;
+        let regress = if lower_is_better { change } else { -change };
+        let marker = if regress > 0.5 {
+            regressions += 1;
+            worst_regress = worst_regress.max(regress);
+            " <-- regression"
+        } else {
+            ""
+        };
+        println!("{key:<32} {base_value:>12} -> {cur_value:>12} ({change:+.1}%){marker}");
+    }
+    if regressions > 0 {
+        println!("{regressions} metric(s) regressed (worst {worst_regress:.1}%)");
+    } else {
+        println!("no regressions against {base_path}");
+    }
+    if let Some(limit) = max_regress {
+        if worst_regress > limit {
+            return Err(format!(
+                "benchmark regression {worst_regress:.1}% exceeds --max-regress {limit}%"
+            ));
+        }
+    }
+    Ok(Outcome::Clean)
+}
+
+/// The numeric top-level fields of a benchmark JSON file.
+fn top_level_u64(value: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(object) = value.as_object() {
+        for (key, entry) in object.iter() {
+            if let Some(n) = entry.as_u64() {
+                out.insert(key.to_string(), n);
+            }
+        }
+    }
+    out
+}

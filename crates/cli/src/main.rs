@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict::run(rest),
         "export" => commands::export::run(rest),
         "merge" => commands::merge::run(rest),
+        "obs" => commands::obs::run(rest),
         "trend" => commands::trend::run(rest),
         "--help" | "-h" | "help" => {
             println!("{}", args::USAGE);

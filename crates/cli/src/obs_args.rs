@@ -1,21 +1,45 @@
-//! The `--obs` / `--obs-out` flags shared by every subcommand.
+//! The observability flags shared by every subcommand.
 //!
 //! Each command opens an [`Obs`] with [`begin`] before doing any work and
 //! calls [`Obs::finish`] as its last step. In between, instrumented crates
 //! file spans and pool reports into the `jcdn-obs` globals, and the
 //! command merges its deterministic counters into `obs.manifest.metrics`.
 //! At `finish`, the manifest captures the perf side, prints the stderr
-//! summary (`--obs summary|full`), and writes the JSON artifact
-//! (`--obs-out <path>`).
+//! summary (`--obs summary|full`), and writes the requested artifacts:
+//!
+//! * `--obs-out <path>` — the JSON run manifest,
+//! * `--obs-series <path>` — the JSONL time-series stream (windowed
+//!   counters pushed by the command via [`Obs::push_series`]; requires or
+//!   defaults `--window`),
+//! * `--obs-prom <path>` — a Prometheus text-exposition snapshot of the
+//!   manifest metrics,
+//! * `--obs-trace <path>` — a chrome-trace (`chrome://tracing` /
+//!   Perfetto) dump of the span ring.
+//!
+//! `--window <spec>` selects the window shape (`60s`, `5m`, `5m/1m` for
+//! sliding). The series file is deterministic — byte-identical for any
+//! shard or thread count — while the Prometheus and chrome-trace files
+//! include perf gauges and wall-clock timings and are not.
 
 use std::path::PathBuf;
 
+use jcdn_obs::timeseries::WindowSpec;
 use jcdn_obs::{ObsLevel, RunManifest};
 
 use crate::args::Args;
 
 /// The flag names added to every subcommand's allowlist.
-pub const OBS_FLAGS: &[&str] = &["obs", "obs-out"];
+pub const OBS_FLAGS: &[&str] = &[
+    "obs",
+    "obs-out",
+    "obs-series",
+    "obs-prom",
+    "obs-trace",
+    "window",
+];
+
+/// The window shape used when `--obs-series` is given without `--window`.
+pub const DEFAULT_WINDOW: &str = "60s";
 
 /// One command's observability session.
 pub struct Obs {
@@ -23,8 +47,18 @@ pub struct Obs {
     pub level: ObsLevel,
     /// Where to write the JSON manifest, when requested.
     pub out: Option<PathBuf>,
+    /// Where to write the JSONL time-series stream, when requested.
+    pub series_out: Option<PathBuf>,
+    /// Where to write the Prometheus snapshot, when requested.
+    pub prom_out: Option<PathBuf>,
+    /// Where to write the chrome-trace span dump, when requested.
+    pub trace_out: Option<PathBuf>,
+    /// The window shape, when `--window` (or `--obs-series`) asked for one.
+    pub window: Option<WindowSpec>,
     /// The manifest under construction.
     pub manifest: RunManifest,
+    /// Accumulated JSONL series lines (written at finish).
+    series_lines: String,
 }
 
 /// Parses the obs flags and starts the run manifest (which resets the
@@ -32,18 +66,47 @@ pub struct Obs {
 pub fn begin(command: &str, args: &Args) -> Result<Obs, String> {
     let level: ObsLevel = args.get_or("obs", "off").parse()?;
     let out = args.maybe("obs-out").map(PathBuf::from);
+    let series_out = args.maybe("obs-series").map(PathBuf::from);
+    let prom_out = args.maybe("obs-prom").map(PathBuf::from);
+    let trace_out = args.maybe("obs-trace").map(PathBuf::from);
+    let window = match args.maybe("window") {
+        Some(spec) => Some(
+            spec.parse::<WindowSpec>()
+                .map_err(|e| format!("--window {spec}: {e}"))?,
+        ),
+        // A series file without an explicit window gets the default shape.
+        None if series_out.is_some() => Some(
+            DEFAULT_WINDOW
+                .parse::<WindowSpec>()
+                .map_err(|e| format!("--window {DEFAULT_WINDOW}: {e}"))?,
+        ),
+        None => None,
+    };
     // Pool fan-outs log their one-line summaries live at summary/full.
     jcdn_obs::pool::set_logging(level != ObsLevel::Off);
     Ok(Obs {
         level,
         out,
+        series_out,
+        prom_out,
+        trace_out,
+        window,
         manifest: RunManifest::start(command),
+        series_lines: String::new(),
     })
 }
 
 impl Obs {
+    /// Appends one block of JSONL series lines (newline-terminated) to the
+    /// stream written at finish. Order of pushes is the file order, so
+    /// commands push streams in a fixed sequence to keep the file
+    /// deterministic.
+    pub fn push_series(&mut self, jsonl: &str) {
+        self.series_lines.push_str(jsonl);
+    }
+
     /// Finalizes the manifest: captures perf data, prints the stderr
-    /// summary, and writes the JSON artifact.
+    /// summary, and writes every requested artifact.
     pub fn finish(mut self) -> Result<(), String> {
         self.manifest.finish();
         jcdn_obs::pool::set_logging(false);
@@ -55,6 +118,21 @@ impl Obs {
                 .write(path)
                 .map_err(|e| format!("{}: {e}", path.display()))?;
             eprintln!("wrote run manifest to {}", path.display());
+        }
+        if let Some(path) = &self.series_out {
+            std::fs::write(path, self.series_lines.as_bytes())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("wrote time-series stream to {}", path.display());
+        }
+        if let Some(path) = &self.prom_out {
+            std::fs::write(path, self.manifest.prometheus_text().as_bytes())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("wrote Prometheus snapshot to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, self.manifest.chrome_trace_json().as_bytes())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("wrote chrome trace to {}", path.display());
         }
         Ok(())
     }

@@ -1,7 +1,7 @@
 //! Dataset assembly: workload generation → CDN simulation → trace.
 
 use jcdn_cdnsim::{run_default, run_sharded, SimConfig, SimOutput, SimStats};
-use jcdn_obs::MetricsSnapshot;
+use jcdn_obs::{MetricsSnapshot, WindowedCounters};
 use jcdn_trace::summary::DatasetSummary;
 use jcdn_trace::Trace;
 use jcdn_workload::{build, Workload, WorkloadConfig};
@@ -19,6 +19,9 @@ pub struct Dataset {
     /// Per-edge observability counters from the simulator, ready to merge
     /// into a run manifest.
     pub metrics: MetricsSnapshot,
+    /// Per-window simulator counters, when the sim config asked for a
+    /// window ([`SimConfig::window`]).
+    pub series: Option<WindowedCounters>,
 }
 
 impl Dataset {
@@ -47,12 +50,14 @@ pub fn simulate_workload(workload: Workload, sim: &SimConfig) -> Dataset {
         trace,
         stats,
         metrics,
+        series,
     } = run_default(&workload, sim);
     Dataset {
         workload,
         trace,
         stats,
         metrics,
+        series,
     }
 }
 
@@ -65,12 +70,14 @@ pub fn simulate_workload_parallel(workload: Workload, sim: &SimConfig, threads: 
         trace,
         stats,
         metrics,
+        series,
     } = run_sharded(&workload, sim, threads);
     Dataset {
         workload,
         trace,
         stats,
         metrics,
+        series,
     }
 }
 

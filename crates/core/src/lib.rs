@@ -52,5 +52,7 @@ pub mod pipeline;
 pub mod prediction;
 /// Text report rendering: tables, percentages, and section layout.
 pub mod report;
+/// Windowed §4 partials: per-window rates, mix, and top-URL churn.
+pub mod series;
 /// The JSON traffic taxonomy (§3.2): request classes and their shares.
 pub mod taxonomy;

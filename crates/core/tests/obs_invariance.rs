@@ -9,7 +9,10 @@
 
 use jcdn_cdnsim::SimConfig;
 use jcdn_core::dataset::{simulate_workload_parallel, Dataset};
+use jcdn_core::series::{SeriesReport, DEFAULT_TOP_URLS};
+use jcdn_obs::timeseries::WindowSpec;
 use jcdn_obs::RunManifest;
+use jcdn_trace::ShardedTrace;
 use jcdn_workload::{build_parallel, WorkloadConfig};
 
 /// Shard counts under test: `JCDN_TEST_SHARDS` (comma-separated) when the
@@ -30,6 +33,26 @@ fn generate(seed: u64, threads: usize) -> Dataset {
     let sim = SimConfig {
         edges: 4,
         error_fraction: 0.02, // exercise retry/origin-error counters too
+        ..SimConfig::default()
+    };
+    simulate_workload_parallel(workload, &sim, threads)
+}
+
+fn window() -> WindowSpec {
+    match WindowSpec::parse("1m") {
+        Ok(spec) => spec,
+        Err(e) => unreachable!("static spec: {e}"),
+    }
+}
+
+/// `generate` with per-window sim counters enabled.
+fn generate_windowed(seed: u64, threads: usize) -> Dataset {
+    let config = WorkloadConfig::tiny(seed).scaled(0.25);
+    let workload = build_parallel(&config, threads);
+    let sim = SimConfig {
+        edges: 4,
+        error_fraction: 0.02,
+        window: Some(window()),
         ..SimConfig::default()
     };
     simulate_workload_parallel(workload, &sim, threads)
@@ -58,6 +81,67 @@ fn counter_section_is_byte_identical_across_same_seed_runs() {
     let a = generate(11, 2);
     let b = generate(11, 2);
     assert_eq!(a.metrics.counters_json(), b.metrics.counters_json());
+}
+
+#[test]
+fn windowed_sim_series_is_byte_identical_across_thread_counts() {
+    let baseline = generate_windowed(7, 1);
+    let expected = match &baseline.series {
+        Some(series) => series.to_jsonl("sim"),
+        None => unreachable!("window configured, series must be present"),
+    };
+    assert!(
+        expected.contains("\"stream\":\"sim\"") && expected.contains("sim.requests{edge="),
+        "baseline series populated: {expected}"
+    );
+    for threads in shard_counts() {
+        let data = generate_windowed(7, threads.max(1));
+        let rendered = match &data.series {
+            Some(series) => series.to_jsonl("sim"),
+            None => unreachable!("window configured, series must be present"),
+        };
+        assert_eq!(rendered, expected, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn windowed_section4_series_is_byte_identical_across_shard_and_thread_counts() {
+    let trace = generate(7, 2).trace;
+    let expected = SeriesReport::compute(&trace, window(), DEFAULT_TOP_URLS).to_jsonl();
+    assert!(
+        expected.contains("\"stream\":\"section4\""),
+        "baseline rows populated"
+    );
+    for shards in shard_counts() {
+        for threads in [1usize, 4] {
+            let sharded = ShardedTrace::from_trace(trace.clone(), shards.max(1));
+            let rendered =
+                SeriesReport::compute_sharded(&sharded, threads, window(), DEFAULT_TOP_URLS)
+                    .to_jsonl();
+            assert_eq!(rendered, expected, "{shards} shards x {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn window_row_totals_match_run_totals() {
+    // The windowed sim series partitions the run totals: summing every
+    // bucket must reproduce the flat counter section exactly (modulo the
+    // cache-occupancy keys, which are state gauges rather than windowed
+    // events).
+    let data = generate_windowed(11, 2);
+    let Some(series) = &data.series else {
+        unreachable!("window configured, series must be present");
+    };
+    let windowed = series.total().counters_json();
+    let flat: String = data
+        .metrics
+        .counters_json()
+        .split(',')
+        .filter(|part| !part.contains("cache.evic"))
+        .collect::<Vec<_>>()
+        .join(",");
+    assert_eq!(windowed, flat);
 }
 
 #[test]

@@ -309,8 +309,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_rules_and_garbage() {
-        assert!(Baseline::parse("{\"entries\":[{\"rule\":\"D99\",\"path\":\"a\",\"key\":\"k\"}]}").is_err());
+        assert!(
+            Baseline::parse("{\"entries\":[{\"rule\":\"D99\",\"path\":\"a\",\"key\":\"k\"}]}")
+                .is_err()
+        );
         assert!(Baseline::parse("not json").is_err());
-        assert!(Baseline::parse("{\"entries\":[]}").expect("empty ok").is_empty());
+        assert!(Baseline::parse("{\"entries\":[]}")
+            .expect("empty ok")
+            .is_empty());
     }
 }

@@ -215,9 +215,9 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, Vec<String>>, Stri
     let mut current: Option<String> = None;
     let mut in_array = false;
     let push = |out: &mut BTreeMap<String, Vec<String>>,
-                    rule: &str,
-                    pattern: String,
-                    lineno: usize|
+                rule: &str,
+                pattern: String,
+                lineno: usize|
      -> Result<(), String> {
         let entry = out.entry(rule.to_string()).or_default();
         if entry.contains(&pattern) {
@@ -360,8 +360,9 @@ mod tests {
 
     #[test]
     fn allowlist_rejects_duplicate_sections_and_patterns() {
-        let err = parse_allowlist("[rules.D1]\nallow = [\"a.rs\"]\n[rules.D1]\nallow = [\"b.rs\"]\n")
-            .expect_err("duplicate section must error");
+        let err =
+            parse_allowlist("[rules.D1]\nallow = [\"a.rs\"]\n[rules.D1]\nallow = [\"b.rs\"]\n")
+                .expect_err("duplicate section must error");
         assert!(err.contains("line 3"), "{err}");
         assert!(err.contains("duplicate section"), "{err}");
 
@@ -371,10 +372,10 @@ mod tests {
         assert!(err.contains("duplicate pattern"), "{err}");
 
         // The same pattern under two *different* rules is fine.
-        assert!(
-            parse_allowlist("[rules.D1]\nallow = [\"a.rs\"]\n[rules.D3]\nallow = [\"a.rs\"]\n")
-                .is_ok()
-        );
+        assert!(parse_allowlist(
+            "[rules.D1]\nallow = [\"a.rs\"]\n[rules.D3]\nallow = [\"a.rs\"]\n"
+        )
+        .is_ok());
     }
 
     #[test]

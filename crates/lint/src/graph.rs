@@ -248,10 +248,7 @@ mod tests {
     use crate::parser::parse_file;
 
     fn build(files: &[(&str, &str)]) -> CallGraph {
-        let parsed: Vec<ParsedFile> = files
-            .iter()
-            .map(|(p, s)| parse_file(p, &lex(s)))
-            .collect();
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, &lex(s))).collect();
         CallGraph::build(&parsed)
     }
 
@@ -272,7 +269,10 @@ mod tests {
     #[test]
     fn bare_calls_resolve_same_file_then_global() {
         let g = build(&[
-            ("crates/a/src/one.rs", "fn top() { local(); far(); }\nfn local() {}"),
+            (
+                "crates/a/src/one.rs",
+                "fn top() { local(); far(); }\nfn local() {}",
+            ),
             ("crates/b/src/two.rs", "fn far() {}"),
         ]);
         assert_eq!(callees(&g, "top"), vec!["local", "far"]);
@@ -304,8 +304,14 @@ mod tests {
                 "crates/a/src/one.rs",
                 "fn top(x: Mystery) { x.poke(); x.shared(); }",
             ),
-            ("crates/b/src/two.rs", "struct A;\nimpl A { fn poke(&self) {} fn shared(&self) {} }"),
-            ("crates/c/src/three.rs", "struct B;\nimpl B { fn shared(&self) {} }"),
+            (
+                "crates/b/src/two.rs",
+                "struct A;\nimpl A { fn poke(&self) {} fn shared(&self) {} }",
+            ),
+            (
+                "crates/c/src/three.rs",
+                "struct B;\nimpl B { fn shared(&self) {} }",
+            ),
         ]);
         // `poke` is defined on exactly one impl → edge; `shared` on two → dropped.
         assert_eq!(callees(&g, "top"), vec!["poke"]);

@@ -91,8 +91,10 @@ pub fn lint_sources(files: &[(String, String)], cfg: &Config, threads: usize) ->
     // Cross-file findings honor the same inline directives as stage 1,
     // keyed by the file the finding is anchored in. S1 for malformed
     // directives was already emitted by stage 1 — only filter here.
-    let mut maps: std::collections::BTreeMap<&str, std::collections::BTreeMap<u32, std::collections::BTreeSet<&'static str>>> =
-        std::collections::BTreeMap::new();
+    let mut maps: std::collections::BTreeMap<
+        &str,
+        std::collections::BTreeMap<u32, std::collections::BTreeSet<&'static str>>,
+    > = std::collections::BTreeMap::new();
     for p in &parsed {
         maps.insert(p.path.as_str(), rules::suppression_map(&p.suppressions));
     }

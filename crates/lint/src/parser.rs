@@ -538,8 +538,7 @@ impl<'a> Parser<'a> {
                                     && (self.is(k + 3, TokKind::Punct, ":")
                                         || self.is(k + 3, TokKind::Punct, "{"))
                                 {
-                                    item.bindings
-                                        .insert(name.to_string(), init.to_string());
+                                    item.bindings.insert(name.to_string(), init.to_string());
                                 }
                             }
                         }
@@ -567,9 +566,7 @@ impl<'a> Parser<'a> {
                             }
                             if let Some(base) = self.ident_at(e) {
                                 let base_ty = item.bindings.get(base).cloned();
-                                if base_ty
-                                    .as_deref()
-                                    .is_some_and(|t| t.contains("SharedTier"))
+                                if base_ty.as_deref().is_some_and(|t| t.contains("SharedTier"))
                                     || self.tier_names.contains(base)
                                 {
                                     item.bindings
@@ -579,9 +576,7 @@ impl<'a> Parser<'a> {
                                 {
                                     let t = &self.tokens[e];
                                     item.sources.push(SourceFact {
-                                        what: format!(
-                                            "`for … in {base}` iterates hash order"
-                                        ),
+                                        what: format!("`for … in {base}` iterates hash order"),
                                         hash_order: true,
                                         line: t.line,
                                         col: t.col,
@@ -668,10 +663,16 @@ impl<'a> Parser<'a> {
             segs.reverse();
             // Wall-clock facts are path calls to types outside the
             // workspace; classify here so the graph need not know std.
-            if name == "now" && segs.last().is_some_and(|s| s == "SystemTime" || s == "Instant")
+            if name == "now"
+                && segs
+                    .last()
+                    .is_some_and(|s| s == "SystemTime" || s == "Instant")
             {
                 item.sources.push(SourceFact {
-                    what: format!("`{}::now()` reads the wall clock", segs.last().unwrap_or(&String::new())),
+                    what: format!(
+                        "`{}::now()` reads the wall clock",
+                        segs.last().unwrap_or(&String::new())
+                    ),
                     hash_order: false,
                     line,
                     col,
@@ -926,12 +927,17 @@ mod tests {
     fn impl_trait_for_type_resolves_to_type() {
         let p = parse("impl fmt::Display for DecodeError {\n  fn fmt(&self) {}\n}");
         assert_eq!(p.fns[0].impl_type.as_deref(), Some("DecodeError"));
-        assert_eq!(p.fns[0].bindings.get("self").map(String::as_str), Some("DecodeError"));
+        assert_eq!(
+            p.fns[0].bindings.get("self").map(String::as_str),
+            Some("DecodeError")
+        );
     }
 
     #[test]
     fn calls_classified_bare_method_path() {
-        let p = parse("fn f(tiers: &[SharedTier]) { helper(); tiers[0].cache.insert(1); SystemTime::now(); }");
+        let p = parse(
+            "fn f(tiers: &[SharedTier]) { helper(); tiers[0].cache.insert(1); SystemTime::now(); }",
+        );
         let f = &p.fns[0];
         let kinds: Vec<(&str, &CallKind)> =
             f.calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
@@ -952,11 +958,12 @@ mod tests {
 
     #[test]
     fn for_loop_inherits_shared_tier_typing() {
-        let p = parse(
-            "fn f(tiers: &[SharedTier]) { for tier in tiers { tier.cache.touch(1); } }",
-        );
+        let p = parse("fn f(tiers: &[SharedTier]) { for tier in tiers { tier.cache.touch(1); } }");
         let f = &p.fns[0];
-        assert_eq!(f.bindings.get("tier").map(String::as_str), Some("SharedTier"));
+        assert_eq!(
+            f.bindings.get("tier").map(String::as_str),
+            Some("SharedTier")
+        );
     }
 
     #[test]
@@ -987,7 +994,10 @@ mod tests {
 
     #[test]
     fn module_paths_derived_from_location() {
-        assert_eq!(module_path("crates/cdnsim/src/sim.rs"), vec!["cdnsim", "sim"]);
+        assert_eq!(
+            module_path("crates/cdnsim/src/sim.rs"),
+            vec!["cdnsim", "sim"]
+        );
         assert_eq!(module_path("crates/trace/src/lib.rs"), vec!["trace"]);
         assert_eq!(module_path("src/lib.rs"), vec!["jcdn"]);
         assert_eq!(module_path("weird.rs"), vec!["weird"]);

@@ -354,7 +354,8 @@ mod tests {
     #[test]
     fn chains_render_in_text_and_json() {
         let text = render_text(&[chained()]);
-        assert!(text.contains("    root core::pipeline::merge_partials at crates/core/src/pipeline.rs:10"));
+        assert!(text
+            .contains("    root core::pipeline::merge_partials at crates/core/src/pipeline.rs:10"));
         assert!(text.contains("    calls core::pipeline::tally at crates/core/src/pipeline.rs:14"));
 
         let json = render_json(&[chained()]);

@@ -1169,7 +1169,8 @@ impl<'a> FileCtx<'a> {
                 k += 1;
             }
             // Arm body: `{…}` block or expression to `,` at depth 0.
-            while j < end && !(self.is(j, TokKind::Punct, "=") && self.is(j + 1, TokKind::Punct, ">"))
+            while j < end
+                && !(self.is(j, TokKind::Punct, "=") && self.is(j + 1, TokKind::Punct, ">"))
             {
                 j += 1;
             }

@@ -36,7 +36,9 @@ pub fn run(graph: &CallGraph, cfg: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
     rule_d7(graph, cfg, &mut out);
     rule_d8(graph, cfg, &mut out);
-    out.sort_by(|a, b| (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule)));
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     out
 }
 
@@ -211,10 +213,7 @@ mod tests {
     use crate::parser::{parse_file, ParsedFile};
 
     fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
-        let parsed: Vec<ParsedFile> = files
-            .iter()
-            .map(|(p, s)| parse_file(p, &lex(s)))
-            .collect();
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, &lex(s))).collect();
         let graph = CallGraph::build(&parsed);
         run(&graph, &Config::all_scopes())
     }
@@ -257,10 +256,7 @@ mod tests {
                 "fn jitter() { let _ = SystemTime::now(); }",
             ),
         ];
-        let parsed: Vec<ParsedFile> = files
-            .iter()
-            .map(|(p, s)| parse_file(p, &lex(s)))
-            .collect();
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, &lex(s))).collect();
         let graph = CallGraph::build(&parsed);
         let mut cfg = Config::all_scopes();
         cfg.allow.insert(

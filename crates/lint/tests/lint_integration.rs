@@ -325,7 +325,10 @@ fn cli_baseline_accepts_known_findings_and_blocks_fresh_ones() {
     assert_eq!(out.status.code(), Some(1), "fresh findings still gate");
     let text = String::from_utf8(out.stdout).expect("utf-8");
     assert!(text.contains("error[D10]"), "{text}");
-    assert!(!text.contains("error[D9]"), "baselined D9 stays quiet: {text}");
+    assert!(
+        !text.contains("error[D9]"),
+        "baselined D9 stays quiet: {text}"
+    );
 
     let _ = std::fs::remove_file(&tmp);
 }

@@ -35,6 +35,11 @@
 //!   latency) recorded by `jcdn-exec`.
 //! * [`manifest`] — the [`RunManifest`] every CLI command emits, with its
 //!   deterministic counter section and non-deterministic perf section.
+//! * [`timeseries`] — sim-clock-driven windowed counters (tumbling and
+//!   sliding windows with deterministic bucket retirement), the
+//!   time-series extension of the same mergeable-partials discipline.
+//! * [`export`] — Prometheus text exposition and chrome-trace dumps of
+//!   the span ring.
 //!
 //! `jcdn-obs` has zero dependencies (it sits below every crate in the hot
 //! path), so JSON emission is hand-rolled in [`json`].
@@ -44,6 +49,8 @@
 
 /// The wall-clock boundary: the workspace's only `Instant::now`.
 pub mod clock;
+/// Exporters: Prometheus text exposition and chrome-trace span dumps.
+pub mod export;
 /// Minimal hand-rolled JSON emission (the crate has zero dependencies).
 pub mod json;
 /// Run manifests: the per-command observability artifact.
@@ -54,8 +61,11 @@ pub mod metrics;
 pub mod pool;
 /// Span tracing into a global ring buffer, with phase attribution.
 pub mod span;
+/// Sim-clock-driven windowed counters (tumbling + sliding windows).
+pub mod timeseries;
 
 pub use manifest::{ObsLevel, RunManifest};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use pool::PoolReport;
 pub use span::SpanGuard;
+pub use timeseries::{WindowRow, WindowSpec, WindowedCounters};

@@ -61,16 +61,26 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`).
-/// `None` off Linux or when the field is missing. Non-deterministic —
-/// perf section only.
+/// `None` off Linux (the read is compiled out rather than attempted and
+/// failed) or when the field is missing. Non-deterministic — perf
+/// section only; a `None` here sets the `obs.rss_unavailable` perf gauge
+/// at [`RunManifest::finish`] so manifests stay honest instead of
+/// carrying a silent zero.
 pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
+            }
         }
+        None
     }
-    None
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// One run's observability record. Build with [`RunManifest::start`],
@@ -94,6 +104,9 @@ pub struct RunManifest {
     pub phases: BTreeMap<String, PhaseStat>,
     /// Worker-pool reports, captured at [`finish`][Self::finish].
     pub pools: Vec<PoolReport>,
+    /// The raw spans drained from the ring at [`finish`][Self::finish],
+    /// kept so exports (chrome trace) can run after the ring is reset.
+    pub spans: Vec<span::SpanRecord>,
     /// Spans evicted from the ring before capture.
     pub spans_dropped: u64,
     /// Pool reports dropped by the sink before capture.
@@ -119,6 +132,7 @@ impl RunManifest {
             metrics: MetricsSnapshot::new(),
             phases: BTreeMap::new(),
             pools: Vec::new(),
+            spans: Vec::new(),
             spans_dropped: 0,
             pools_dropped: 0,
             peak_rss_kb: None,
@@ -133,13 +147,21 @@ impl RunManifest {
     }
 
     /// Captures the perf side: stops the run clock, drains the span ring
-    /// into phase timings, drains the pool sink, folds pool perf into the
-    /// metrics gauges, and reads peak RSS.
+    /// into phase timings (keeping the raw spans for chrome-trace
+    /// export), drains the pool sink, folds pool perf into the metrics
+    /// gauges, and reads peak RSS. Ring eviction and an unreadable RSS
+    /// both surface as perf gauges (`obs.spans_dropped`,
+    /// `obs.rss_unavailable`) so the manifest records its own blind
+    /// spots.
     pub fn finish(&mut self) {
         self.wall_us = self.stopwatch.elapsed_us();
         let (spans, spans_dropped) = span::drain();
         self.phases = span::phase_timings(&spans);
+        self.spans = spans;
         self.spans_dropped = spans_dropped;
+        if spans_dropped > 0 {
+            self.metrics.gauge_max("obs.spans_dropped", spans_dropped);
+        }
         let (pools, pools_dropped) = crate::pool::drain();
         for pool in &pools {
             pool.record_into(&mut self.metrics);
@@ -147,6 +169,22 @@ impl RunManifest {
         self.pools = pools;
         self.pools_dropped = pools_dropped;
         self.peak_rss_kb = peak_rss_kb();
+        if self.peak_rss_kb.is_none() {
+            self.metrics.gauge_max("obs.rss_unavailable", 1);
+        }
+    }
+
+    /// Renders the manifest metrics in the Prometheus text exposition
+    /// format (`--obs-prom`): see [`crate::export::prometheus_text`].
+    pub fn prometheus_text(&self) -> String {
+        crate::export::prometheus_text(&self.metrics)
+    }
+
+    /// Renders the captured spans as a chrome-trace JSON object
+    /// (`--obs-trace`), with the ring's eviction count in the footer:
+    /// see [`crate::export::chrome_trace`].
+    pub fn chrome_trace_json(&self) -> String {
+        crate::export::chrome_trace(&self.spans, self.spans_dropped)
     }
 
     /// The deterministic counter section, exactly as embedded in

@@ -89,6 +89,16 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Iterates every bucket as `(inclusive upper-edge label, count)` in
+    /// edge order, empty buckets included — the raw material for
+    /// cumulative Prometheus exposition ([`crate::export`]).
+    pub fn buckets(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (BUCKET_LABELS[i], n))
+    }
+
     /// Adds `other` bucket-wise (associative, commutative).
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -221,6 +231,16 @@ impl MetricsSnapshot {
     /// Iterates counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// Sum of all counters whose key starts with `prefix` — how per-edge

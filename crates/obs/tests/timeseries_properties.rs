@@ -1,0 +1,124 @@
+//! Property tests for the windowed-counter merge algebra.
+//!
+//! The time-series layer extends the shard-merge contract to buckets:
+//! `WindowedCounters::merge` must form a commutative monoid (bucket-wise
+//! snapshot merge), sliding-window rows must equal the merge of their
+//! constituent base buckets, and the JSONL serialization must be a pure
+//! function of the merged state — so any shard count folds the same
+//! per-shard series to the same bytes.
+
+use jcdn_obs::timeseries::{WindowSpec, WindowedCounters};
+use proptest::prelude::*;
+
+fn spec_1m() -> WindowSpec {
+    match WindowSpec::parse("1m") {
+        Ok(s) => s,
+        Err(e) => unreachable!("static spec: {e}"),
+    }
+}
+
+fn spec_sliding() -> WindowSpec {
+    match WindowSpec::parse("3m/1m") {
+        Ok(s) => s,
+        Err(e) => unreachable!("static spec: {e}"),
+    }
+}
+
+/// A small arbitrary series: increments at bounded sim-times over a
+/// shared key space so merges actually collide on buckets and names.
+fn arb_series(spec: WindowSpec) -> impl Strategy<Value = WindowedCounters> {
+    let event = (0u64..600_000_000, 0u8..4, 1u64..1_000);
+    prop::collection::vec(event, 0..24).prop_map(move |events| {
+        let mut series = WindowedCounters::new(spec);
+        for (t_us, key, by) in events {
+            series.inc(t_us, &format!("k.{key}"), by);
+        }
+        series
+    })
+}
+
+fn merged(a: &WindowedCounters, b: &WindowedCounters) -> WindowedCounters {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Full observable state: the canonical JSONL stream (covers bucket
+/// contents, window indexing, and serialization order in one string).
+fn fingerprint(s: &WindowedCounters) -> String {
+    s.to_jsonl("t")
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_series(spec_1m()), b in arb_series(spec_1m())) {
+        prop_assert_eq!(fingerprint(&merged(&a, &b)), fingerprint(&merged(&b, &a)));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_series(spec_1m()),
+        b in arb_series(spec_1m()),
+        c in arb_series(spec_1m()),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+
+    #[test]
+    fn empty_series_is_identity(a in arb_series(spec_1m())) {
+        let empty = WindowedCounters::new(spec_1m());
+        prop_assert_eq!(fingerprint(&merged(&a, &empty)), fingerprint(&a));
+        prop_assert_eq!(fingerprint(&merged(&empty, &a)), fingerprint(&a));
+    }
+
+    #[test]
+    fn sliding_windows_merge_their_base_buckets(a in arb_series(spec_sliding())) {
+        // Every emitted sliding row must equal the snapshot merge of the
+        // base buckets it covers — the invariant that lets sliding state
+        // stay slide-width buckets.
+        let per = spec_sliding().buckets_per_window();
+        for row in a.rows() {
+            let mut expected = jcdn_obs::MetricsSnapshot::new();
+            for (bucket, snapshot) in a.buckets() {
+                if bucket >= row.window && bucket < row.window + per {
+                    expected.merge(snapshot);
+                }
+            }
+            prop_assert_eq!(row.counters.counters_json(), expected.counters_json());
+        }
+    }
+
+    #[test]
+    fn total_equals_sum_of_buckets(a in arb_series(spec_1m())) {
+        let mut expected = jcdn_obs::MetricsSnapshot::new();
+        for (_, snapshot) in a.buckets() {
+            expected.merge(snapshot);
+        }
+        prop_assert_eq!(a.total().counters_json(), expected.counters_json());
+    }
+
+    #[test]
+    fn split_accumulation_merges_to_whole(
+        events in prop::collection::vec((0u64..600_000_000, 0u8..4, 1u64..1_000), 0..24),
+        cut in 0usize..24,
+    ) {
+        // Accumulating one event stream in two halves and merging must be
+        // indistinguishable from accumulating it whole — the shard story.
+        let cut = cut.min(events.len());
+        let mut whole = WindowedCounters::new(spec_1m());
+        let mut left = WindowedCounters::new(spec_1m());
+        let mut right = WindowedCounters::new(spec_1m());
+        for (i, (t_us, key, by)) in events.iter().enumerate() {
+            let name = format!("k.{key}");
+            whole.inc(*t_us, &name, *by);
+            if i < cut {
+                left.inc(*t_us, &name, *by);
+            } else {
+                right.inc(*t_us, &name, *by);
+            }
+        }
+        prop_assert_eq!(fingerprint(&merged(&left, &right)), fingerprint(&whole));
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use jcdn_obs::timeseries::WindowedCounters;
 use jcdn_stats::dist::{weighted_index, Pareto, Sample};
 use jcdn_trace::{Method, MimeType, SimDuration, SimTime};
 use jcdn_ua::DeviceType;
@@ -78,6 +79,18 @@ impl Workload {
             .iter()
             .position(|d| d.host == host)
             .map(|i| i as u32)
+    }
+
+    /// Per-window event counts (`workload.events`) over the simulated
+    /// timeline. The counts follow the determinism contract: same config ⇒
+    /// byte-identical [`WindowedCounters`] serialization, independent of
+    /// how the build was threaded.
+    pub fn event_series(&self, spec: jcdn_obs::timeseries::WindowSpec) -> WindowedCounters {
+        let mut series = WindowedCounters::new(spec);
+        for event in &self.events {
+            series.inc(event.time.as_micros(), "workload.events", 1);
+        }
+        series
     }
 
     /// Share of events whose object serves JSON.
